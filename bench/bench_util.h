@@ -1,0 +1,59 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+//
+// Scaling note (see EXPERIMENTS.md): inputs are scaled down from the paper
+// so each simulation finishes in seconds, and the dynamic-offload epoch is
+// scaled with them (1,000 SM cycles instead of 30,000) so runs span a
+// comparable number of epochs.  The GPU/HMC configuration itself is the
+// paper's Table 2.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sndp.h"
+
+namespace sndp::bench {
+
+inline constexpr Cycle kScaledEpoch = 1000;
+
+inline SystemConfig paper_config(OffloadMode mode, double static_ratio = 1.0) {
+  SystemConfig cfg = SystemConfig::paper();
+  cfg.governor.mode = mode;
+  cfg.governor.static_ratio = static_ratio;
+  cfg.governor.epoch_cycles = kScaledEpoch;
+  return cfg;
+}
+
+inline RunResult run_workload(const std::string& name, const SystemConfig& cfg,
+                              ProblemScale scale = ProblemScale::kSmall) {
+  auto wl = make_workload(name, scale);
+  RunResult r = Simulator(cfg).run(*wl);
+  if (!r.verified) {
+    std::fprintf(stderr, "WARNING: %s failed functional verification!\n", name.c_str());
+  }
+  if (!r.completed) {
+    std::fprintf(stderr, "WARNING: %s hit the simulated-time limit!\n", name.c_str());
+  }
+  return r;
+}
+
+// Geometric mean of a list of per-workload ratios.
+inline double geomean(const std::vector<double>& xs) {
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s; shapes, not absolute numbers — see EXPERIMENTS.md)\n",
+              paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace sndp::bench

@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks of the simulator substrates: cache,
+// DRAM/vault timing, hypercube routing, coalescer, analyzer, and the
+// functional memory.  Useful for guarding the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include "sndp.h"
+
+using namespace sndp;
+
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 32 * KiB;
+  cfg.ways = 4;
+  Cache cache(cfg, "bm");
+  Rng rng(1);
+  std::uint64_t token = 0;
+  for (auto _ : state) {
+    const Addr line = (rng.next_below(1024)) * 128;
+    auto result = cache.access_read(line, ++token);
+    if (result == CacheAccessResult::kMissNew || result == CacheAccessResult::kMshrFull) {
+      benchmark::DoNotOptimize(cache.fill(line));
+    }
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_CoalesceUnit(benchmark::State& state) {
+  Coalescer c(128);
+  std::array<Addr, kWarpWidth> addrs{};
+  Rng rng(2);
+  const bool divergent = state.range(0) != 0;
+  for (unsigned i = 0; i < kWarpWidth; ++i) {
+    addrs[i] = divergent ? rng.next_below(1 << 20) * 8 : 0x1000 + i * 8;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.coalesce(addrs, kFullMask, 8));
+  }
+}
+BENCHMARK(BM_CoalesceUnit)->Arg(0)->Arg(1);
+
+void BM_HypercubeRoute(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    const unsigned a = static_cast<unsigned>(rng.next_below(8));
+    const unsigned b = static_cast<unsigned>(rng.next_below(8));
+    benchmark::DoNotOptimize(hypercube_route(a, b));
+  }
+}
+BENCHMARK(BM_HypercubeRoute);
+
+void BM_GlobalMemoryReadWrite(benchmark::State& state) {
+  GlobalMemory mem;
+  Rng rng(4);
+  for (auto _ : state) {
+    const Addr a = rng.next_below(64 * MiB) & ~7ull;
+    mem.write_u64(a, a);
+    benchmark::DoNotOptimize(mem.read_u64(a));
+  }
+}
+BENCHMARK(BM_GlobalMemoryReadWrite);
+
+void BM_AnalyzerVadd(benchmark::State& state) {
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  GlobalMemory mem;
+  MemoryAllocator alloc;
+  Rng rng(5);
+  wl->setup(mem, alloc, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_and_generate(wl->program()));
+  }
+}
+BENCHMARK(BM_AnalyzerVadd);
+
+void BM_VaultStreamingReads(benchmark::State& state) {
+  // Throughput of the FR-FCFS vault model under a streaming read pattern.
+  const SystemConfig cfg = SystemConfig::paper();
+  std::uint64_t completions = 0;
+  VaultController vault(cfg.hmc, cfg.clocks.dram_khz,
+                        [&](const DramRequest&, TimePs) { ++completions; });
+  AddressMap amap(cfg);
+  Cycle cycle = 0;
+  Addr next = 0;
+  for (auto _ : state) {
+    if (vault.can_accept()) {
+      DramRequest req;
+      req.line_addr = next;
+      next += 128 * cfg.hmc.num_vaults;  // stay in this vault
+      req.coord = amap.decode(req.line_addr);
+      vault.enqueue(req);
+    }
+    vault.tick(cycle, tick_time_ps(cycle, cfg.clocks.dram_khz));
+    ++cycle;
+  }
+  state.counters["lines_per_kcycle"] =
+      benchmark::Counter(static_cast<double>(completions) * 1000.0 /
+                         static_cast<double>(cycle));
+}
+BENCHMARK(BM_VaultStreamingReads);
+
+void BM_TinySimulationEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    SystemConfig cfg = SystemConfig::small_test();
+    cfg.governor.mode = OffloadMode::kDynamicCache;
+    cfg.governor.epoch_cycles = 500;
+    auto wl = make_workload("VADD", ProblemScale::kTiny);
+    RunResult r = Simulator(cfg).run(*wl);
+    benchmark::DoNotOptimize(r.sm_cycles);
+  }
+}
+BENCHMARK(BM_TinySimulationEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table 2: the simulated system configuration.  Prints every parameter the
+// paper lists so a reader can diff this reproduction against the original.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace sndp;
+
+int main() {
+  bench::print_header("Table 2: system configuration", "Table 2");
+  const SystemConfig c = SystemConfig::paper();
+  std::printf("GPU\n");
+  std::printf("  # of SMs                : %u\n", c.num_sms);
+  std::printf("  # of HMCs               : %u\n", c.num_hmcs);
+  std::printf("  Off-chip link BW        : %.0f GB/s per direction, %u bidirectional links\n",
+              c.link.gb_per_s, c.num_hmcs);
+  std::printf("  SM                      : %u threads, %u CTAs, %u registers, %llu KB scratchpad,"
+              " warp width %u\n",
+              c.sm.max_threads, c.sm.max_ctas, c.sm.max_registers,
+              static_cast<unsigned long long>(c.sm.scratchpad_bytes / 1024), c.sm.warp_width);
+  std::printf("  L1 data cache           : %llu KB, %u-way, %u B line, MSHR: %u\n",
+              static_cast<unsigned long long>(c.sm.l1d.size_bytes / 1024), c.sm.l1d.ways,
+              c.sm.l1d.line_bytes, c.sm.l1d.mshr_entries);
+  std::printf("  L2 cache                : %llu MB, %u-way, %u B line, MSHR: %u\n",
+              static_cast<unsigned long long>(c.l2.size_bytes / (1024 * 1024)), c.l2.ways,
+              c.l2.line_bytes, c.l2.mshr_entries);
+  std::printf("  SM, Xbar, L2 clock      : %llu, %llu, %llu MHz\n",
+              static_cast<unsigned long long>(c.clocks.sm_khz / 1000),
+              static_cast<unsigned long long>(c.clocks.xbar_khz / 1000),
+              static_cast<unsigned long long>(c.clocks.l2_khz / 1000));
+  std::printf("HMC\n");
+  std::printf("  Organization            : 16 vaults x %u banks/vault\n",
+              c.hmc.banks_per_vault);
+  std::printf("  Memory size             : %llu GB\n",
+              static_cast<unsigned long long>(c.hmc.memory_bytes / (1024ull * 1024 * 1024)));
+  std::printf("  Memory scheduler        : FR-FCFS, vault request queue size: %u\n",
+              c.hmc.vault_queue_size);
+  std::printf("  DRAM timing             : tCK=1.50ns, tRP=%u, tCCD=%u, tRCD=%u, tCL=%u,"
+              " tWR=%u, tRAS=%u\n",
+              c.hmc.timing.tRP, c.hmc.timing.tCCD, c.hmc.timing.tRCD, c.hmc.timing.tCL,
+              c.hmc.timing.tWR, c.hmc.timing.tRAS);
+  std::printf("  Off-chip link BW        : %.0f GB/s per direction, 4 links (1 GPU + 3 network)\n",
+              c.link.gb_per_s);
+  std::printf("NDP-specific\n");
+  std::printf("  NSU                     : %llu MHz, %u warps, warp width %u, %u physical lanes,"
+              " %llu KB const cache, %llu KB i-cache\n",
+              static_cast<unsigned long long>(c.clocks.nsu_khz / 1000), c.nsu.max_warps,
+              c.nsu.warp_width, c.nsu.simd_lanes,
+              static_cast<unsigned long long>(c.nsu.const_cache_bytes / 1024),
+              static_cast<unsigned long long>(c.nsu.icache_bytes / 1024));
+  std::printf("  Buffers in GPU SM       : 8 B x %u pending, 8 B x %u ready\n",
+              c.ndp_buffers.sm_pending_entries, c.ndp_buffers.sm_ready_entries);
+  std::printf("  Buffers in NSU          : 128 B x %u read data, 128 B x %u write address,"
+              " %u offload command entries\n",
+              c.ndp_buffers.nsu_read_data_entries, c.ndp_buffers.nsu_write_addr_entries,
+              c.ndp_buffers.nsu_cmd_entries);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// sndpsim — command-line front end for the simulator.
+//
+//   sndpsim --workload VADD --mode dyn-cache --scale small
+//   sndpsim -w KMN -m static -r 0.6 --sms 128 --stats
+//   sndpsim -w BFS -m always --nsu-mhz 175 --csv results.csv
+//
+// Options:
+//   -w, --workload NAME     Table 1 workload (default VADD); "all" runs all.
+//   -s, --scale S           tiny | small | large          (default small)
+//   -m, --mode M            off | always | static | dyn | dyn-cache (default dyn-cache)
+//   -r, --ratio R           static offload ratio           (default 0.5)
+//   -e, --epoch N           dynamic epoch length in SM cycles (default 1000)
+//       --sms N             number of SMs                  (default 64)
+//       --hmcs N            number of HMCs (power of two)  (default 8)
+//       --nsu-mhz N         NSU clock in MHz               (default 350)
+//       --seed N            page-placement seed
+//       --ro-cache          enable the NSU read-only cache (§7.1)
+//       --optimal-target    all-access target selection ablation
+//       --stats             dump the full statistics set
+//       --csv FILE          append one CSV row per run to FILE
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sndp.h"
+
+using namespace sndp;
+
+namespace {
+
+struct Options {
+  std::string workload = "VADD";
+  ProblemScale scale = ProblemScale::kSmall;
+  OffloadMode mode = OffloadMode::kDynamicCache;
+  double ratio = 0.5;
+  Cycle epoch = 1000;
+  unsigned sms = 64;
+  unsigned hmcs = 8;
+  unsigned nsu_mhz = 350;
+  std::uint64_t seed = 0x5EED;
+  bool ro_cache = false;
+  bool optimal_target = false;
+  bool dump_stats = false;
+  std::string csv;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-w WORKLOAD|all] [-s tiny|small|large] "
+               "[-m off|always|static|dyn|dyn-cache] [-r RATIO] [-e EPOCH]\n"
+               "          [--sms N] [--hmcs N] [--nsu-mhz N] [--seed N] "
+               "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+const char* mode_name(OffloadMode m) {
+  switch (m) {
+    case OffloadMode::kOff: return "off";
+    case OffloadMode::kAlways: return "always";
+    case OffloadMode::kStaticRatio: return "static";
+    case OffloadMode::kDynamic: return "dyn";
+    case OffloadMode::kDynamicCache: return "dyn-cache";
+  }
+  return "?";
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-w" || a == "--workload") {
+      o.workload = need_value(i);
+    } else if (a == "-s" || a == "--scale") {
+      const std::string s = need_value(i);
+      o.scale = s == "tiny"    ? ProblemScale::kTiny
+                : s == "large" ? ProblemScale::kLarge
+                : s == "small" ? ProblemScale::kSmall
+                               : (usage(argv[0]), ProblemScale::kSmall);
+    } else if (a == "-m" || a == "--mode") {
+      const std::string m = need_value(i);
+      if (m == "off") o.mode = OffloadMode::kOff;
+      else if (m == "always") o.mode = OffloadMode::kAlways;
+      else if (m == "static") o.mode = OffloadMode::kStaticRatio;
+      else if (m == "dyn") o.mode = OffloadMode::kDynamic;
+      else if (m == "dyn-cache") o.mode = OffloadMode::kDynamicCache;
+      else usage(argv[0]);
+    } else if (a == "-r" || a == "--ratio") {
+      o.ratio = std::stod(need_value(i));
+    } else if (a == "-e" || a == "--epoch") {
+      o.epoch = std::stoull(need_value(i));
+    } else if (a == "--sms") {
+      o.sms = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a == "--hmcs") {
+      o.hmcs = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a == "--nsu-mhz") {
+      o.nsu_mhz = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a == "--seed") {
+      o.seed = std::stoull(need_value(i));
+    } else if (a == "--ro-cache") {
+      o.ro_cache = true;
+    } else if (a == "--optimal-target") {
+      o.optimal_target = true;
+    } else if (a == "--stats") {
+      o.dump_stats = true;
+    } else if (a == "--csv") {
+      o.csv = need_value(i);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+int run_one(const Options& o, const std::string& name) {
+  SystemConfig cfg = SystemConfig::paper();
+  cfg.num_sms = o.sms;
+  cfg.num_hmcs = o.hmcs;
+  cfg.clocks.nsu_khz = static_cast<std::uint64_t>(o.nsu_mhz) * 1000;
+  cfg.governor.mode = o.mode;
+  cfg.governor.static_ratio = o.ratio;
+  cfg.governor.epoch_cycles = o.epoch;
+  cfg.placement_seed = o.seed;
+  cfg.nsu.read_only_cache = o.ro_cache;
+  cfg.optimal_target_selection = o.optimal_target;
+
+  auto wl = make_workload(name, o.scale);
+  const RunResult r = Simulator(cfg).run(*wl);
+
+  std::printf("%-8s mode=%-9s cycles=%-10llu ipc=%-6.2f verified=%-3s "
+              "gpu-link=%.2fMB network=%.2fMB energy=%.4fJ\n",
+              name.c_str(), mode_name(o.mode),
+              static_cast<unsigned long long>(r.sm_cycles), r.ipc,
+              r.verified ? "yes" : "NO", r.gpu_link_bytes / 1e6, r.cube_link_bytes / 1e6,
+              r.energy.total());
+  if (o.dump_stats) std::fputs(r.stats.to_string().c_str(), stdout);
+  if (!o.csv.empty()) {
+    std::ofstream out(o.csv, std::ios::app);
+    out << name << ',' << mode_name(o.mode) << ',' << o.ratio << ',' << r.sm_cycles << ','
+        << r.ipc << ',' << (r.verified ? 1 : 0) << ',' << r.gpu_link_bytes << ','
+        << r.cube_link_bytes << ',' << r.energy.total() << '\n';
+  }
+  return r.verified && r.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  int rc = 0;
+  if (o.workload == "all") {
+    for (const std::string& name : workload_names()) rc |= run_one(o, name);
+  } else {
+    rc = run_one(o, o.workload);
+  }
+  return rc;
+}

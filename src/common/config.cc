@@ -1,0 +1,65 @@
+#include "common/config.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sndp {
+
+SystemConfig SystemConfig::paper() {
+  return SystemConfig{};  // defaults reproduce Table 2
+}
+
+SystemConfig SystemConfig::paper_more_core() {
+  SystemConfig cfg;
+  cfg.num_sms = 72;  // Baseline_MoreCore: 64 + 8 additional SMs
+  return cfg;
+}
+
+SystemConfig SystemConfig::paper_2x() {
+  SystemConfig cfg;
+  cfg.num_sms = 128;  // §7.3: number of compute units doubled
+  return cfg;
+}
+
+SystemConfig SystemConfig::small_test() {
+  SystemConfig cfg;
+  cfg.num_sms = 4;
+  cfg.num_hmcs = 4;
+  cfg.sm.max_threads = 256;  // 8 warps per SM
+  cfg.sm.max_ctas = 4;
+  cfg.l2.size_bytes = 256 * KiB;
+  cfg.hmc.num_vaults = 4;
+  cfg.hmc.banks_per_vault = 4;
+  cfg.hmc.memory_bytes = 64 * MiB;
+  return cfg;
+}
+
+void SystemConfig::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("SystemConfig: ") + what);
+  };
+  require(num_sms >= 1, "need at least one SM");
+  require(num_hmcs >= 1 && std::has_single_bit(num_hmcs),
+          "hypercube memory network needs a power-of-two HMC count");
+  require(sm.warp_width == kWarpWidth, "warp width must be 32");
+  require(sm.max_threads % sm.warp_width == 0, "SM thread count must be warp-aligned");
+  require(std::has_single_bit(static_cast<std::uint64_t>(sm.l1d.line_bytes)),
+          "L1 line size must be a power of two");
+  require(sm.l1d.line_bytes == l2.line_bytes, "L1/L2 line sizes must match");
+  require(sm.l1d.num_sets() >= 1 && l2.num_sets() >= 1, "cache must have >= 1 set");
+  require(std::has_single_bit(page_bytes), "page size must be a power of two");
+  require(page_bytes >= l2.line_bytes, "page must hold at least one line");
+  require(std::has_single_bit(static_cast<std::uint64_t>(hmc.num_vaults)),
+          "vault count must be a power of two");
+  require(std::has_single_bit(static_cast<std::uint64_t>(hmc.banks_per_vault)),
+          "bank count must be a power of two");
+  require(hmc.memory_bytes % page_bytes == 0, "HMC capacity must be page-aligned");
+  require(clocks.sm_khz > 0 && clocks.dram_khz > 0 && clocks.nsu_khz > 0 &&
+              clocks.l2_khz > 0 && clocks.xbar_khz > 0,
+          "all clock frequencies must be positive");
+  require(governor.epoch_cycles > 0, "epoch length must be positive");
+  require(governor.step_min <= governor.step_max, "step_min must be <= step_max");
+  require(ndp_buffers.nsu_cmd_entries >= 1, "need at least one offload command entry");
+}
+
+}  // namespace sndp

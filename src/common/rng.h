@@ -1,0 +1,65 @@
+// Deterministic, fast pseudo-random generator (xoshiro256**) used everywhere
+// randomness is needed (page placement, offload-ratio sampling, workload
+// data).  std::mt19937 is avoided so the stream is stable across standard
+// library versions — determinism is a tested invariant of this simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace sndp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the xoshiro state.
+    auto splitmix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : state_) w = splitmix();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free variant is overkill here;
+    // modulo bias is negligible for our bounds (<< 2^32) but we still use
+    // the widening-multiply method for uniformity.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace sndp

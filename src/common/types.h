@@ -1,0 +1,38 @@
+// Core scalar types and identifiers shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace sndp {
+
+// Global simulated time, in picoseconds.  64 bits of picoseconds covers
+// ~213 days of simulated time, far beyond any run we do.
+using TimePs = std::uint64_t;
+inline constexpr TimePs kTimeNever = std::numeric_limits<TimePs>::max();
+
+// Cycle count within one clock domain.
+using Cycle = std::uint64_t;
+
+// Physical byte address in the (flat, simulated) memory space.
+using Addr = std::uint64_t;
+
+// Component identifiers.  Small integers; -1 (wrapped) means "invalid".
+using SmId = std::uint32_t;
+using HmcId = std::uint32_t;
+using VaultId = std::uint32_t;
+using WarpId = std::uint32_t;
+inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+// A register value.  The ISA is untyped at the storage level: 64 raw bits,
+// interpreted by each opcode as signed/unsigned integer or double.
+using RegValue = std::uint64_t;
+
+// Lane mask for a warp (up to 32 lanes).
+using LaneMask = std::uint32_t;
+
+inline constexpr unsigned kWarpWidth = 32;
+inline constexpr LaneMask kFullMask = 0xFFFFFFFFu;
+
+}  // namespace sndp

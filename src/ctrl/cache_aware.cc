@@ -1,0 +1,70 @@
+#include "ctrl/cache_aware.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sndp {
+
+CacheAwareTable::CacheAwareTable(unsigned num_blocks, const GovernorConfig& cfg,
+                                 unsigned line_bytes)
+    : stats_(num_blocks), cfg_(cfg), line_bytes_(line_bytes) {}
+
+void CacheAwareTable::record_instance(unsigned block, unsigned active_threads) {
+  BlockStats& s = stats_.at(block);
+  ++s.instances;
+  s.active_threads += active_threads;
+}
+
+void CacheAwareTable::record_load_line(unsigned block, bool hit, unsigned touched_bytes) {
+  BlockStats& s = stats_.at(block);
+  ++s.lines;
+  if (hit) {
+    ++s.line_hits;
+    s.hit_touched_bytes += touched_bytes;
+  }
+}
+
+void CacheAwareTable::record_store_bytes(unsigned block, unsigned bytes) {
+  stats_.at(block).store_bytes += bytes;
+}
+
+double CacheAwareTable::avg_lines_per_instance(unsigned block) const {
+  const BlockStats& s = stats_.at(block);
+  if (s.instances == 0) return 0.0;
+  return static_cast<double>(s.lines) / static_cast<double>(s.instances);
+}
+
+double CacheAwareTable::miss_rate(unsigned block) const {
+  const BlockStats& s = stats_.at(block);
+  if (s.lines == 0) return 1.0;
+  return 1.0 - static_cast<double>(s.line_hits) / static_cast<double>(s.lines);
+}
+
+double CacheAwareTable::score(unsigned block, const OffloadBlockInfo& info) const {
+  const BlockStats& s = stats_.at(block);
+  if (s.instances < cfg_.warmup_instances) {
+    return std::numeric_limits<double>::infinity();  // optimistic until measured
+  }
+  const double avg_active =
+      static_cast<double>(s.active_threads) / static_cast<double>(s.instances);
+  const double load_benefit =
+      std::ceil(avg_lines_per_instance(block) * miss_rate(block)) *
+      static_cast<double>(line_bytes_);
+  const double store_benefit =
+      static_cast<double>(s.store_bytes) / static_cast<double>(s.instances);
+  const double overhead =
+      8.0 * static_cast<double>(info.regs_in.size() + info.regs_out.size()) * avg_active;
+  // Extension (see GovernorConfig::model_hit_push_cost): cache-hit lines
+  // become RDF-hit data pushes over the GPU link when offloaded — but only
+  // the words the lanes touch, measured per line.  Divergent gathers push
+  // ~one word per hit line (cheap); broadcast/coalesced hits push the whole
+  // warp's words (the §7.1 pathology).
+  double hit_push_cost = 0.0;
+  if (cfg_.model_hit_push_cost) {
+    hit_push_cost =
+        static_cast<double>(s.hit_touched_bytes) / static_cast<double>(s.instances);
+  }
+  return load_benefit + store_benefit - overhead - hit_push_cost;
+}
+
+}  // namespace sndp

@@ -1,0 +1,64 @@
+// Cache-locality-aware offload decision (§7.3).
+//
+// For each static offload block, the GPU accumulates how many cache lines
+// the block's loads touch per warp instance and how often those lines hit
+// in the GPU caches — measured both from RDF probes (offloaded instances)
+// and from ordinary loads (inline instances), so the estimate stays fresh
+// whichever way the block executes.  The runtime benefit estimate is
+//
+//   Benefit = ceil(AvgNumCacheLines * AvgCacheMissRate) * CacheLineSize
+//           + NumStoreInsts * WordSize * ActiveThreads
+//
+// (the GPU traffic a warp instance would generate if executed inline), and
+// the block is suppressed from offloading whenever
+// Benefit - RegisterTransferBytes <= 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "isa/program.h"
+
+namespace sndp {
+
+class CacheAwareTable {
+ public:
+  CacheAwareTable(unsigned num_blocks, const GovernorConfig& cfg, unsigned line_bytes);
+
+  // One warp instance of `block` began executing (inline or offloaded).
+  void record_instance(unsigned block, unsigned active_threads);
+  // One cache-line probe for a load in `block`: whether it hit in the L1 or
+  // L2, and how many bytes of it the active lanes actually touch (what an
+  // RDF-hit response would push over the GPU link).
+  void record_load_line(unsigned block, bool hit, unsigned touched_bytes);
+  // Store bytes a warp instance of `block` writes (sampled once per instance).
+  void record_store_bytes(unsigned block, unsigned bytes);
+
+  double avg_lines_per_instance(unsigned block) const;
+  double miss_rate(unsigned block) const;
+
+  // §7.3 score: Benefit (bytes saved per instance) minus the register
+  // transfer overhead.  Optimistic (+inf) until warmup_instances observed.
+  double score(unsigned block, const OffloadBlockInfo& info) const;
+  bool should_offload(unsigned block, const OffloadBlockInfo& info) const {
+    return score(block, info) > 0.0;
+  }
+
+  std::uint64_t instances(unsigned block) const { return stats_.at(block).instances; }
+
+ private:
+  struct BlockStats {
+    std::uint64_t instances = 0;
+    std::uint64_t lines = 0;
+    std::uint64_t line_hits = 0;
+    std::uint64_t hit_touched_bytes = 0;  // bytes an offload would push on hits
+    std::uint64_t store_bytes = 0;
+    std::uint64_t active_threads = 0;
+  };
+  std::vector<BlockStats> stats_;
+  GovernorConfig cfg_;
+  unsigned line_bytes_;
+};
+
+}  // namespace sndp

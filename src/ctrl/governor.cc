@@ -1,0 +1,71 @@
+#include "ctrl/governor.h"
+
+namespace sndp {
+
+OffloadGovernor::OffloadGovernor(const GovernorConfig& cfg, unsigned num_blocks,
+                                 unsigned line_bytes, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), hill_(cfg), cache_table_(num_blocks, cfg, line_bytes) {}
+
+double OffloadGovernor::current_ratio() const {
+  switch (cfg_.mode) {
+    case OffloadMode::kOff: return 0.0;
+    case OffloadMode::kAlways: return 1.0;
+    case OffloadMode::kStaticRatio: return cfg_.static_ratio;
+    case OffloadMode::kDynamic:
+    case OffloadMode::kDynamicCache: return hill_.ratio();
+  }
+  return 0.0;
+}
+
+bool OffloadGovernor::decide(const OffloadBlockInfo& info, unsigned active_threads) {
+  ++decisions_;
+  cache_table_.record_instance(info.block_id, active_threads);
+
+  bool offload = false;
+  switch (cfg_.mode) {
+    case OffloadMode::kOff:
+      break;
+    case OffloadMode::kAlways:
+      offload = true;
+      break;
+    case OffloadMode::kStaticRatio:
+      offload = rng_.bernoulli(cfg_.static_ratio);
+      break;
+    case OffloadMode::kDynamic:
+      offload = rng_.bernoulli(hill_.ratio());
+      break;
+    case OffloadMode::kDynamicCache:
+      if (!cache_table_.should_offload(info.block_id, info)) {
+        ++suppressed_by_cache_;
+        offload = false;
+      } else {
+        offload = rng_.bernoulli(hill_.ratio());
+      }
+      break;
+  }
+  if (offload) ++offloads_;
+  return offload;
+}
+
+void OffloadGovernor::on_sm_cycle() {
+  if (cfg_.mode != OffloadMode::kDynamic && cfg_.mode != OffloadMode::kDynamicCache) return;
+  if (++cycle_in_epoch_ < cfg_.epoch_cycles) return;
+  const double ipc =
+      static_cast<double>(epoch_instrs_) / static_cast<double>(cfg_.epoch_cycles);
+  hill_.end_epoch(ipc);
+  ratio_history_.record(hill_.ratio());
+  ++epochs_;
+  cycle_in_epoch_ = 0;
+  epoch_instrs_ = 0;
+}
+
+void OffloadGovernor::export_stats(StatSet& out) const {
+  out.set("governor.decisions", static_cast<double>(decisions_));
+  out.set("governor.offloads", static_cast<double>(offloads_));
+  out.set("governor.suppressed_by_cache", static_cast<double>(suppressed_by_cache_));
+  out.set("governor.epochs", static_cast<double>(epochs_));
+  out.set("governor.final_ratio", current_ratio());
+  ratio_history_.export_to(out, "governor.ratio");
+}
+
+}  // namespace sndp

@@ -1,0 +1,57 @@
+// The offload governor: one per simulated system.  Combines the offload
+// mode (§6-7), the hill-climbing dynamic ratio (Algorithm 1), and the
+// cache-locality-aware suppression (§7.3) into a single per-instance
+// decision made at every OFLD.BEG.
+#pragma once
+
+#include <memory>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ctrl/cache_aware.h"
+#include "ctrl/hill_climb.h"
+#include "isa/program.h"
+
+namespace sndp {
+
+class OffloadGovernor {
+ public:
+  OffloadGovernor(const GovernorConfig& cfg, unsigned num_blocks, unsigned line_bytes,
+                  std::uint64_t seed);
+
+  // Decision for one warp instance of `info` with `active_threads` lanes.
+  bool decide(const OffloadBlockInfo& info, unsigned active_threads);
+
+  // A warp instance of a block finished (inline or via NSU ACK):
+  // contributes its instruction count to the epoch throughput metric.
+  void on_block_complete(unsigned instr_count) { epoch_instrs_ += instr_count; }
+
+  // Advance the epoch clock (call once per SM cycle, from one place).
+  void on_sm_cycle();
+
+  CacheAwareTable& cache_table() { return cache_table_; }
+  const CacheAwareTable& cache_table() const { return cache_table_; }
+
+  double current_ratio() const;
+  OffloadMode mode() const { return cfg_.mode; }
+
+  void export_stats(StatSet& out) const;
+
+ private:
+  GovernorConfig cfg_;
+  Rng rng_;
+  HillClimbController hill_;
+  CacheAwareTable cache_table_;
+  Cycle cycle_in_epoch_ = 0;
+  std::uint64_t epoch_instrs_ = 0;
+
+  // Stats.
+  std::uint64_t decisions_ = 0;
+  std::uint64_t offloads_ = 0;
+  std::uint64_t suppressed_by_cache_ = 0;
+  unsigned epochs_ = 0;
+  Distribution ratio_history_;
+};
+
+}  // namespace sndp

@@ -1,0 +1,52 @@
+#include "energy/energy_model.h"
+
+namespace sndp {
+
+void EnergyBreakdown::export_stats(StatSet& out) const {
+  out.set("energy.gpu_j", gpu_j);
+  out.set("energy.nsu_j", nsu_j);
+  out.set("energy.hmc_noc_j", hmc_noc_j);
+  out.set("energy.offchip_j", offchip_j);
+  out.set("energy.dram_j", dram_j);
+  out.set("energy.total_j", total());
+}
+
+EnergyBreakdown EnergyModel::compute(const EnergyCounters& c, TimePs runtime_ps,
+                                     unsigned num_sms, unsigned num_hmcs,
+                                     bool ndp_enabled) const {
+  const double seconds = static_cast<double>(runtime_ps) * 1e-12;
+  EnergyBreakdown e;
+
+  // GPU: core dynamic + cache arrays + on-die wires + static.  SM static
+  // power accrues per active SM-cycle (idle SMs power-gate); the shared L2
+  // and chip infrastructure accrue for the whole runtime.
+  (void)num_sms;
+  e.gpu_j = static_cast<double>(c.sm_lane_ops) * cfg_.sm_op_j +
+            static_cast<double>(c.l1_accesses) * cfg_.l1_access_j +
+            static_cast<double>(c.l2_accesses) * cfg_.l2_access_j +
+            static_cast<double>(c.gpu_wire_bytes) * 8.0 * cfg_.gpu_wire_j_per_bit +
+            cfg_.sm_static_w * c.sm_active_seconds + cfg_.l2_static_w * seconds;
+
+  // NSU: dynamic ops + static (only when the NDP machinery is powered;
+  // with NDP off the NSUs and memory-network links are power-gated, §5).
+  e.nsu_j = static_cast<double>(c.nsu_lane_ops) * cfg_.nsu_op_j;
+  if (ndp_enabled) e.nsu_j += cfg_.nsu_static_w * num_hmcs * seconds;
+
+  e.hmc_noc_j = static_cast<double>(c.hmc_noc_bytes) * 8.0 * cfg_.hmc_noc_j_per_bit +
+                cfg_.hmc_static_w * num_hmcs * seconds;
+
+  // Off-chip: 2 pJ/bit on every traversed link plus per-link static power.
+  // GPU links are always on; the 3 memory-network links per HMC only count
+  // when NDP is enabled.
+  const double gpu_links = static_cast<double>(num_hmcs);
+  const double cube_links = ndp_enabled ? 1.5 * num_hmcs : 0.0;  // 3 per HMC, shared
+  e.offchip_j = static_cast<double>(c.offchip_bytes) * 8.0 * cfg_.offchip_j_per_bit +
+                cfg_.link_static_w * (gpu_links + cube_links) * seconds;
+
+  e.dram_j = static_cast<double>(c.dram_activates) * cfg_.dram_activate_j +
+             static_cast<double>(c.dram_read_bytes + c.dram_write_bytes) * 8.0 *
+                 cfg_.dram_row_read_j_per_bit;
+  return e;
+}
+
+}  // namespace sndp

@@ -1,0 +1,57 @@
+#include "gpu/buffer_manager.h"
+
+#include <stdexcept>
+
+namespace sndp {
+
+NdpBufferManager::NdpBufferManager(const NdpBufferConfig& cfg, unsigned num_hmcs) : cfg_(cfg) {
+  credits_.resize(num_hmcs, Credits{cfg.nsu_cmd_entries, cfg.nsu_read_data_entries,
+                                    cfg.nsu_write_addr_entries});
+}
+
+bool NdpBufferManager::try_reserve(unsigned hmc, unsigned rd, unsigned wta) {
+  Credits& c = credits_.at(hmc);
+  if (c.cmd < 1 || c.rd < rd || c.wta < wta) {
+    ++denials_;
+    if (c.cmd < 1) ++denials_cmd_;
+    if (c.rd < rd) ++denials_rd_;
+    if (c.wta < wta) ++denials_wta_;
+    return false;
+  }
+  c.cmd -= 1;
+  c.rd -= rd;
+  c.wta -= wta;
+  ++grants_;
+  return true;
+}
+
+void NdpBufferManager::release(unsigned hmc, unsigned cmd, unsigned rd, unsigned wta) {
+  Credits& c = credits_.at(hmc);
+  c.cmd += cmd;
+  c.rd += rd;
+  c.wta += wta;
+  if (c.cmd > cfg_.nsu_cmd_entries || c.rd > cfg_.nsu_read_data_entries ||
+      c.wta > cfg_.nsu_write_addr_entries) {
+    throw std::logic_error("NdpBufferManager: credit overflow (double release)");
+  }
+}
+
+bool NdpBufferManager::all_idle() const {
+  for (const Credits& c : credits_) {
+    if (c.cmd != cfg_.nsu_cmd_entries || c.rd != cfg_.nsu_read_data_entries ||
+        c.wta != cfg_.nsu_write_addr_entries) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void NdpBufferManager::export_stats(StatSet& out) const {
+  out.set("bufmgr.grants", static_cast<double>(grants_));
+  out.set("bufmgr.denials", static_cast<double>(denials_));
+  out.set("bufmgr.denials_cmd", static_cast<double>(denials_cmd_));
+  out.set("bufmgr.denials_rd", static_cast<double>(denials_rd_));
+  out.set("bufmgr.denials_wta", static_cast<double>(denials_wta_));
+}
+
+}  // namespace sndp

@@ -1,0 +1,53 @@
+// Credit-based NDP buffer manager (paper §4.3, deadlock prevention).
+//
+// Lives on the GPU and tracks, per HMC, the free entries of the NSU's
+// offload-command, read-data and write-address buffers.  An SM reserves all
+// buffers a block needs atomically at OFLD.BEG; the NSU returns credits as
+// entries free up (command credit when a warp slot is claimed, data credits
+// piggybacked on the offload ACK).  Reservations never exceed capacity, so
+// every in-flight packet is guaranteed an ejection slot — no deadlock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace sndp {
+
+class NdpBufferManager {
+ public:
+  NdpBufferManager(const NdpBufferConfig& cfg, unsigned num_hmcs);
+
+  // Atomically reserve (1 offload command, `rd` read-data entries, `wta`
+  // write-address entries) on `hmc`.  Returns false (reserving nothing)
+  // when any buffer lacks space.
+  bool try_reserve(unsigned hmc, unsigned rd, unsigned wta);
+
+  // Credits returned by the NSU.
+  void release(unsigned hmc, unsigned cmd, unsigned rd, unsigned wta);
+
+  unsigned free_cmd(unsigned hmc) const { return credits_.at(hmc).cmd; }
+  unsigned free_read_data(unsigned hmc) const { return credits_.at(hmc).rd; }
+  unsigned free_write_addr(unsigned hmc) const { return credits_.at(hmc).wta; }
+
+  // All credits back home (used as an end-of-run invariant).
+  bool all_idle() const;
+
+  void export_stats(StatSet& out) const;
+
+ private:
+  struct Credits {
+    unsigned cmd, rd, wta;
+  };
+  NdpBufferConfig cfg_;
+  std::vector<Credits> credits_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t denials_ = 0;
+  std::uint64_t denials_cmd_ = 0;
+  std::uint64_t denials_rd_ = 0;
+  std::uint64_t denials_wta_ = 0;
+};
+
+}  // namespace sndp

@@ -1,0 +1,37 @@
+#include "gpu/coalescer.h"
+
+namespace sndp {
+
+std::vector<LineAccess> Coalescer::coalesce(const std::array<Addr, kWarpWidth>& addrs,
+                                            LaneMask mask, unsigned width) const {
+  std::vector<LineAccess> lines;
+  for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+    if (!(mask & (LaneMask{1} << lane))) continue;
+    const Addr line = addrs[lane] & ~static_cast<Addr>(line_bytes_ - 1);
+    LineAccess* entry = nullptr;
+    for (LineAccess& la : lines) {
+      if (la.line_addr == line) {
+        entry = &la;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      lines.push_back(LineAccess{line, 0, false});
+      entry = &lines.back();
+    }
+    entry->lanes |= LaneMask{1} << lane;
+  }
+  // Alignment check (§4.1.1): lane i must sit at word slot i of the line.
+  for (LineAccess& la : lines) {
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (!(la.lanes & (LaneMask{1} << lane))) continue;
+      if (addrs[lane] != la.line_addr + static_cast<Addr>(lane) * width) {
+        la.misaligned = true;
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+}  // namespace sndp

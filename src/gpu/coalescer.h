@@ -1,0 +1,38 @@
+// Memory-access coalescer: groups a warp's per-lane addresses into cache
+// line transactions and classifies each as aligned or misaligned.
+//
+// Paper §4.1.1: an access is aligned iff every active lane i reads exactly
+//   CacheLineBaseAddr + i * WordSize
+// — the canonical fully-coalesced pattern whose per-lane offsets need not
+// be carried in RDF/WTA packets.  Anything else ships explicit offsets.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sndp {
+
+struct LineAccess {
+  Addr line_addr = 0;
+  LaneMask lanes = 0;  // which lanes fall in this line
+  bool misaligned = false;
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(unsigned line_bytes) : line_bytes_(line_bytes) {}
+
+  // `addrs[lane]` is valid where `mask` has the bit set; `width` is the
+  // per-lane access size in bytes.  Line order follows first-touching lane.
+  std::vector<LineAccess> coalesce(const std::array<Addr, kWarpWidth>& addrs, LaneMask mask,
+                                   unsigned width) const;
+
+  unsigned line_bytes() const { return line_bytes_; }
+
+ private:
+  unsigned line_bytes_;
+};
+
+}  // namespace sndp

@@ -1,0 +1,271 @@
+#include "gpu/gpu.h"
+
+#include <stdexcept>
+
+#include "ctrl/governor.h"
+#include "energy/energy_model.h"
+#include "gpu/wta_tracker.h"
+#include "mem/address_map.h"
+#include "memfunc/global_memory.h"
+#include "ndp/ro_cache.h"
+#include "noc/network.h"
+
+namespace sndp {
+
+Gpu::Gpu(const SystemContext& ctx) : ctx_(ctx), core_tick_(*this), l2_tick_(*this) {
+  const SystemConfig& cfg = *ctx_.cfg;
+  sms_.reserve(cfg.num_sms);
+  for (unsigned i = 0; i < cfg.num_sms; ++i) {
+    sms_.push_back(std::make_unique<Sm>(i, ctx_));
+  }
+  // One L2 slice per HMC link; each slice gets an equal share of the 2 MB.
+  CacheConfig slice_cfg = cfg.l2;
+  slice_cfg.size_bytes = cfg.l2.size_bytes / cfg.num_hmcs;
+  slices_.resize(cfg.num_hmcs);
+  for (unsigned s = 0; s < cfg.num_hmcs; ++s) {
+    slices_[s].cache = std::make_unique<Cache>(slice_cfg, "l2." + std::to_string(s));
+  }
+  total_ctas_ = ctx_.launch.num_ctas;
+}
+
+bool Gpu::idle() const {
+  if (next_cta_ < total_ctas_) return false;
+  for (const auto& sm : sms_) {
+    if (sm->busy()) return false;
+  }
+  for (const L2Slice& s : slices_) {
+    if (!s.in.empty() || !s.urgent.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Gpu::total_stall_dependency() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->stall_dependency;
+  return n;
+}
+std::uint64_t Gpu::total_stall_exec_busy() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->stall_exec_busy;
+  return n;
+}
+std::uint64_t Gpu::total_stall_warp_idle() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->stall_warp_idle;
+  return n;
+}
+std::uint64_t Gpu::total_issued() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->issued_instrs;
+  return n;
+}
+
+void Gpu::core_tick(Cycle /*cycle*/, TimePs /*now*/) {
+  ctx_.governor->on_sm_cycle();
+  // CTA dispatcher: at most one new CTA per SM per cycle, round-robin.
+  if (next_cta_ >= total_ctas_) return;
+  const unsigned n = static_cast<unsigned>(sms_.size());
+  for (unsigned i = 0; i < n && next_cta_ < total_ctas_; ++i) {
+    Sm& sm = *sms_[(dispatch_rr_ + i) % n];
+    if (sm.can_accept_cta()) {
+      sm.assign_cta(next_cta_++);
+      dispatch_rr_ = (dispatch_rr_ + i + 1) % n;
+    }
+  }
+}
+
+void Gpu::send_to_network(Packet&& p, TimePs now) {
+  p.src_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
+  ctx_.net->send(std::move(p), now);
+}
+
+void Gpu::l2_tick(Cycle cycle, TimePs now) {
+  // 1. Move SM egress packets into the right slice queue (the on-die
+  //    crossbar; its latency was already added by the SM).
+  for (auto& smp : sms_) {
+    for (unsigned moved = 0; moved < 2; ++moved) {
+      auto p = smp->out().pop_ready(now);
+      if (!p) break;
+      unsigned slice;
+      switch (p->type) {
+        case PacketType::kMemRead:
+        case PacketType::kMemWrite:
+        case PacketType::kRdf:
+          slice = ctx_.amap->hmc_of(p->line_addr);
+          break;
+        default:
+          slice = p->dst_node;  // CMD / WTA / RdfResp travel to the target HMC
+          break;
+      }
+      ctx_.energy->gpu_wire_bytes += p->size_bytes;
+      if (is_urgent_packet(p->type)) {
+        slices_.at(slice).urgent.push(std::move(*p), now);
+      } else {
+        slices_.at(slice).in.push(std::move(*p), now);
+      }
+    }
+  }
+
+  // 2. Slice processing.
+  for (unsigned s = 0; s < slices_.size(); ++s) process_slice(s, cycle, now);
+
+  // 3. Network RX.
+  auto& rx = ctx_.net->rx(ctx_.net->gpu_node());
+  while (auto p = rx.pop_ready(now)) handle_rx(std::move(*p), now);
+}
+
+void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
+  L2Slice& slice = slices_[slice_idx];
+  const TimePs l2_latency_ps =
+      ctx_.cfg->l2.latency_cycles * tick_time_ps(1, ctx_.cfg->clocks.l2_khz);
+
+  // Urgent pass-throughs (offload commands) go straight to the link; they
+  // never touch the L2 arrays and must not queue behind request floods.
+  while (auto p = slice.urgent.pop_ready(now)) send_to_network(std::move(*p), now);
+
+  for (unsigned served = 0; served < 2; ++served) {
+    if (!slice.in.ready(now)) return;
+    const Packet& head = slice.in.front();
+
+    if (head.type == PacketType::kMemRead) {
+      ++ctx_.energy->l2_accesses;
+      const auto result = slice.cache->access_read(head.line_addr, head.token);
+      if (result == CacheAccessResult::kMshrFull) return;  // retry next cycle
+      Packet p = slice.in.pop();
+      const bool in_block = p.oid.block != kNoBlock;
+      const unsigned touched = popcount_mask(p.mask) * p.mem_width;
+      if (result == CacheAccessResult::kHit) {
+        if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, true, touched);
+        ctx_.energy->gpu_wire_bytes += kLineBytes;
+        sms_.at(static_cast<std::size_t>(p.token))->deliver_line(p.line_addr,
+                                                                 now + l2_latency_ps);
+      } else if (result == CacheAccessResult::kMissNew) {
+        if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, false, 0);
+        p.dst_node = static_cast<std::uint16_t>(ctx_.amap->hmc_of(p.line_addr));
+        send_to_network(std::move(p), now);
+      } else {
+        // Merged into an existing L2 MSHR.
+        if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, false, 0);
+      }
+      continue;
+    }
+
+    Packet p = slice.in.pop();
+    switch (p.type) {
+      case PacketType::kMemWrite: {
+        ++ctx_.energy->l2_accesses;
+        slice.cache->write_touch(p.line_addr);
+        p.dst_node = static_cast<std::uint16_t>(ctx_.amap->hmc_of(p.line_addr));
+        send_to_network(std::move(p), now);
+        break;
+      }
+      case PacketType::kRdf: {
+        // Probe the L2 on the way out (Fig. 6(a)): a hit turns the request
+        // into a response carrying the cached words.
+        ++ctx_.energy->l2_accesses;
+        ++rdf_l2_probes_;
+        const bool hit = slice.cache->probe(p.line_addr);
+        const bool in_block = p.oid.block != kNoBlock;
+        if (in_block) {
+          ctx_.governor->cache_table().record_load_line(
+              p.oid.block, hit, hit ? popcount_mask(p.mask) * p.mem_width : 0);
+        }
+        if (hit) {
+          ++rdf_l2_hits_;
+          p.type = PacketType::kRdfResp;
+          p.dst_node = p.target_nsu;
+          p.lane_data.assign(kWarpWidth, 0);
+          for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+            if (p.mask & (LaneMask{1} << lane)) {
+              p.lane_data[lane] =
+                  ctx_.gmem->load_reg(p.lane_addrs[lane], p.mem_width, p.mem_f32);
+            }
+          }
+          const bool ro_hit = ctx_.ro_cache->lookup_or_insert(p.target_nsu, p.line_addr);
+          p.size_bytes = ro_hit
+                             ? small_packet_bytes() + kAddrBytes
+                             : rdf_resp_packet_bytes(popcount_mask(p.mask), p.mem_width);
+          ctx_.energy->gpu_wire_bytes += p.size_bytes;
+        }
+        send_to_network(std::move(p), now);
+        break;
+      }
+      case PacketType::kOfldCmd:
+      case PacketType::kWta:
+      case PacketType::kRdfResp:
+        send_to_network(std::move(p), now);
+        break;
+      default:
+        throw std::logic_error(std::string("Gpu: unexpected packet at L2 slice: ") +
+                               packet_type_name(p.type));
+    }
+  }
+}
+
+void Gpu::handle_rx(Packet&& p, TimePs now) {
+  switch (p.type) {
+    case PacketType::kMemReadResp: {
+      const unsigned slice_idx = ctx_.amap->hmc_of(p.line_addr);
+      ++ctx_.energy->l2_accesses;
+      for (std::uint64_t token : slices_.at(slice_idx).cache->fill(p.line_addr)) {
+        ctx_.energy->gpu_wire_bytes += kLineBytes;
+        sms_.at(static_cast<std::size_t>(token))
+            ->deliver_line(p.line_addr, now + ctx_.cfg->xbar_latency_ps);
+      }
+      break;
+    }
+    case PacketType::kCacheInval: {
+      ++invals_received_;
+      slices_.at(ctx_.amap->hmc_of(p.line_addr)).cache->invalidate(p.line_addr);
+      for (auto& sm : sms_) sm->invalidate_line(p.line_addr);
+      // §4.1.1: this invalidation retires one in-flight WTA for its HMC.
+      ctx_.wta_tracker->on_invalidation(ctx_.amap->hmc_of(p.line_addr));
+      break;
+    }
+    case PacketType::kOfldAck: {
+      // Data-buffer credits ride on the ACK (§4.3).
+      ctx_.bufmgr->release(p.target_nsu, 0, p.credit_read_data, p.credit_write_addr);
+      const SmId sm = p.oid.sm;
+      sms_.at(sm)->deliver_ofld_ack(std::move(p), now + ctx_.cfg->xbar_latency_ps);
+      break;
+    }
+    case PacketType::kCredit: {
+      ctx_.bufmgr->release(p.target_nsu, p.credit_cmd, p.credit_read_data,
+                           p.credit_write_addr);
+      break;
+    }
+    default:
+      throw std::logic_error(std::string("Gpu: unexpected RX packet: ") +
+                             packet_type_name(p.type));
+  }
+}
+
+void Gpu::export_stats(StatSet& out) const {
+  out.set("gpu.issued_instrs", static_cast<double>(total_issued()));
+  out.set("gpu.stall_dependency", static_cast<double>(total_stall_dependency()));
+  out.set("gpu.stall_exec_busy", static_cast<double>(total_stall_exec_busy()));
+  out.set("gpu.stall_warp_idle", static_cast<double>(total_stall_warp_idle()));
+  out.set("gpu.invalidations", static_cast<double>(invals_received_));
+  out.set("gpu.rdf_l2_probes", static_cast<double>(rdf_l2_probes_));
+  out.set("gpu.rdf_l2_hits", static_cast<double>(rdf_l2_hits_));
+  // Aggregate caches.
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  for (const auto& sm : sms_) {
+    l1_hits += sm->l1().hits;
+    l1_misses += sm->l1().misses;
+  }
+  out.set("gpu.l1_hits", static_cast<double>(l1_hits));
+  out.set("gpu.l1_misses", static_cast<double>(l1_misses));
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  for (const L2Slice& s : slices_) {
+    l2_hits += s.cache->hits;
+    l2_misses += s.cache->misses;
+  }
+  out.set("gpu.l2_hits", static_cast<double>(l2_hits));
+  out.set("gpu.l2_misses", static_cast<double>(l2_misses));
+  for (unsigned i = 0; i < sms_.size(); ++i) {
+    if (i < 4) sms_[i]->export_stats(out, "sm" + std::to_string(i));
+  }
+}
+
+}  // namespace sndp

@@ -1,0 +1,91 @@
+// The GPU chip: SMs, address-sliced L2 (one slice per HMC link), the CTA
+// dispatcher, the NDP buffer manager, and the chip-level packet plumbing
+// between SMs, L2 slices, the off-chip links, and the NSUs.
+//
+// Two tick surfaces, registered in different clock domains by the
+// Simulator:
+//   * core_tick()  (SM clock): CTA dispatch + governor epoch clock.
+//   * l2_tick()    (L2 clock): SM egress -> slice queues, slice processing,
+//                              network RX handling.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "gpu/buffer_manager.h"
+#include "gpu/sm.h"
+#include "mem/cache.h"
+#include "sim/clock.h"
+#include "sim/context.h"
+
+namespace sndp {
+
+class Gpu {
+ public:
+  explicit Gpu(const SystemContext& ctx);
+
+  // Tick adapters (see Simulator for domain registration).
+  class CoreTick final : public Tickable {
+   public:
+    explicit CoreTick(Gpu& gpu) : gpu_(gpu) {}
+    void tick(Cycle cycle, TimePs now) override { gpu_.core_tick(cycle, now); }
+
+   private:
+    Gpu& gpu_;
+  };
+  class L2Tick final : public Tickable {
+   public:
+    explicit L2Tick(Gpu& gpu) : gpu_(gpu) {}
+    void tick(Cycle cycle, TimePs now) override { gpu_.l2_tick(cycle, now); }
+
+   private:
+    Gpu& gpu_;
+  };
+
+  std::vector<std::unique_ptr<Sm>>& sms() { return sms_; }
+  CoreTick& core_tickable() { return core_tick_; }
+  L2Tick& l2_tickable() { return l2_tick_; }
+
+  bool idle() const;
+  unsigned ctas_remaining() const { return total_ctas_ - next_cta_; }
+
+  // Aggregate Fig. 8 stall counters over all SMs.
+  std::uint64_t total_stall_dependency() const;
+  std::uint64_t total_stall_exec_busy() const;
+  std::uint64_t total_stall_warp_idle() const;
+  std::uint64_t total_issued() const;
+  std::uint64_t invalidations_received() const { return invals_received_; }
+
+  void export_stats(StatSet& out) const;
+
+ private:
+  void core_tick(Cycle cycle, TimePs now);
+  void l2_tick(Cycle cycle, TimePs now);
+  void process_slice(unsigned slice, Cycle cycle, TimePs now);
+  void handle_rx(Packet&& p, TimePs now);
+  void send_to_network(Packet&& p, TimePs now);
+
+  const SystemContext& ctx_;
+  std::vector<std::unique_ptr<Sm>> sms_;
+
+  struct L2Slice {
+    std::unique_ptr<Cache> cache;
+    TimedChannel<Packet> in;      // cache-touching + bulk traffic, 2/cycle
+    TimedChannel<Packet> urgent;  // pass-through offload commands (no L2 work)
+  };
+  std::vector<L2Slice> slices_;
+
+  CoreTick core_tick_;
+  L2Tick l2_tick_;
+
+  unsigned total_ctas_ = 0;
+  unsigned next_cta_ = 0;
+  unsigned dispatch_rr_ = 0;
+
+  std::uint64_t invals_received_ = 0;
+  std::uint64_t rdf_l2_probes_ = 0;
+  std::uint64_t rdf_l2_hits_ = 0;
+};
+
+}  // namespace sndp

@@ -1,0 +1,2 @@
+// Scoreboard is header-only; this TU anchors the module.
+#include "gpu/scoreboard.h"

@@ -1,0 +1,50 @@
+// Per-warp scoreboard: tracks when each register / predicate becomes
+// readable.  In-order issue with variable-latency completion (ALU pipelines
+// and memory) hazards are enforced by requiring all sources AND the
+// destination to be ready at issue (RAW + WAW + WAR for in-order reads).
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace sndp {
+
+class Scoreboard {
+ public:
+  // A register still waiting on a memory fill has no known ready cycle.
+  static constexpr Cycle kPendingLoad = ~Cycle{0};
+
+  void reset() {
+    reg_ready_.fill(0);
+    pred_ready_.fill(0);
+  }
+
+  bool reg_ready(unsigned r, Cycle now) const { return reg_ready_[r] <= now; }
+  bool pred_ready(unsigned p, Cycle now) const { return pred_ready_[p] <= now; }
+
+  // Can `instr` issue at `now` without a data hazard?
+  bool can_issue(const Instr& instr, Cycle now) const {
+    bool ok = true;
+    for_each_src_reg(instr, [&](std::uint8_t r) { ok = ok && reg_ready(r, now); });
+    if (instr.writes_reg() && !reg_ready(instr.dst, now)) ok = false;
+    if (instr.guard_pred != kNoPred &&
+        !pred_ready(static_cast<unsigned>(instr.guard_pred), now)) {
+      ok = false;
+    }
+    if (instr.writes_pred() && !pred_ready(instr.pred_dst, now)) ok = false;
+    return ok;
+  }
+
+  void set_reg_ready_at(unsigned r, Cycle when) { reg_ready_[r] = when; }
+  void set_pred_ready_at(unsigned p, Cycle when) { pred_ready_[p] = when; }
+  void mark_load_pending(unsigned r) { reg_ready_[r] = kPendingLoad; }
+  void complete_load(unsigned r, Cycle now) { reg_ready_[r] = now; }
+
+ private:
+  std::array<Cycle, kNumRegs> reg_ready_{};
+  std::array<Cycle, kNumPreds> pred_ready_{};
+};
+
+}  // namespace sndp

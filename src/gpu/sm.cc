@@ -1,0 +1,743 @@
+#include "gpu/sm.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "ctrl/governor.h"
+#include "energy/energy_model.h"
+#include "gpu/buffer_manager.h"
+#include "gpu/wta_tracker.h"
+#include "mem/address_map.h"
+#include "memfunc/global_memory.h"
+#include "ndp/ro_cache.h"
+
+namespace sndp {
+
+Sm::Sm(SmId id, const SystemContext& ctx)
+    : id_(id),
+      ctx_(ctx),
+      cfg_(ctx.cfg->sm),
+      l1_(ctx.cfg->sm.l1d, "l1"),
+      coalescer_(cfg_.l1d.line_bytes) {
+  warps_.resize(cfg_.max_warps());
+  for (unsigned i = 0; i < warps_.size(); ++i) warps_[i].id = i;
+  ctas_.resize(cfg_.max_ctas);
+  // One tracker per potential outstanding load: warps x 1 is enough for an
+  // in-order core, with slack for scheduling overlap.
+  trackers_.resize(cfg_.max_warps() * 2);
+  free_warps_ = cfg_.max_warps();
+  free_cta_slots_ = cfg_.max_ctas;
+}
+
+bool Sm::can_accept_cta() const {
+  return free_cta_slots_ > 0 && free_warps_ >= ctx_.launch.warps_per_cta();
+}
+
+void Sm::assign_cta(unsigned cta_id) {
+  unsigned slot = kInvalidId;
+  for (unsigned i = 0; i < ctas_.size(); ++i) {
+    if (!ctas_[i].valid) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == kInvalidId) throw std::logic_error("Sm: assign_cta with no free slot");
+  const LaunchParams& lp = ctx_.launch;
+  CtaSlot& cta = ctas_[slot];
+  cta = CtaSlot{true, cta_id, lp.warps_per_cta(), 0, 0};
+
+  unsigned created = 0;
+  for (Warp& w : warps_) {
+    if (created == cta.num_warps) break;
+    if (w.valid()) continue;
+    const WarpId wid = w.id;
+    w = Warp{};
+    w.id = wid;
+    w.cta_slot = slot;
+    w.cta_id = cta_id;
+    w.state = WarpState::kReady;
+    w.pc = 0;
+    const unsigned warp_in_cta = created;
+    LaneMask active = 0;
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      const unsigned tid_in_cta = warp_in_cta * kWarpWidth + lane;
+      if (tid_in_cta >= lp.cta_threads) break;
+      active |= LaneMask{1} << lane;
+      ThreadCtx& t = w.lanes[lane];
+      t = ThreadCtx{};
+      t.regs[0] = static_cast<RegValue>(cta_id) * lp.cta_threads + tid_in_cta;  // R0: gtid
+      t.regs[1] = lp.total_threads();                                           // R1
+      t.regs[2] = cta_id;                                                       // R2
+      t.regs[3] = tid_in_cta;                                                   // R3
+    }
+    w.active = active;
+    ++created;
+  }
+  if (created != cta.num_warps) throw std::logic_error("Sm: not enough free warp slots");
+  free_warps_ -= created;
+  --free_cta_slots_;
+}
+
+bool Sm::busy() const {
+  for (const Warp& w : warps_) {
+    if (w.valid()) return true;
+  }
+  for (const LoadTracker& t : trackers_) {
+    if (t.valid) return true;
+  }
+  return !out_.empty() || !line_fills_.empty() || !acks_in_.empty() || pending_count_ != 0;
+}
+
+void Sm::deliver_line(Addr line_addr, TimePs ready_ps) { line_fills_.push(line_addr, ready_ps); }
+
+void Sm::deliver_ofld_ack(Packet p, TimePs ready_ps) { acks_in_.push(std::move(p), ready_ps); }
+
+unsigned Sm::alloc_tracker() {
+  for (unsigned i = 0; i < trackers_.size(); ++i) {
+    if (!trackers_[i].valid) return i;
+  }
+  return kInvalidId;
+}
+
+unsigned Sm::free_trackers() const {
+  unsigned n = 0;
+  for (const LoadTracker& t : trackers_) n += t.valid ? 0 : 1;
+  return n;
+}
+
+void Sm::complete_tracker(unsigned idx, Cycle cycle) {
+  LoadTracker& t = trackers_.at(idx);
+  if (!t.valid || t.lines_pending == 0) throw std::logic_error("Sm: bad tracker completion");
+  if (--t.lines_pending > 0) return;
+  Warp& w = warps_.at(t.warp);
+  w.scoreboard.complete_load(t.dst, cycle);
+  if (w.outstanding_loads == 0) throw std::logic_error("Sm: load count underflow");
+  --w.outstanding_loads;
+  t.valid = false;
+}
+
+const CoalesceCache& Sm::coalesced(Warp& w, const Instr& in, LaneMask lanes) {
+  CoalesceCache& cc = w.coalesce_cache;
+  if (!cc.valid_for(w.pc, w.issue_stamp)) {
+    cc.pc = w.pc;
+    cc.stamp = w.issue_stamp;
+    cc.lanes = lanes;
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (lanes & (LaneMask{1} << lane)) cc.addrs[lane] = effective_address(in, w.lanes[lane]);
+    }
+    cc.lines = coalescer_.coalesce(cc.addrs, lanes, in.mem_width);
+  }
+  return cc;
+}
+
+void Sm::emit_or_hold(Warp& warp, Packet&& p, TimePs now) {
+  GpuOffloadCtx& ctx = *warp.ofld;
+  if (ctx.credits_granted) {
+    out_.push(std::move(p), now);
+  } else {
+    ctx.held.push_back(std::move(p));
+    ++pending_count_;
+  }
+}
+
+void Sm::retry_credit_grants(TimePs now) {
+  if (awaiting_grant_ == 0) return;
+  for (Warp& w : warps_) {
+    if (!w.valid() || !w.ofld) continue;
+    GpuOffloadCtx& ctx = *w.ofld;
+    if (ctx.credits_granted || ctx.target == kInvalidId) continue;
+    if (!ctx_.bufmgr->try_reserve(ctx.target, ctx.info->num_loads, ctx.info->num_stores)) {
+      continue;
+    }
+    ctx.credits_granted = true;
+    --awaiting_grant_;
+    for (Packet& p : ctx.held) {
+      // The target NSU was unknown when these were generated.
+      p.target_nsu = static_cast<std::uint8_t>(ctx.target);
+      if (p.type == PacketType::kOfldCmd || p.type == PacketType::kWta ||
+          p.type == PacketType::kRdfResp) {
+        p.dst_node = static_cast<std::uint16_t>(ctx.target);
+      }
+      out_.push(std::move(p), now);
+    }
+    pending_count_ -= static_cast<unsigned>(ctx.held.size());
+    ctx.held.clear();
+  }
+}
+
+void Sm::tick(Cycle cycle, TimePs now) {
+  now_cycle_ = cycle;
+
+  // Line fills (L2 hits and DRAM fills) wake trackers through the L1 MSHRs.
+  while (auto line = line_fills_.pop_ready(now)) {
+    for (std::uint64_t token : l1_.fill(*line)) {
+      complete_tracker(static_cast<unsigned>(token), cycle);
+    }
+  }
+
+  // Offload acknowledgments.
+  while (auto ack = acks_in_.pop_ready(now)) {
+    Warp& w = warps_.at(ack->oid.warp);
+    if (!w.ofld || w.ofld->instance != ack->oid.instance || w.state != WarpState::kWaitAck) {
+      throw std::logic_error("Sm: stray offload ACK");
+    }
+    const OffloadBlockInfo& info = *w.ofld->info;
+    for (std::size_t r = 0; r < ack->reg_ids.size(); ++r) {
+      const unsigned reg = ack->reg_ids[r];
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        if (w.active & (LaneMask{1} << lane)) {
+          w.lanes[lane].regs[reg] = ack->reg_values[r * kWarpWidth + lane];
+        }
+      }
+      w.scoreboard.set_reg_ready_at(reg, cycle);
+    }
+    ctx_.governor->on_block_complete(info.body_size());
+    w.ofld.reset();
+    w.cur_block = kNoBlock;
+    w.state = WarpState::kReady;
+    ++w.pc;  // past OFLD.END
+  }
+
+  retry_credit_grants(now);
+
+  // --- Issue stage (GTO: greedy warp first, then oldest by slot id). -------
+  bool any_warp = false;
+  for (const Warp& w : warps_) any_warp = any_warp || w.valid();
+  if (any_warp) ++active_cycles;
+
+  bool saw_dep = false;
+  bool saw_busy = false;
+  bool any_ready = false;
+  bool issued = false;
+
+  auto consider = [&](Warp& w) -> bool {
+    if (w.state != WarpState::kReady) return false;
+    any_ready = true;
+    switch (try_issue(w, cycle, now)) {
+      case IssueOutcome::kIssued:
+        issued = true;
+        ++issued_instrs;
+        ++w.issue_stamp;  // invalidates the warp's coalesce memo
+        return true;
+      case IssueOutcome::kDependency:
+        saw_dep = true;
+        return false;
+      case IssueOutcome::kExecBusy:
+        saw_busy = true;
+        return false;
+    }
+    return false;
+  };
+
+  if (greedy_ptr_ < warps_.size() && consider(warps_[greedy_ptr_])) {
+    // keep greedy_ptr_
+  } else {
+    for (unsigned i = 0; i < warps_.size() && !issued; ++i) {
+      if (i == greedy_ptr_) continue;
+      if (consider(warps_[i])) greedy_ptr_ = i;
+    }
+  }
+
+  if (!issued && any_warp) {
+    // Fig. 8 classification.
+    if (saw_dep) {
+      ++stall_dependency;
+    } else if (saw_busy) {
+      ++stall_exec_busy;
+    } else {
+      ++stall_warp_idle;
+      (void)any_ready;
+    }
+  }
+}
+
+Sm::IssueOutcome Sm::try_issue(Warp& w, Cycle cycle, TimePs now) {
+  const Instr& in = ctx_.image->gpu.at(w.pc);
+
+  if (!w.scoreboard.can_issue(in, cycle)) return IssueOutcome::kDependency;
+
+  // @NSU instructions are replaced by NOPs on the GPU while the block is
+  // offloaded (duplicated address-calculation instructions still run here).
+  if (w.ofld && in.on_nsu && !in.addr_calc) {
+    ++w.pc;
+    ctx_.energy->sm_lane_ops += 1;  // the NOP still flows down the pipe
+    return IssueOutcome::kIssued;
+  }
+
+  switch (in.op) {
+    case Opcode::kNop:
+      ++w.pc;
+      return IssueOutcome::kIssued;
+
+    case Opcode::kBra:
+      handle_branch(w, in);
+      return IssueOutcome::kIssued;
+
+    case Opcode::kBar:
+      handle_barrier(w);
+      return IssueOutcome::kIssued;
+
+    case Opcode::kExit:
+      handle_exit(w);
+      return IssueOutcome::kIssued;
+
+    case Opcode::kOfldBeg:
+      begin_offload(w, in, cycle, now);
+      return IssueOutcome::kIssued;
+
+    case Opcode::kOfldEnd:
+      end_offload_or_inline(w, cycle, now);
+      return IssueOutcome::kIssued;
+
+    case Opcode::kLd:
+    case Opcode::kSt:
+      if (w.ofld) return issue_mem_offload(w, in, cycle, now);
+      return issue_mem_inline(w, in, cycle, now);
+
+    case Opcode::kShmLd:
+    case Opcode::kShmSt:
+    case Opcode::kLdc:
+      return issue_mem_inline(w, in, cycle, now);
+
+    default: {
+      // ALU / SFU.
+      const bool sfu = in.exec_class() == ExecClass::kSfu;
+      Cycle& busy = sfu ? sfu_busy_until_ : alu_busy_until_;
+      if (busy > cycle) return IssueOutcome::kExecBusy;
+      busy = cycle + (sfu ? cfg_.sfu_ii : cfg_.alu_ii);
+      execute_alu_warp(w, in, cycle);
+      ++w.pc;
+      return IssueOutcome::kIssued;
+    }
+  }
+}
+
+void Sm::execute_alu_warp(Warp& w, const Instr& in, Cycle cycle) {
+  const LaneMask lanes = w.exec_mask(in);
+  for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+    if (lanes & (LaneMask{1} << lane)) execute_alu(in, w.lanes[lane]);
+  }
+  const bool sfu = in.exec_class() == ExecClass::kSfu;
+  const Cycle done = cycle + (sfu ? cfg_.sfu_latency : cfg_.alu_latency);
+  if (in.writes_reg()) w.scoreboard.set_reg_ready_at(in.dst, done);
+  if (in.writes_pred()) w.scoreboard.set_pred_ready_at(in.pred_dst, done);
+  ctx_.energy->sm_lane_ops += popcount_mask(lanes);
+}
+
+void Sm::handle_branch(Warp& w, const Instr& in) {
+  const LaneMask lanes = w.exec_mask(in);
+  if (lanes != 0 && lanes != w.active) {
+    throw std::logic_error("Sm: divergent branch — kernels must use predication");
+  }
+  ctx_.energy->sm_lane_ops += popcount_mask(w.active);
+  w.pc = lanes == 0 ? w.pc + 1 : static_cast<unsigned>(in.target);
+}
+
+void Sm::handle_barrier(Warp& w) {
+  CtaSlot& cta = ctas_.at(w.cta_slot);
+  w.state = WarpState::kWaitBarrier;
+  if (++cta.at_barrier < cta.num_warps) return;
+  // Everyone arrived: release.
+  cta.at_barrier = 0;
+  for (Warp& other : warps_) {
+    if (other.valid() && other.cta_slot == w.cta_slot &&
+        other.state == WarpState::kWaitBarrier) {
+      other.state = WarpState::kReady;
+      ++other.pc;
+    }
+  }
+}
+
+void Sm::handle_exit(Warp& w) {
+  w.state = WarpState::kFinished;
+  CtaSlot& cta = ctas_.at(w.cta_slot);
+  if (++cta.finished < cta.num_warps) return;
+  // CTA complete: free the slot and its warps.
+  for (Warp& other : warps_) {
+    if (other.valid() && other.cta_slot == w.cta_slot) {
+      if (other.state != WarpState::kFinished) {
+        throw std::logic_error("Sm: CTA completed with unfinished warp");
+      }
+      other.state = WarpState::kInvalid;
+      other.ofld.reset();
+      ++free_warps_;
+    }
+  }
+  cta.valid = false;
+  ++free_cta_slots_;
+}
+
+void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs /*now*/) {
+  const auto block_id = static_cast<unsigned>(in.imm);
+  const OffloadBlockInfo& info = ctx_.image->blocks.at(block_id);
+  w.cur_block = block_id;
+
+  if (!ctx_.governor->decide(info, w.active_count())) {
+    ++inline_blocks_;
+    ++w.pc;
+    return;
+  }
+
+  ++offloads_started_;
+  ++awaiting_grant_;
+  w.ofld = std::make_unique<GpuOffloadCtx>();
+  w.ofld->info = &info;
+  w.ofld->instance = next_instance_++;
+
+  Packet cmd;
+  cmd.type = PacketType::kOfldCmd;
+  cmd.oid = OffloadPacketId{id_, w.id, 0, block_id, w.ofld->instance};
+  cmd.line_addr = info.nsu_entry;  // "physical start PC" field (Fig. 4(a))
+  cmd.mask = w.active;
+  cmd.reg_ids = info.regs_in;
+  cmd.reg_values.assign(info.regs_in.size() * kWarpWidth, 0);
+  for (std::size_t r = 0; r < info.regs_in.size(); ++r) {
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      cmd.reg_values[r * kWarpWidth + lane] = w.lanes[lane].regs[info.regs_in[r]];
+    }
+  }
+  if (info.needs_preds) {
+    cmd.lane_preds.assign(kWarpWidth, 0);
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      std::uint8_t bits = 0;
+      for (unsigned p = 0; p < kNumPreds; ++p) {
+        bits |= static_cast<std::uint8_t>(w.lanes[lane].preds[p] ? 1u << p : 0u);
+      }
+      cmd.lane_preds[lane] = bits;
+    }
+  }
+  cmd.size_bytes = cmd_packet_bytes(static_cast<unsigned>(info.regs_in.size()),
+                                    w.active_count(), info.needs_preds);
+  // Target NSU is unknown until the first memory instruction: hold the
+  // command in the pending packet buffer.
+  w.ofld->held.push_back(std::move(cmd));
+  ++pending_count_;
+  ++w.pc;
+}
+
+void Sm::end_offload_or_inline(Warp& w, Cycle /*cycle*/, TimePs now) {
+  if (!w.ofld) {
+    // Inline execution of the block just finished.
+    const OffloadBlockInfo& info =
+        ctx_.image->blocks.at(static_cast<unsigned>(ctx_.image->gpu.at(w.pc).imm));
+    ctx_.governor->on_block_complete(info.body_size());
+    w.cur_block = kNoBlock;
+    ++w.pc;
+    return;
+  }
+  // Offloaded: block until the NSU acknowledges.  Under the optimal-target
+  // ablation the target is decided here, over all accumulated votes.  If no
+  // memory instruction executed (fully predicated-off block), fall back to
+  // a fixed target so the command can still be delivered.
+  if (w.ofld->target == kInvalidId) {
+    unsigned best = 0;
+    if (!w.ofld->votes.empty()) {
+      for (unsigned h = 1; h < w.ofld->votes.size(); ++h) {
+        if (w.ofld->votes[h] > w.ofld->votes[best]) best = h;
+      }
+    }
+    w.ofld->target = best;
+    retry_credit_grants(now);
+  }
+  w.state = WarpState::kWaitAck;
+}
+
+Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, TimePs now) {
+  if (lsu_busy_until_ > cycle) return IssueOutcome::kExecBusy;
+  const LaneMask lanes = w.exec_mask(in);
+  if (lanes == 0) {
+    ++w.pc;
+    return IssueOutcome::kIssued;
+  }
+
+  // Scratchpad / constant space: fixed latency, no off-chip traffic.
+  if (in.op == Opcode::kShmLd || in.op == Opcode::kLdc) {
+    lsu_busy_until_ = cycle + 1;
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (!(lanes & (LaneMask{1} << lane))) continue;
+      ThreadCtx& t = w.lanes[lane];
+      const Addr a = effective_address(in, t);
+      if (in.op == Opcode::kShmLd) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(w.cta_slot) << 48) | a;
+        auto it = shm_.find(key);
+        t.regs[in.dst] = it == shm_.end() ? 0 : it->second;
+      } else {
+        t.regs[in.dst] = ctx_.gmem->load_reg(a, in.mem_width, in.mem_f32);
+      }
+    }
+    w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.shm_latency);
+    ctx_.energy->sm_lane_ops += popcount_mask(lanes);
+    ++w.pc;
+    return IssueOutcome::kIssued;
+  }
+  if (in.op == Opcode::kShmSt) {
+    lsu_busy_until_ = cycle + 1;
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (!(lanes & (LaneMask{1} << lane))) continue;
+      ThreadCtx& t = w.lanes[lane];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(w.cta_slot) << 48) | effective_address(in, t);
+      shm_[key] = t.regs[in.src[1]];
+    }
+    ctx_.energy->sm_lane_ops += popcount_mask(lanes);
+    ++w.pc;
+    return IssueOutcome::kIssued;
+  }
+
+  // Cheap structural pre-checks before paying for address generation —
+  // stalled warps retry every cycle, so this path must stay light.
+  if (out_.size() >= ctx_.cfg->ndp_buffers.sm_ready_entries) {
+    return IssueOutcome::kExecBusy;  // egress queue full
+  }
+  unsigned tracker_idx = kInvalidId;
+  if (in.op == Opcode::kLd) {
+    if (l1_.mshr_free() == 0) return IssueOutcome::kExecBusy;
+    tracker_idx = alloc_tracker();
+    if (tracker_idx == kInvalidId) return IssueOutcome::kExecBusy;
+  }
+
+  // Global loads/stores: coalesce (memoized across stalled retries).
+  const CoalesceCache& cc = coalesced(w, in, lanes);
+  const auto& addrs = cc.addrs;
+  const auto& lines = cc.lines;
+  const auto n_lines = static_cast<unsigned>(lines.size());
+
+  if (out_.size() + n_lines > ctx_.cfg->ndp_buffers.sm_ready_entries) {
+    return IssueOutcome::kExecBusy;  // egress queue full
+  }
+
+  if (in.op == Opcode::kLd) {
+    if (l1_.mshr_free() < n_lines) return IssueOutcome::kExecBusy;
+
+    LoadTracker& tracker = trackers_[tracker_idx];
+    tracker = LoadTracker{true, w.id, in.dst, 0};
+    for (const LineAccess& la : lines) {
+      ++ctx_.energy->l1_accesses;
+      switch (l1_.access_read(la.line_addr, tracker_idx)) {
+        case CacheAccessResult::kHit: {
+          // Cache-locality statistics for the governor (§7.3): L1 hits are
+          // recorded here, L1 misses at the L2 slice with the L2 outcome.
+          if (w.cur_block != kNoBlock) {
+            ctx_.governor->cache_table().record_load_line(
+                w.cur_block, true, popcount_mask(la.lanes) * in.mem_width);
+          }
+          break;
+        }
+        case CacheAccessResult::kMissNew: {
+          ++tracker.lines_pending;
+          Packet p;
+          p.type = PacketType::kMemRead;
+          p.line_addr = la.line_addr;
+          p.token = id_;  // L2-level waiter identity: which SM to wake
+          p.oid.sm = id_;
+          p.oid.block = w.cur_block;
+          p.mask = la.lanes;
+          p.mem_width = in.mem_width;
+          p.size_bytes = mem_read_req_bytes();
+          out_.push(std::move(p), now + ctx_.cfg->xbar_latency_ps);
+          break;
+        }
+        case CacheAccessResult::kMissMerged:
+          ++tracker.lines_pending;
+          break;
+        case CacheAccessResult::kMshrFull:
+          throw std::logic_error("Sm: MSHR full despite headroom check");
+      }
+    }
+    // Functional data is read at issue (write-through memory is current).
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (lanes & (LaneMask{1} << lane)) {
+        w.lanes[lane].regs[in.dst] = ctx_.gmem->load_reg(addrs[lane], in.mem_width, in.mem_f32);
+      }
+    }
+    if (tracker.lines_pending == 0) {
+      // All lines hit in the L1.
+      tracker.valid = false;
+      w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.l1d.latency_cycles);
+    } else {
+      w.scoreboard.mark_load_pending(in.dst);
+      ++w.outstanding_loads;
+    }
+  } else {
+    // Store: write-through, no-allocate, fire-and-forget (relaxed model).
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (lanes & (LaneMask{1} << lane)) {
+        ctx_.gmem->store_reg(addrs[lane], w.lanes[lane].regs[in.src[1]], in.mem_width,
+                             in.mem_f32);
+      }
+    }
+    for (const LineAccess& la : lines) {
+      ++ctx_.energy->l1_accesses;
+      l1_.write_touch(la.line_addr);
+      ctx_.ro_cache->invalidate(la.line_addr);
+      Packet p;
+      p.type = PacketType::kMemWrite;
+      p.line_addr = la.line_addr;
+      p.oid.sm = id_;
+      p.oid.block = w.cur_block;
+      const unsigned touched = popcount_mask(la.lanes) * in.mem_width;
+      p.size_bytes = mem_write_req_bytes(touched);
+      out_.push(std::move(p), now + ctx_.cfg->xbar_latency_ps);
+    }
+    if (w.cur_block != kNoBlock) {
+      ctx_.governor->cache_table().record_store_bytes(
+          w.cur_block, popcount_mask(lanes) * in.mem_width);
+    }
+  }
+
+  ctx_.energy->sm_lane_ops += popcount_mask(lanes);
+  lsu_busy_until_ = cycle + n_lines;
+  ++w.pc;
+  return IssueOutcome::kIssued;
+}
+
+Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, TimePs now) {
+  if (lsu_busy_until_ > cycle) return IssueOutcome::kExecBusy;
+  GpuOffloadCtx& ofld = *w.ofld;
+  const LaneMask lanes = w.exec_mask(in);
+  if (lanes == 0) {
+    ++ofld.seq;
+    ++w.pc;
+    return IssueOutcome::kIssued;
+  }
+
+  const CoalesceCache& cc = coalesced(w, in, lanes);
+  const auto& addrs = cc.addrs;
+  const auto& lines = cc.lines;
+  const auto n_lines = static_cast<unsigned>(lines.size());
+
+  // Capacity: packets either enter the pending buffer (credits not granted
+  // yet) or the ready/egress queue.
+  if (!ofld.credits_granted) {
+    if (pending_count_ + n_lines > ctx_.cfg->ndp_buffers.sm_pending_entries) {
+      ++pending_full_stalls_;
+      return IssueOutcome::kExecBusy;
+    }
+  } else if (out_.size() + n_lines > ctx_.cfg->ndp_buffers.sm_ready_entries) {
+    return IssueOutcome::kExecBusy;
+  }
+
+  // Target NSU selection.  Paper policy (§4.1.1): the first memory
+  // instruction's majority HMC, fixed for the rest of the block.  Ablation
+  // (optimal_target_selection): accumulate votes over every access and
+  // decide at OFLD.END — faithful to the "huge buffer" cost, since all
+  // packets sit in the pending buffer until then.
+  if (ctx_.cfg->optimal_target_selection) {
+    if (ofld.votes.empty()) ofld.votes.assign(ctx_.cfg->num_hmcs, 0);
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (lanes & (LaneMask{1} << lane)) ++ofld.votes[ctx_.amap->hmc_of(addrs[lane])];
+    }
+  } else if (ofld.target == kInvalidId) {
+    std::vector<unsigned> votes(ctx_.cfg->num_hmcs, 0);
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (lanes & (LaneMask{1} << lane)) ++votes[ctx_.amap->hmc_of(addrs[lane])];
+    }
+    unsigned best = 0;
+    for (unsigned h = 1; h < votes.size(); ++h) {
+      if (votes[h] > votes[best]) best = h;
+    }
+    ofld.target = best;
+    retry_credit_grants(now);
+  }
+
+  const OffloadPacketId oid{id_, w.id, ofld.seq, w.cur_block, ofld.instance};
+
+  if (in.op == Opcode::kLd) {
+    for (const LineAccess& la : lines) {
+      ++ctx_.energy->l1_accesses;
+      ++rdf_packets_;
+      const bool hit = l1_.probe(la.line_addr);
+      if (hit && w.cur_block != kNoBlock) {
+        ctx_.governor->cache_table().record_load_line(
+            w.cur_block, true, popcount_mask(la.lanes) * in.mem_width);
+      }
+      Packet p;
+      p.oid = oid;
+      p.line_addr = la.line_addr;
+      p.mask = la.lanes;
+      p.expected_mask = lanes;
+      p.target_nsu = static_cast<std::uint8_t>(ofld.target);
+      p.mem_width = in.mem_width;
+      p.mem_f32 = in.mem_f32;
+      p.misaligned = la.misaligned;
+      if (hit) {
+        ++rdf_l1_hits_;
+        // RDF hit in the L1: ship the cached words straight to the NSU.
+        p.type = PacketType::kRdfResp;
+        p.dst_node = static_cast<std::uint16_t>(ofld.target);
+        p.lane_data.assign(kWarpWidth, 0);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (la.lanes & (LaneMask{1} << lane)) {
+            p.lane_data[lane] = ctx_.gmem->load_reg(addrs[lane], in.mem_width, in.mem_f32);
+          }
+        }
+        // §7.1 extension: if the target NSU's read-only cache already holds
+        // this line, send a tiny reference instead of the data.
+        const bool ro_hit = ofld.target != kInvalidId &&
+                            ctx_.ro_cache->lookup_or_insert(ofld.target, la.line_addr);
+        p.size_bytes = ro_hit ? small_packet_bytes() + kAddrBytes
+                              : rdf_resp_packet_bytes(popcount_mask(la.lanes), in.mem_width);
+      } else {
+        p.type = PacketType::kRdf;
+        p.dst_node = static_cast<std::uint16_t>(ctx_.amap->hmc_of(la.line_addr));
+        p.lane_addrs.assign(kWarpWidth, 0);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (la.lanes & (LaneMask{1} << lane)) p.lane_addrs[lane] = addrs[lane];
+        }
+        p.size_bytes = rdf_wta_packet_bytes(popcount_mask(la.lanes), la.misaligned);
+      }
+      emit_or_hold(w, std::move(p), now + ctx_.cfg->xbar_latency_ps);
+    }
+  } else {
+    // Store: ship the write addresses to the target NSU.
+    for (const LineAccess& la : lines) {
+      ++wta_packets_;
+      ctx_.wta_tracker->on_wta_generated(ctx_.amap->hmc_of(la.line_addr));
+      ctx_.ro_cache->invalidate(la.line_addr);
+      Packet p;
+      p.type = PacketType::kWta;
+      p.oid = oid;
+      p.line_addr = la.line_addr;
+      p.mask = la.lanes;
+      p.expected_mask = lanes;
+      p.dst_node = static_cast<std::uint16_t>(ofld.target);
+      p.target_nsu = static_cast<std::uint8_t>(ofld.target);
+      p.mem_width = in.mem_width;
+      p.mem_f32 = in.mem_f32;
+      p.misaligned = la.misaligned;
+      p.lane_addrs.assign(kWarpWidth, 0);
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        if (la.lanes & (LaneMask{1} << lane)) p.lane_addrs[lane] = addrs[lane];
+      }
+      p.size_bytes = rdf_wta_packet_bytes(popcount_mask(la.lanes), la.misaligned);
+      emit_or_hold(w, std::move(p), now + ctx_.cfg->xbar_latency_ps);
+    }
+    if (w.cur_block != kNoBlock) {
+      ctx_.governor->cache_table().record_store_bytes(
+          w.cur_block, popcount_mask(lanes) * in.mem_width);
+    }
+  }
+
+  ctx_.energy->sm_lane_ops += popcount_mask(lanes);
+  lsu_busy_until_ = cycle + n_lines;
+  ++ofld.seq;
+  ++w.pc;
+  return IssueOutcome::kIssued;
+}
+
+void Sm::export_stats(StatSet& out, const std::string& prefix) const {
+  out.set(prefix + ".issued_instrs", static_cast<double>(issued_instrs));
+  out.set(prefix + ".active_cycles", static_cast<double>(active_cycles));
+  out.set(prefix + ".stall_dependency", static_cast<double>(stall_dependency));
+  out.set(prefix + ".stall_exec_busy", static_cast<double>(stall_exec_busy));
+  out.set(prefix + ".stall_warp_idle", static_cast<double>(stall_warp_idle));
+  out.set(prefix + ".offloads_started", static_cast<double>(offloads_started_));
+  out.set(prefix + ".inline_blocks", static_cast<double>(inline_blocks_));
+  out.set(prefix + ".rdf_packets", static_cast<double>(rdf_packets_));
+  out.set(prefix + ".rdf_l1_hits", static_cast<double>(rdf_l1_hits_));
+  out.set(prefix + ".wta_packets", static_cast<double>(wta_packets_));
+  out.set(prefix + ".pending_full_stalls", static_cast<double>(pending_full_stalls_));
+}
+
+}  // namespace sndp

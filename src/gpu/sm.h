@@ -1,0 +1,139 @@
+// Streaming Multiprocessor: in-order SIMT core with a greedy-then-oldest
+// warp scheduler, per-warp scoreboards, a coalescing LSU in front of a
+// write-through L1, and the GPU side of the partitioned execution protocol
+// (offload decision, packet generation, pending/ready NDP packet buffers).
+//
+// Stall taxonomy follows the paper's Fig. 8: every cycle with no issued
+// instruction is classified as Dependency Stall (some warp's operands were
+// not ready), ExecUnitBusy (some warp was ready but its execution resource
+// was occupied), or Warp Idle (no warp had a valid instruction — includes
+// warps blocked on barriers or on offload ACKs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "gpu/coalescer.h"
+#include "gpu/warp.h"
+#include "mem/cache.h"
+#include "sim/clock.h"
+#include "sim/context.h"
+#include "sim/timed_channel.h"
+
+namespace sndp {
+
+inline constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+
+class Sm final : public Tickable {
+ public:
+  Sm(SmId id, const SystemContext& ctx);
+
+  void tick(Cycle cycle, TimePs now) override;
+
+  // --- CTA management (driven by the Gpu's dispatcher) --------------------
+  bool can_accept_cta() const;
+  void assign_cta(unsigned cta_id);
+  // True while any warp is live or memory/NDP operations are in flight.
+  bool busy() const;
+
+  // --- Ingress (driven by the Gpu core) ------------------------------------
+  // A cache line this SM requested is available (L2 hit or DRAM fill).
+  void deliver_line(Addr line_addr, TimePs ready_ps);
+  void deliver_ofld_ack(Packet p, TimePs ready_ps);
+  void invalidate_line(Addr line_addr) { l1_.invalidate(line_addr); }
+
+  // --- Egress ---------------------------------------------------------------
+  // Packets toward the L2 slices / link ports (drained by the Gpu core).
+  TimedChannel<Packet>& out() { return out_; }
+
+  SmId id() const { return id_; }
+  const Cache& l1() const { return l1_; }
+  void export_stats(StatSet& out, const std::string& prefix) const;
+
+  // Fig. 8 counters (public for cheap aggregation).
+  std::uint64_t issued_instrs = 0;
+  std::uint64_t active_cycles = 0;   // cycles with at least one valid warp
+  std::uint64_t stall_dependency = 0;
+  std::uint64_t stall_exec_busy = 0;
+  std::uint64_t stall_warp_idle = 0;
+
+ private:
+  struct LoadTracker {
+    bool valid = false;
+    unsigned warp = 0;
+    std::uint8_t dst = kNoReg;
+    unsigned lines_pending = 0;
+  };
+  struct CtaSlot {
+    bool valid = false;
+    unsigned cta_id = 0;
+    unsigned num_warps = 0;
+    unsigned at_barrier = 0;
+    unsigned finished = 0;
+  };
+
+  enum class IssueOutcome { kIssued, kDependency, kExecBusy };
+
+  // One scheduling attempt for `warp` at this cycle.
+  IssueOutcome try_issue(Warp& warp, Cycle cycle, TimePs now);
+  void execute_alu_warp(Warp& warp, const Instr& in, Cycle cycle);
+  IssueOutcome issue_mem_inline(Warp& warp, const Instr& in, Cycle cycle, TimePs now);
+  IssueOutcome issue_mem_offload(Warp& warp, const Instr& in, Cycle cycle, TimePs now);
+  void begin_offload(Warp& warp, const Instr& in, Cycle cycle, TimePs now);
+  void end_offload_or_inline(Warp& warp, Cycle cycle, TimePs now);
+  void handle_branch(Warp& warp, const Instr& in);
+  void handle_barrier(Warp& warp);
+  void handle_exit(Warp& warp);
+  void complete_tracker(unsigned idx, Cycle cycle);
+  void retry_credit_grants(TimePs now);
+  const CoalesceCache& coalesced(Warp& w, const Instr& in, LaneMask lanes);
+  void emit_or_hold(Warp& warp, Packet&& p, TimePs now);
+  unsigned alloc_tracker();
+  unsigned free_trackers() const;
+  unsigned pending_total() const { return pending_count_; }
+
+  SmId id_;
+  const SystemContext& ctx_;
+  const SmConfig& cfg_;
+  Cache l1_;
+  Coalescer coalescer_;
+
+  std::vector<Warp> warps_;
+  std::vector<CtaSlot> ctas_;
+  std::vector<LoadTracker> trackers_;
+  unsigned greedy_ptr_ = 0;  // GTO scheduler: last-issued warp first
+  Cycle now_cycle_ = 0;      // current SM cycle
+
+  // Functional scratchpad storage, keyed by (CTA slot << 48) | address.
+  std::unordered_map<std::uint64_t, RegValue> shm_;
+
+  // Execution-resource occupancy (cycle when the unit frees up).
+  Cycle alu_busy_until_ = 0;
+  Cycle sfu_busy_until_ = 0;
+  Cycle lsu_busy_until_ = 0;
+
+  unsigned free_warps_ = 0;      // incrementally tracked (dispatch fast path)
+  unsigned free_cta_slots_ = 0;
+  unsigned awaiting_grant_ = 0;  // warps with an ungranted credit reservation
+
+  TimedChannel<Packet> out_;       // "ready packet buffer" toward the GPU core
+  TimedChannel<Addr> line_fills_;  // lines arriving from L2/DRAM
+  TimedChannel<Packet> acks_in_;   // offload ACKs
+  unsigned pending_count_ = 0;     // held NDP packets across all warps
+
+  std::uint64_t next_instance_ = 1;  // offload instance ids (unique per SM)
+
+  // Extra stats.
+  std::uint64_t offloads_started_ = 0;
+  std::uint64_t inline_blocks_ = 0;
+  std::uint64_t rdf_packets_ = 0;
+  std::uint64_t rdf_l1_hits_ = 0;
+  std::uint64_t wta_packets_ = 0;
+  std::uint64_t pending_full_stalls_ = 0;
+};
+
+}  // namespace sndp

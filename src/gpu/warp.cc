@@ -1,0 +1,16 @@
+#include "gpu/warp.h"
+
+namespace sndp {
+
+const char* warp_state_name(WarpState s) {
+  switch (s) {
+    case WarpState::kInvalid: return "invalid";
+    case WarpState::kReady: return "ready";
+    case WarpState::kWaitBarrier: return "wait-barrier";
+    case WarpState::kWaitAck: return "wait-ack";
+    case WarpState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+}  // namespace sndp

@@ -1,0 +1,54 @@
+// §4.1.1, "Handling dynamic memory management": the GPU keeps a counter of
+// in-flight WTA packets per HMC.  When the runtime needs to migrate a page
+// (e.g. swap between host and device memory), writes to the new page stall
+// until the destination HMC's counter drains to zero — guaranteeing no
+// not-yet-performed NDP store can land in the page after migration.  The
+// counter increments per WTA packet generated and decrements as the
+// corresponding cache-invalidation packet (one per NSU DRAM write, which is
+// 1:1 with WTA packets at line granularity) returns to the GPU.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace sndp {
+
+class WtaInflightTracker {
+ public:
+  explicit WtaInflightTracker(unsigned num_hmcs) : inflight_(num_hmcs, 0) {}
+
+  void on_wta_generated(unsigned hmc) {
+    ++inflight_.at(hmc);
+    max_seen_ = std::max(max_seen_, inflight_[hmc]);
+    ++total_;
+  }
+
+  void on_invalidation(unsigned hmc) {
+    if (inflight_.at(hmc) == 0) {
+      throw std::logic_error("WtaInflightTracker: invalidation without in-flight WTA");
+    }
+    --inflight_[hmc];
+  }
+
+  unsigned inflight(unsigned hmc) const { return inflight_.at(hmc); }
+
+  // Safe to remap pages on `hmc` (no NDP store can still be in flight there).
+  bool quiescent(unsigned hmc) const { return inflight_.at(hmc) == 0; }
+  bool all_quiescent() const {
+    for (unsigned v : inflight_) {
+      if (v != 0) return false;
+    }
+    return true;
+  }
+
+  unsigned max_seen() const { return max_seen_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<unsigned> inflight_;
+  unsigned max_seen_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sndp

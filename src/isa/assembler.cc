@@ -1,0 +1,285 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace sndp {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Splits a line into tokens; separators are whitespace and commas; bracket
+// expressions like [R5+8] come out as a single token.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_bracket = false;
+  for (char c : line) {
+    if (c == ';' || c == '#') break;
+    if (c == '[') in_bracket = true;
+    if (c == ']') in_bracket = false;
+    if (!in_bracket && (std::isspace(static_cast<unsigned char>(c)) || c == ',')) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+struct Parser {
+  unsigned line_no = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const { throw AsmError(line_no, msg); }
+
+  unsigned parse_reg(const std::string& tok) const {
+    const std::string t = upper(tok);
+    if (t.size() < 2 || t[0] != 'R') fail("expected register, got '" + tok + "'");
+    const unsigned n = parse_uint(t.substr(1));
+    if (n >= kNumRegs) fail("register out of range: " + tok);
+    return n;
+  }
+
+  unsigned parse_pred(const std::string& tok) const {
+    const std::string t = upper(tok);
+    if (t.size() < 2 || t[0] != 'P') fail("expected predicate, got '" + tok + "'");
+    const unsigned n = parse_uint(t.substr(1));
+    if (n >= kNumPreds) fail("predicate out of range: " + tok);
+    return n;
+  }
+
+  unsigned parse_uint(const std::string& s) const {
+    try {
+      std::size_t pos = 0;
+      const unsigned long v = std::stoul(s, &pos, 0);
+      if (pos != s.size()) fail("bad number: " + s);
+      return static_cast<unsigned>(v);
+    } catch (const AsmError&) {
+      throw;
+    } catch (...) {
+      fail("bad number: " + s);
+    }
+  }
+
+  std::int64_t parse_imm(const std::string& s) const {
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(s, &pos, 0);
+      if (pos != s.size()) fail("bad immediate: " + s);
+      return v;
+    } catch (const AsmError&) {
+      throw;
+    } catch (...) {
+      fail("bad immediate: " + s);
+    }
+  }
+
+  bool is_reg(const std::string& tok) const {
+    const std::string t = upper(tok);
+    return t.size() >= 2 && t[0] == 'R' &&
+           std::isdigit(static_cast<unsigned char>(t[1]));
+  }
+
+  // "[R5+8]" or "[R5]" or "[R5-16]" -> (reg, offset)
+  std::pair<unsigned, std::int64_t> parse_mem(const std::string& tok) const {
+    if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']') {
+      fail("expected [Rn+off], got '" + tok + "'");
+    }
+    const std::string body = tok.substr(1, tok.size() - 2);
+    std::size_t split = body.find_first_of("+-", 1);
+    const std::string reg = body.substr(0, split);
+    std::int64_t off = 0;
+    if (split != std::string::npos) off = parse_imm(body.substr(split));
+    return {parse_reg(reg), off};
+  }
+
+  std::optional<CmpOp> parse_cmp(const std::string& tok) const {
+    static const std::map<std::string, CmpOp> kMap = {
+        {"EQ", CmpOp::kEq}, {"NE", CmpOp::kNe}, {"LT", CmpOp::kLt},
+        {"LE", CmpOp::kLe}, {"GT", CmpOp::kGt}, {"GE", CmpOp::kGe}};
+    auto it = kMap.find(upper(tok));
+    if (it == kMap.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+const std::map<std::string, Opcode>& mnemonic_map() {
+  static const std::map<std::string, Opcode> kMap = {
+      {"NOP", Opcode::kNop},     {"MOV", Opcode::kMov},     {"MOVI", Opcode::kMovI},
+      {"IADD", Opcode::kIAdd},   {"ISUB", Opcode::kISub},   {"IMUL", Opcode::kIMul},
+      {"IMAD", Opcode::kIMad},   {"IDIV", Opcode::kIDiv},   {"IREM", Opcode::kIRem},
+      {"AND", Opcode::kAnd},     {"OR", Opcode::kOr},       {"XOR", Opcode::kXor},
+      {"SHL", Opcode::kShl},     {"SHR", Opcode::kShr},     {"IMIN", Opcode::kIMin},
+      {"IMAX", Opcode::kIMax},   {"FADD", Opcode::kFAdd},   {"FSUB", Opcode::kFSub},
+      {"FMUL", Opcode::kFMul},   {"FFMA", Opcode::kFFma},   {"FDIV", Opcode::kFDiv},
+      {"FMIN", Opcode::kFMin},   {"FMAX", Opcode::kFMax},   {"FSQRT", Opcode::kFSqrt},
+      {"FABS", Opcode::kFAbs},   {"FNEG", Opcode::kFNeg},   {"I2F", Opcode::kI2F},
+      {"F2I", Opcode::kF2I},     {"ISETP", Opcode::kISetp}, {"FSETP", Opcode::kFSetp},
+      {"LD", Opcode::kLd},       {"ST", Opcode::kSt},       {"SHM.LD", Opcode::kShmLd},
+      {"SHM.ST", Opcode::kShmSt},{"LDC", Opcode::kLdc},     {"BRA", Opcode::kBra},
+      {"BAR", Opcode::kBar},     {"EXIT", Opcode::kExit}};
+  return kMap;
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  ProgramBuilder b;
+  Parser p;
+  std::istringstream stream(source);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++p.line_no;
+    auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    // Label?
+    if (toks[0].back() == ':') {
+      b.label(toks[0].substr(0, toks[0].size() - 1));
+      toks.erase(toks.begin());
+      if (toks.empty()) continue;
+    }
+
+    // Guard predicate prefix: @P0 or @!P1.
+    if (toks[0][0] == '@') {
+      std::string g = toks[0].substr(1);
+      bool sense = true;
+      if (!g.empty() && g[0] == '!') {
+        sense = false;
+        g = g.substr(1);
+      }
+      b.pred(p.parse_pred(g), sense);
+      toks.erase(toks.begin());
+      if (toks.empty()) p.fail("guard with no instruction");
+    }
+
+    // Mnemonic with optional width suffix.
+    std::string mnem = upper(toks[0]);
+    unsigned width = 8;
+    bool f32 = false;
+    if (auto dot = mnem.rfind('.'); dot != std::string::npos) {
+      const std::string suffix = mnem.substr(dot + 1);
+      if (suffix == "32") { width = 4; mnem = mnem.substr(0, dot); }
+      else if (suffix == "64") { width = 8; mnem = mnem.substr(0, dot); }
+      else if (suffix == "F32") { width = 4; f32 = true; mnem = mnem.substr(0, dot); }
+      // "SHM.LD"/"SHM.ST" keep their dot — handled by full-name lookup below.
+    }
+    auto it = mnemonic_map().find(mnem);
+    if (it == mnemonic_map().end()) {
+      it = mnemonic_map().find(upper(toks[0]));  // e.g. SHM.LD
+      if (it == mnemonic_map().end()) p.fail("unknown mnemonic '" + toks[0] + "'");
+      mnem = upper(toks[0]);
+      width = 8;
+      f32 = false;
+    }
+    const Opcode op = it->second;
+    const auto args = std::vector<std::string>(toks.begin() + 1, toks.end());
+    auto need = [&](std::size_t n) {
+      if (args.size() != n) {
+        p.fail(mnem + ": expected " + std::to_string(n) + " operands, got " +
+               std::to_string(args.size()));
+      }
+    };
+
+    switch (op) {
+      case Opcode::kNop: need(0); b.nop(); break;
+      case Opcode::kBar: need(0); b.bar(); break;
+      case Opcode::kExit: need(0); b.exit(); break;
+      case Opcode::kMovI: need(2); b.movi(p.parse_reg(args[0]), p.parse_imm(args[1])); break;
+      case Opcode::kMov: need(2); b.mov(p.parse_reg(args[0]), p.parse_reg(args[1])); break;
+      case Opcode::kBra: need(1); b.bra(args[0]); break;
+      case Opcode::kLd:
+      case Opcode::kLdc: {
+        need(2);
+        auto [reg, off] = p.parse_mem(args[1]);
+        if (op == Opcode::kLd) b.ld(p.parse_reg(args[0]), reg, off, width, f32);
+        else b.ldc(p.parse_reg(args[0]), reg, off, width, f32);
+        break;
+      }
+      case Opcode::kSt: {
+        need(2);
+        auto [reg, off] = p.parse_mem(args[0]);
+        b.st(reg, p.parse_reg(args[1]), off, width, f32);
+        break;
+      }
+      case Opcode::kShmLd: {
+        need(2);
+        auto [reg, off] = p.parse_mem(args[1]);
+        b.shm_ld(p.parse_reg(args[0]), reg, off);
+        break;
+      }
+      case Opcode::kShmSt: {
+        need(2);
+        auto [reg, off] = p.parse_mem(args[0]);
+        b.shm_st(reg, p.parse_reg(args[1]), off);
+        break;
+      }
+      case Opcode::kISetp:
+      case Opcode::kFSetp: {
+        need(4);
+        auto cmp = p.parse_cmp(args[1]);
+        if (!cmp) p.fail("bad compare op '" + args[1] + "'");
+        const unsigned pd = p.parse_pred(args[0]);
+        const unsigned rs0 = p.parse_reg(args[2]);
+        if (op == Opcode::kISetp) {
+          if (p.is_reg(args[3])) b.isetp(pd, *cmp, rs0, p.parse_reg(args[3]));
+          else b.isetpi(pd, *cmp, rs0, p.parse_imm(args[3]));
+        } else {
+          b.fsetp(pd, *cmp, rs0, p.parse_reg(args[3]));
+        }
+        break;
+      }
+      case Opcode::kIMad:
+      case Opcode::kFFma: {
+        need(4);
+        const unsigned rd = p.parse_reg(args[0]);
+        const unsigned rs0 = p.parse_reg(args[1]);
+        const unsigned rs2 = p.parse_reg(args[3]);
+        if (p.is_reg(args[2])) {
+          if (op == Opcode::kIMad) b.mad(rd, rs0, p.parse_reg(args[2]), rs2);
+          else b.fma(rd, rs0, p.parse_reg(args[2]), rs2);
+        } else {
+          if (op == Opcode::kFFma) p.fail("FFMA immediate operand not supported");
+          b.madi(rd, rs0, p.parse_imm(args[2]), rs2);
+        }
+        break;
+      }
+      case Opcode::kFSqrt:
+      case Opcode::kFAbs:
+      case Opcode::kFNeg:
+      case Opcode::kI2F:
+      case Opcode::kF2I:
+        need(2);
+        b.unary(op, p.parse_reg(args[0]), p.parse_reg(args[1]));
+        break;
+      default: {
+        // Binary ALU: Rd, Rs0, (Rs1 | imm).
+        need(3);
+        const unsigned rd = p.parse_reg(args[0]);
+        const unsigned rs0 = p.parse_reg(args[1]);
+        if (p.is_reg(args[2])) b.alu(op, rd, rs0, p.parse_reg(args[2]));
+        else b.alui(op, rd, rs0, p.parse_imm(args[2]));
+        break;
+      }
+    }
+  }
+  try {
+    return b.build();
+  } catch (const std::invalid_argument& e) {
+    throw AsmError(p.line_no, e.what());
+  }
+}
+
+}  // namespace sndp

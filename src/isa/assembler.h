@@ -1,0 +1,39 @@
+// A small two-pass assembler for the sndp ISA.  Syntax (one instruction per
+// line; `;` or `#` start a comment):
+//
+//   loop:                      ; label
+//   MOVI   R4, 4096
+//   IMAD   R5, R0, 8, R4
+//   LD.F32 R1, [R5+0]
+//   FADD   R2, R1, R1
+//   ST.F32 [R5+0], R2
+//   ISETP  P0, LT, R0, R9     ; P0 = R0 < R9
+//   @P0 BRA loop
+//   EXIT
+//
+// Registers: R0..R31, predicates P0..P7.  Memory suffixes: .32/.64/.F32
+// (default .64).  Immediates: decimal or 0x hex.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.h"
+
+namespace sndp {
+
+// Throws AsmError (derived from std::runtime_error) with line info on any
+// syntax problem.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(unsigned line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  unsigned line() const { return line_; }
+
+ private:
+  unsigned line_;
+};
+
+Program assemble(const std::string& source);
+
+}  // namespace sndp

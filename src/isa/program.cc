@@ -1,0 +1,314 @@
+#include "isa/program.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace sndp {
+
+void Program::validate() const {
+  int ofld_depth = 0;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& in = code_[i];
+    if (in.op == Opcode::kBra) {
+      if (in.target < 0 || static_cast<std::size_t>(in.target) >= code_.size()) {
+        throw std::invalid_argument("Program: branch target out of range at " + std::to_string(i));
+      }
+    }
+    if (in.writes_reg() && in.dst >= kNumRegs) {
+      throw std::invalid_argument("Program: dst register out of range at " + std::to_string(i));
+    }
+    for_each_src_reg(in, [&](std::uint8_t r) {
+      if (r >= kNumRegs) {
+        throw std::invalid_argument("Program: src register out of range at " + std::to_string(i));
+      }
+    });
+    if (in.guard_pred != kNoPred && static_cast<unsigned>(in.guard_pred) >= kNumPreds) {
+      throw std::invalid_argument("Program: guard predicate out of range at " + std::to_string(i));
+    }
+    if (in.writes_pred() && in.pred_dst >= kNumPreds) {
+      throw std::invalid_argument("Program: pred dst out of range at " + std::to_string(i));
+    }
+    if (in.is_mem() && in.mem_width != 4 && in.mem_width != 8) {
+      throw std::invalid_argument("Program: memory width must be 4 or 8 at " + std::to_string(i));
+    }
+    if (in.op == Opcode::kOfldBeg) ++ofld_depth;
+    if (in.op == Opcode::kOfldEnd) {
+      if (--ofld_depth < 0) {
+        throw std::invalid_argument("Program: OFLD.END without OFLD.BEG at " + std::to_string(i));
+      }
+    }
+  }
+  if (ofld_depth != 0) throw std::invalid_argument("Program: unbalanced OFLD markers");
+}
+
+std::vector<unsigned> Program::basic_block_starts() const {
+  std::set<unsigned> starts;
+  if (code_.empty()) return {};
+  starts.insert(0);
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& in = code_[i];
+    if (in.op == Opcode::kBra) {
+      starts.insert(static_cast<unsigned>(in.target));
+      if (i + 1 < code_.size()) starts.insert(static_cast<unsigned>(i + 1));
+    } else if (in.op == Opcode::kBar || in.op == Opcode::kExit) {
+      // Barriers end a block too: offload blocks must not span them.
+      if (i + 1 < code_.size()) starts.insert(static_cast<unsigned>(i + 1));
+    }
+  }
+  return {starts.begin(), starts.end()};
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    os << i << ":\t" << to_string(code_[i]) << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------------
+
+Instr& ProgramBuilder::push(Instr instr) {
+  instr.guard_pred = pending_pred_;
+  instr.guard_sense = pending_sense_;
+  pending_pred_ = kNoPred;
+  pending_sense_ = true;
+  code_.push_back(instr);
+  return code_.back();
+}
+
+ProgramBuilder& ProgramBuilder::movi(unsigned rd, std::int64_t imm) {
+  Instr in;
+  in.op = Opcode::kMovI;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.imm = imm;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mov(unsigned rd, unsigned rs) {
+  Instr in;
+  in.op = Opcode::kMov;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(rs);
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alu(Opcode op, unsigned rd, unsigned rs0, unsigned rs1) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.src[1] = static_cast<std::uint8_t>(rs1);
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alui(Opcode op, unsigned rd, unsigned rs0, std::int64_t imm) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.imm = imm;
+  in.use_imm = true;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mad(unsigned rd, unsigned rs0, unsigned rs1, unsigned rs2) {
+  Instr in;
+  in.op = Opcode::kIMad;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src = {static_cast<std::uint8_t>(rs0), static_cast<std::uint8_t>(rs1),
+            static_cast<std::uint8_t>(rs2)};
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::madi(unsigned rd, unsigned rs0, std::int64_t imm, unsigned rs2) {
+  Instr in;
+  in.op = Opcode::kIMad;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src = {static_cast<std::uint8_t>(rs0), kNoReg, static_cast<std::uint8_t>(rs2)};
+  in.imm = imm;
+  in.use_imm = true;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::fma(unsigned rd, unsigned rs0, unsigned rs1, unsigned rs2) {
+  Instr in;
+  in.op = Opcode::kFFma;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src = {static_cast<std::uint8_t>(rs0), static_cast<std::uint8_t>(rs1),
+            static_cast<std::uint8_t>(rs2)};
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::unary(Opcode op, unsigned rd, unsigned rs0) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ld(unsigned rd, unsigned addr_reg, std::int64_t offset,
+                                   unsigned width, bool f32) {
+  Instr in;
+  in.op = Opcode::kLd;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(addr_reg);
+  in.imm = offset;
+  in.mem_width = static_cast<std::uint8_t>(width);
+  in.mem_f32 = f32;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::st(unsigned addr_reg, unsigned data_reg, std::int64_t offset,
+                                   unsigned width, bool f32) {
+  Instr in;
+  in.op = Opcode::kSt;
+  in.src[0] = static_cast<std::uint8_t>(addr_reg);
+  in.src[1] = static_cast<std::uint8_t>(data_reg);
+  in.imm = offset;
+  in.mem_width = static_cast<std::uint8_t>(width);
+  in.mem_f32 = f32;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::shm_ld(unsigned rd, unsigned addr_reg, std::int64_t offset) {
+  Instr in;
+  in.op = Opcode::kShmLd;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(addr_reg);
+  in.imm = offset;
+  in.mem_width = 8;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::shm_st(unsigned addr_reg, unsigned data_reg, std::int64_t offset) {
+  Instr in;
+  in.op = Opcode::kShmSt;
+  in.src[0] = static_cast<std::uint8_t>(addr_reg);
+  in.src[1] = static_cast<std::uint8_t>(data_reg);
+  in.imm = offset;
+  in.mem_width = 8;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ldc(unsigned rd, unsigned addr_reg, std::int64_t offset,
+                                    unsigned width, bool f32) {
+  Instr in;
+  in.op = Opcode::kLdc;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(addr_reg);
+  in.imm = offset;
+  in.mem_width = static_cast<std::uint8_t>(width);
+  in.mem_f32 = f32;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::isetp(unsigned pd, CmpOp cmp, unsigned rs0, unsigned rs1) {
+  Instr in;
+  in.op = Opcode::kISetp;
+  in.pred_dst = static_cast<std::uint8_t>(pd);
+  in.cmp = cmp;
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.src[1] = static_cast<std::uint8_t>(rs1);
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::isetpi(unsigned pd, CmpOp cmp, unsigned rs0, std::int64_t imm) {
+  Instr in;
+  in.op = Opcode::kISetp;
+  in.pred_dst = static_cast<std::uint8_t>(pd);
+  in.cmp = cmp;
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.imm = imm;
+  in.use_imm = true;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::fsetp(unsigned pd, CmpOp cmp, unsigned rs0, unsigned rs1) {
+  Instr in;
+  in.op = Opcode::kFSetp;
+  in.pred_dst = static_cast<std::uint8_t>(pd);
+  in.cmp = cmp;
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.src[1] = static_cast<std::uint8_t>(rs1);
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::pred(unsigned pd, bool sense) {
+  pending_pred_ = static_cast<std::int8_t>(pd);
+  pending_sense_ = sense;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  labels_.emplace_back(name, static_cast<unsigned>(code_.size()));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bra(const std::string& label) {
+  Instr in;
+  in.op = Opcode::kBra;
+  fixups_.emplace_back(static_cast<unsigned>(code_.size()), label);
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bar() {
+  Instr in;
+  in.op = Opcode::kBar;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::exit() {
+  Instr in;
+  in.op = Opcode::kExit;
+  push(in);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::nop() {
+  Instr in;
+  push(in);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  for (const auto& [idx, name] : fixups_) {
+    auto it = std::find_if(labels_.begin(), labels_.end(),
+                           [&](const auto& l) { return l.first == name; });
+    if (it == labels_.end()) {
+      throw std::invalid_argument("ProgramBuilder: undefined label '" + name + "'");
+    }
+    code_[idx].target = static_cast<std::int32_t>(it->second);
+  }
+  Program prog(std::move(code_));
+  prog.validate();
+  code_.clear();
+  labels_.clear();
+  fixups_.clear();
+  return prog;
+}
+
+}  // namespace sndp

@@ -1,0 +1,126 @@
+// Programs: a linear instruction sequence plus offload-block metadata.
+//
+// A workload produces one *original* Program.  The offload analyzer/codegen
+// (src/offload) transforms it into a KernelImage: the GPU-side program with
+// OFLD.BEG/OFLD.END markers and @NSU-marked instructions, plus the NSU-side
+// program that is "appended to the workload executable" (paper §3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace sndp {
+
+// Metadata for one static offload block (paper Fig. 3 / §3.2).
+struct OffloadBlockInfo {
+  unsigned block_id = 0;
+  // Instruction index range in the GPU program: gpu_begin is the OFLD.BEG,
+  // gpu_end is the matching OFLD.END.
+  unsigned gpu_begin = 0;
+  unsigned gpu_end = 0;
+  // Entry index of the block's code in the NSU program.
+  unsigned nsu_entry = 0;
+  unsigned nsu_inst_count = 0;  // NSU instructions incl. OFLD.BEG/END (Table 1)
+  unsigned num_loads = 0;       // read-data buffer entries to reserve
+  unsigned num_stores = 0;      // write-address buffer entries to reserve
+  std::vector<std::uint8_t> regs_in;   // live-in registers sent GPU -> NSU
+  std::vector<std::uint8_t> regs_out;  // live-out registers sent NSU -> GPU
+  bool indirect_single_load = false;   // §4.4 divergent-load block
+  bool needs_preds = false;            // NSU-side code uses guard predicates
+  double static_score = 0.0;           // Eq. 1 score at analysis time
+
+  // Original instructions inside the block (between the markers).
+  unsigned body_size() const { return gpu_end - gpu_begin - 1; }
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Instr> code) : code_(std::move(code)) {}
+
+  const std::vector<Instr>& code() const { return code_; }
+  std::vector<Instr>& code() { return code_; }
+  std::size_t size() const { return code_.size(); }
+  const Instr& at(std::size_t i) const { return code_.at(i); }
+
+  // Structural checks: branch targets in range, OFLD markers balanced,
+  // register/predicate indices valid.  Throws std::invalid_argument.
+  void validate() const;
+
+  // Boundaries of basic blocks: sorted instruction indices that start a
+  // block (branch targets, fall-throughs after branches/barriers/exit).
+  std::vector<unsigned> basic_block_starts() const;
+
+  std::string disassemble() const;
+
+ private:
+  std::vector<Instr> code_;
+};
+
+// GPU + NSU code for one kernel after offload analysis.
+struct KernelImage {
+  Program gpu;
+  Program nsu;
+  std::vector<OffloadBlockInfo> blocks;
+
+  const OffloadBlockInfo& block(unsigned id) const { return blocks.at(id); }
+};
+
+// Fluent builder used by the workload generators (and tests) to write
+// kernels without dealing with raw Instr fields.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& movi(unsigned rd, std::int64_t imm);
+  ProgramBuilder& mov(unsigned rd, unsigned rs);
+  // rd = rs0 <op> rs1
+  ProgramBuilder& alu(Opcode op, unsigned rd, unsigned rs0, unsigned rs1);
+  // rd = rs0 <op> imm
+  ProgramBuilder& alui(Opcode op, unsigned rd, unsigned rs0, std::int64_t imm);
+  // rd = rs0 * rs1 + rs2
+  ProgramBuilder& mad(unsigned rd, unsigned rs0, unsigned rs1, unsigned rs2);
+  // rd = rs0 * imm + rs2
+  ProgramBuilder& madi(unsigned rd, unsigned rs0, std::int64_t imm, unsigned rs2);
+  ProgramBuilder& fma(unsigned rd, unsigned rs0, unsigned rs1, unsigned rs2);
+  ProgramBuilder& unary(Opcode op, unsigned rd, unsigned rs0);
+
+  // Memory; width in {4, 8}; f32 selects float<->double conversion.
+  ProgramBuilder& ld(unsigned rd, unsigned addr_reg, std::int64_t offset = 0,
+                     unsigned width = 8, bool f32 = false);
+  ProgramBuilder& st(unsigned addr_reg, unsigned data_reg, std::int64_t offset = 0,
+                     unsigned width = 8, bool f32 = false);
+  ProgramBuilder& shm_ld(unsigned rd, unsigned addr_reg, std::int64_t offset = 0);
+  ProgramBuilder& shm_st(unsigned addr_reg, unsigned data_reg, std::int64_t offset = 0);
+  ProgramBuilder& ldc(unsigned rd, unsigned addr_reg, std::int64_t offset = 0,
+                      unsigned width = 8, bool f32 = false);
+
+  ProgramBuilder& isetp(unsigned pd, CmpOp cmp, unsigned rs0, unsigned rs1);
+  ProgramBuilder& isetpi(unsigned pd, CmpOp cmp, unsigned rs0, std::int64_t imm);
+  ProgramBuilder& fsetp(unsigned pd, CmpOp cmp, unsigned rs0, unsigned rs1);
+
+  // Guard the *next* instruction with @P{pd} (or @!P{pd}).
+  ProgramBuilder& pred(unsigned pd, bool sense = true);
+
+  // Labels and branches.
+  ProgramBuilder& label(const std::string& name);
+  ProgramBuilder& bra(const std::string& label);
+  ProgramBuilder& bar();
+  ProgramBuilder& exit();
+  ProgramBuilder& nop();
+
+  // Finalize: resolves labels, validates, returns the program.
+  Program build();
+
+ private:
+  Instr& push(Instr instr);
+
+  std::vector<Instr> code_;
+  std::vector<std::pair<std::string, unsigned>> labels_;
+  std::vector<std::pair<unsigned, std::string>> fixups_;  // (instr idx, label)
+  std::int8_t pending_pred_ = kNoPred;
+  bool pending_sense_ = true;
+};
+
+}  // namespace sndp

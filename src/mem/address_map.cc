@@ -1,0 +1,53 @@
+#include "mem/address_map.h"
+
+namespace sndp {
+namespace {
+
+// Fast 64-bit mixer (SplitMix64 finalizer): turns page ids into uniformly
+// distributed placements while staying deterministic for a given seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+unsigned log2u(std::uint64_t v) { return static_cast<unsigned>(std::countr_zero(v)); }
+
+}  // namespace
+
+AddressMap::AddressMap(const SystemConfig& cfg)
+    : line_bytes_(cfg.l2.line_bytes),
+      line_shift_(log2u(cfg.l2.line_bytes)),
+      page_shift_(log2u(cfg.page_bytes)),
+      num_hmcs_(cfg.num_hmcs),
+      vault_bits_(log2u(cfg.hmc.num_vaults)),
+      bank_bits_(log2u(cfg.hmc.banks_per_vault)),
+      column_bits_(log2u(cfg.hmc.row_bytes / cfg.l2.line_bytes)),
+      seed_(cfg.placement_seed) {}
+
+HmcId AddressMap::hmc_of_page(std::uint64_t page_id) const {
+  return static_cast<HmcId>(mix64(page_id ^ seed_) & (num_hmcs_ - 1));
+}
+
+DramCoord AddressMap::decode(Addr addr) const {
+  DramCoord c;
+  c.hmc = hmc_of(addr);
+  std::uint64_t a = addr >> line_shift_;  // line address
+  c.vault = static_cast<VaultId>(a & ((1u << vault_bits_) - 1));
+  a >>= vault_bits_;
+  // Low column slice below the bank bits: consecutive vault-local lines
+  // stay in one row for a short burst before rotating banks.
+  const unsigned col_lo_bits = column_bits_ < 2 ? column_bits_ : 2;
+  const unsigned col_lo = static_cast<unsigned>(a & ((1u << col_lo_bits) - 1));
+  a >>= col_lo_bits;
+  c.bank = static_cast<unsigned>(a & ((1u << bank_bits_) - 1));
+  a >>= bank_bits_;
+  const unsigned col_hi_bits = column_bits_ - col_lo_bits;
+  const unsigned col_hi = static_cast<unsigned>(a & ((1u << col_hi_bits) - 1));
+  a >>= col_hi_bits;
+  c.column = col_lo | (col_hi << col_lo_bits);
+  c.row = a;
+  return c;
+}
+
+}  // namespace sndp

@@ -1,0 +1,55 @@
+// Physical address decomposition.
+//
+// Pages (4 KB, §5) are placed on HMCs by a seeded hash — the paper's
+// "random mapping of pages" that models unrestricted data placement under
+// dynamic memory management.  Within a stack, cache lines interleave across
+// vaults first, then a small low column slice, then banks (HMC-style
+// fine-grained interleave balancing bank-level parallelism against row
+// locality: 4 consecutive vault-local lines share a row before the bank
+// advances — one activation serves 512 B of streaming per bank):
+//
+//   addr bits:  [ row | col_hi | bank | col_lo(2) | vault | line offset ]
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace sndp {
+
+struct DramCoord {
+  HmcId hmc = 0;
+  VaultId vault = 0;
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+  unsigned column = 0;  // line index within the row
+};
+
+class AddressMap {
+ public:
+  AddressMap(const SystemConfig& cfg);
+
+  HmcId hmc_of(Addr addr) const { return hmc_of_page(addr >> page_shift_); }
+  HmcId hmc_of_page(std::uint64_t page_id) const;
+
+  Addr line_of(Addr addr) const { return addr & ~static_cast<Addr>(line_bytes_ - 1); }
+  unsigned line_bytes() const { return line_bytes_; }
+  std::uint64_t page_bytes() const { return std::uint64_t{1} << page_shift_; }
+  unsigned num_hmcs() const { return num_hmcs_; }
+
+  DramCoord decode(Addr addr) const;
+
+ private:
+  unsigned line_bytes_;
+  unsigned line_shift_;
+  unsigned page_shift_;
+  unsigned num_hmcs_;
+  unsigned vault_bits_;
+  unsigned bank_bits_;
+  unsigned column_bits_;  // log2(lines per row)
+  std::uint64_t seed_;
+};
+
+}  // namespace sndp

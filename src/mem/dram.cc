@@ -1,0 +1,3 @@
+// DramBank is header-only; this TU anchors the module and keeps the build
+// layout uniform (one .cc per module).
+#include "mem/dram.h"

@@ -1,0 +1,237 @@
+#include "mem/hmc.h"
+
+#include <stdexcept>
+
+#include "energy/energy_model.h"
+#include "mem/address_map.h"
+#include "memfunc/global_memory.h"
+#include "noc/network.h"
+
+namespace sndp {
+
+Hmc::Hmc(HmcId id, const SystemContext& ctx) : id_(id), ctx_(ctx) {
+  const SystemConfig& cfg = *ctx_.cfg;
+  noc_latency_ps_ = 2 * tick_time_ps(1, cfg.clocks.dram_khz);  // ~3 ns switch traversal
+
+  vaults_.reserve(cfg.hmc.num_vaults);
+  for (unsigned v = 0; v < cfg.hmc.num_vaults; ++v) {
+    vaults_.push_back(std::make_unique<VaultController>(
+        cfg.hmc, cfg.clocks.dram_khz,
+        [this](const DramRequest& req, TimePs done) { on_vault_complete(req, done); }));
+  }
+  vault_backlog_.resize(cfg.hmc.num_vaults);
+
+  nsu_ = std::make_unique<Nsu>(
+      id_, ctx_,
+      /*send_network=*/[this](Packet&& p, TimePs now) { send_from_stack(std::move(p), now); },
+      /*send_local_vault=*/
+      [this](Packet&& p, TimePs now) {
+        ctx_.energy->hmc_noc_bytes += p.size_bytes;
+        enqueue_vault(std::move(p), now + noc_latency_ps_);
+      });
+}
+
+bool Hmc::idle() const {
+  if (!inflight_.empty()) return false;
+  for (const auto& v : vaults_) {
+    if (!v->idle()) return false;
+  }
+  for (const auto& b : vault_backlog_) {
+    if (!b.empty()) return false;
+  }
+  return nsu_->idle();
+}
+
+std::uint64_t Hmc::total_activates() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vaults_) n += v->activates;
+  return n;
+}
+std::uint64_t Hmc::total_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vaults_) n += v->reads;
+  return n;
+}
+std::uint64_t Hmc::total_writes() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vaults_) n += v->writes;
+  return n;
+}
+
+void Hmc::send_from_stack(Packet&& p, TimePs now) {
+  p.src_node = static_cast<std::uint16_t>(id_);
+  ctx_.energy->hmc_noc_bytes += p.size_bytes;  // logic layer -> I/O port
+  ctx_.net->send(std::move(p), now);
+}
+
+void Hmc::tick(Cycle cycle, TimePs now) {
+  // Drain the network RX into vaults / the NSU.
+  auto& rx = ctx_.net->rx(id_);
+  while (rx.ready(now)) {
+    Packet p = rx.pop();
+    route_packet(std::move(p), now);
+  }
+
+  // Retry backlogged vault requests.
+  for (unsigned v = 0; v < vault_backlog_.size(); ++v) {
+    auto& backlog = vault_backlog_[v];
+    while (backlog.ready(now) && vaults_[v]->can_accept()) {
+      Packet p = backlog.pop();
+      const DramCoord coord = ctx_.amap->decode(p.line_addr);
+      const bool is_write =
+          p.type == PacketType::kMemWrite || p.type == PacketType::kNsuWrite;
+      const std::uint64_t token = next_token_++;
+      vaults_[v]->enqueue(DramRequest{p.line_addr, is_write, token, coord, now});
+      inflight_.emplace(token, std::move(p));
+    }
+  }
+
+  for (auto& v : vaults_) v->tick(cycle, now);
+}
+
+void Hmc::route_packet(Packet&& p, TimePs now) {
+  ++packets_routed_;
+  switch (p.type) {
+    case PacketType::kMemRead:
+    case PacketType::kMemWrite:
+    case PacketType::kRdf:
+    case PacketType::kNsuWrite:
+      ctx_.energy->hmc_noc_bytes += p.size_bytes;
+      enqueue_vault(std::move(p), now + noc_latency_ps_);
+      break;
+    case PacketType::kOfldCmd:
+    case PacketType::kRdfResp:
+    case PacketType::kWta:
+    case PacketType::kNsuWriteAck:
+      ctx_.energy->hmc_noc_bytes += p.size_bytes;
+      nsu_->receive(std::move(p), now + noc_latency_ps_);
+      break;
+    default:
+      throw std::logic_error(std::string("Hmc: unexpected packet: ") +
+                             packet_type_name(p.type));
+  }
+}
+
+void Hmc::enqueue_vault(Packet&& p, TimePs now) {
+  const DramCoord coord = ctx_.amap->decode(p.line_addr);
+  if (coord.hmc != id_) throw std::logic_error("Hmc: packet for another stack");
+  vault_backlog_.at(coord.vault).push(std::move(p), now);
+}
+
+void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
+  auto it = inflight_.find(req.token);
+  if (it == inflight_.end()) throw std::logic_error("Hmc: completion for unknown token");
+  Packet p = std::move(it->second);
+  inflight_.erase(it);
+  const unsigned line_bytes = ctx_.amap->line_bytes();
+
+  switch (p.type) {
+    case PacketType::kMemRead: {
+      // Baseline line fetch: whole line back to the GPU.
+      ctx_.energy->dram_read_bytes += line_bytes;
+      ctx_.energy->hmc_noc_bytes += line_bytes;
+      Packet resp;
+      resp.type = PacketType::kMemReadResp;
+      resp.line_addr = p.line_addr;
+      resp.token = p.token;
+      resp.oid = p.oid;
+      resp.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
+      resp.size_bytes = mem_read_resp_bytes();
+      send_from_stack(std::move(resp), done_ps);
+      break;
+    }
+    case PacketType::kMemWrite: {
+      // Write-through store: data already applied functionally at the SM.
+      ctx_.energy->dram_write_bytes += p.size_bytes - mem_write_req_bytes(0);
+      break;
+    }
+    case PacketType::kRdf: {
+      // Read-and-forward: only the touched words travel to the target NSU.
+      ctx_.energy->dram_read_bytes += line_bytes;
+      Packet resp;
+      resp.type = PacketType::kRdfResp;
+      resp.oid = p.oid;
+      resp.line_addr = p.line_addr;
+      resp.mask = p.mask;
+      resp.expected_mask = p.expected_mask;
+      resp.target_nsu = p.target_nsu;
+      resp.mem_width = p.mem_width;
+      resp.mem_f32 = p.mem_f32;
+      resp.lane_data.assign(kWarpWidth, 0);
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        if (p.mask & (LaneMask{1} << lane)) {
+          resp.lane_data[lane] =
+              ctx_.gmem->load_reg(p.lane_addrs[lane], p.mem_width, p.mem_f32);
+        }
+      }
+      resp.size_bytes = rdf_resp_packet_bytes(popcount_mask(p.mask), p.mem_width);
+      if (p.target_nsu == id_) {
+        ctx_.energy->hmc_noc_bytes += resp.size_bytes;
+        nsu_->receive(std::move(resp), done_ps + noc_latency_ps_);
+      } else {
+        resp.dst_node = p.target_nsu;
+        send_from_stack(std::move(resp), done_ps);
+      }
+      break;
+    }
+    case PacketType::kNsuWrite: {
+      // Apply the store functionally, ack the NSU, and invalidate any stale
+      // copy in the GPU caches (§4.2).
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        if (p.mask & (LaneMask{1} << lane)) {
+          ctx_.gmem->store_reg(p.lane_addrs[lane], p.lane_data[lane], p.mem_width, p.mem_f32);
+        }
+      }
+      ctx_.energy->dram_write_bytes += popcount_mask(p.mask) * p.mem_width;
+
+      Packet ack;
+      ack.type = PacketType::kNsuWriteAck;
+      ack.oid = p.oid;
+      ack.size_bytes = small_packet_bytes();
+      const unsigned origin = p.src_node;  // the NSU that issued the write
+      if (origin == id_) {
+        ctx_.energy->hmc_noc_bytes += ack.size_bytes;
+        nsu_->receive(std::move(ack), done_ps + noc_latency_ps_);
+      } else {
+        ack.dst_node = static_cast<std::uint16_t>(origin);
+        send_from_stack(std::move(ack), done_ps);
+      }
+
+      Packet inval;
+      inval.type = PacketType::kCacheInval;
+      inval.line_addr = p.line_addr;
+      inval.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
+      inval.size_bytes = inval_packet_bytes();
+      send_from_stack(std::move(inval), done_ps);
+      break;
+    }
+    default:
+      throw std::logic_error("Hmc: unexpected completed request type");
+  }
+}
+
+void Hmc::export_stats(StatSet& out, const std::string& prefix) const {
+  Distribution qlat;
+  for (const auto& v : vaults_) {
+    if (v->queue_latency_ps.count() > 0) {
+      // Merge by moments (min/max are approximate across vaults).
+      qlat.record(v->queue_latency_ps.min());
+      qlat.record(v->queue_latency_ps.max());
+    }
+  }
+  double lat_sum = 0.0;
+  std::uint64_t lat_n = 0;
+  for (const auto& v : vaults_) {
+    lat_sum += v->queue_latency_ps.sum();
+    lat_n += v->queue_latency_ps.count();
+  }
+  out.set(prefix + ".qlat.mean", lat_n ? lat_sum / static_cast<double>(lat_n) : 0.0);
+  out.set(prefix + ".qlat.max", qlat.max());
+  out.set(prefix + ".activates", static_cast<double>(total_activates()));
+  out.set(prefix + ".reads", static_cast<double>(total_reads()));
+  out.set(prefix + ".writes", static_cast<double>(total_writes()));
+  out.set(prefix + ".packets_routed", static_cast<double>(packets_routed_));
+  nsu_->export_stats(out, prefix + ".nsu");
+}
+
+}  // namespace sndp

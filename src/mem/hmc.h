@@ -1,0 +1,65 @@
+// One HMC stack: 16 vault controllers behind the logic-layer switch, plus
+// the NSU.  The logic layer demultiplexes arriving packets to vaults or the
+// NSU, turns vault completions into response packets (baseline line fills,
+// RDF forwards, NSU write acks + GPU cache invalidations), and provides the
+// NSU its local-vault fast path.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "mem/vault.h"
+#include "ndp/nsu.h"
+#include "noc/packet.h"
+#include "sim/clock.h"
+#include "sim/context.h"
+#include "sim/timed_channel.h"
+
+namespace sndp {
+
+class Hmc final : public Tickable {
+ public:
+  Hmc(HmcId id, const SystemContext& ctx);
+
+  // Ticks in the DRAM clock domain; the NSU is registered separately in the
+  // NSU domain by the Simulator.
+  void tick(Cycle cycle, TimePs now) override;
+
+  Nsu& nsu() { return *nsu_; }
+  const Nsu& nsu() const { return *nsu_; }
+
+  bool idle() const;
+
+  // DRAM energy/traffic counters aggregated over vaults.
+  std::uint64_t total_activates() const;
+  std::uint64_t total_reads() const;
+  std::uint64_t total_writes() const;
+
+  void export_stats(StatSet& out, const std::string& prefix) const;
+
+ private:
+  void route_packet(Packet&& p, TimePs now);
+  void enqueue_vault(Packet&& p, TimePs now);
+  void on_vault_complete(const DramRequest& req, TimePs done_ps);
+  void send_from_stack(Packet&& p, TimePs now);
+
+  HmcId id_;
+  const SystemContext& ctx_;
+  std::vector<std::unique_ptr<VaultController>> vaults_;
+  std::unique_ptr<Nsu> nsu_;
+
+  // Requests waiting for a full vault queue, one overflow FIFO per vault.
+  std::vector<TimedChannel<Packet>> vault_backlog_;
+  // In-flight DRAM requests: vault token -> originating packet.
+  std::unordered_map<std::uint64_t, Packet> inflight_;
+  std::uint64_t next_token_ = 1;
+
+  // The intra-stack NoC latency between logic layer and a vault / the NSU.
+  TimePs noc_latency_ps_ = 0;
+
+  std::uint64_t packets_routed_ = 0;
+};
+
+}  // namespace sndp

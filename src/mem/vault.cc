@@ -1,0 +1,78 @@
+#include "mem/vault.h"
+
+#include <stdexcept>
+
+namespace sndp {
+
+VaultController::VaultController(const HmcConfig& cfg, std::uint64_t dram_khz,
+                                 CompletionFn on_complete)
+    : cfg_(cfg), dram_khz_(dram_khz), on_complete_(std::move(on_complete)) {
+  banks_.resize(cfg_.banks_per_vault);
+}
+
+void VaultController::enqueue(const DramRequest& req) {
+  if (!can_accept()) throw std::logic_error("VaultController: enqueue past capacity");
+  queue_.push_back(req);
+}
+
+void VaultController::tick(Cycle cycle, TimePs now) {
+  // Deliver finished bursts.
+  while (completed_.ready(now)) {
+    const TimePs done_ps = completed_.front_ready_ps();
+    const DramRequest req = completed_.pop();
+    on_complete_(req, done_ps);
+  }
+
+  if (queue_.empty()) return;
+
+  const DramTiming& t = cfg_.timing;
+
+  // FR-FCFS pass 1: oldest request whose bank has its row open and can CAS.
+  std::size_t pick = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    DramBank& bank = banks_[queue_[i].coord.bank];
+    if (bank.row_open(queue_[i].coord.row) && bank.can_cas(cycle) && cycle >= bus_free_) {
+      pick = i;
+      break;
+    }
+  }
+
+  if (pick < queue_.size()) {
+    // Issue the CAS and retire the request.
+    DramRequest req = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    DramBank& bank = banks_[req.coord.bank];
+    bank.cas(cycle, req.is_write, t);
+    bus_free_ = cycle + t.tCCD;
+    const Cycle done_cycle = req.is_write ? cycle + t.tBURST : cycle + t.tCL + t.tBURST;
+    const TimePs done_ps = tick_time_ps(done_cycle, dram_khz_);
+    if (req.is_write) ++writes; else ++reads;
+    queue_latency_ps.record(static_cast<double>(done_ps - req.enqueue_ps));
+    completed_.push(req, done_ps);
+    return;
+  }
+
+  // FR-FCFS pass 2: oldest request that can make *state* progress
+  // (precharge a conflicting row or activate its own).  One command per
+  // cycle per vault.
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    DramBank& bank = banks_[queue_[i].coord.bank];
+    if (bank.closed()) {
+      if (bank.can_activate(cycle)) {
+        bank.activate(cycle, queue_[i].coord.row, t);
+        ++activates;
+        ++row_misses;
+        return;
+      }
+    } else if (!bank.row_open(queue_[i].coord.row)) {
+      if (bank.can_precharge(cycle)) {
+        bank.precharge(cycle, t);
+        ++precharges;
+        return;
+      }
+    }
+    // Row already open and matching but CAS-blocked: wait (handled in pass 1).
+  }
+}
+
+}  // namespace sndp

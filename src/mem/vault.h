@@ -1,0 +1,65 @@
+// Vault controller: a bounded FR-FCFS request queue in front of a set of
+// DRAM banks sharing one data TSV bus (peak 128 B per tCCD = ~21 GB/s per
+// vault, ~340 GB/s per 16-vault stack — the paper's ~320 GB/s figure).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/address_map.h"
+#include "mem/dram.h"
+#include "sim/clock.h"
+#include "sim/timed_channel.h"
+
+namespace sndp {
+
+struct DramRequest {
+  Addr line_addr = 0;
+  bool is_write = false;
+  std::uint64_t token = 0;  // opaque owner cookie, round-tripped on completion
+  DramCoord coord{};
+  TimePs enqueue_ps = 0;
+};
+
+// Ticks in the DRAM clock domain.  The owner (HMC logic layer) pushes
+// requests with `enqueue` (bounded by vault_queue_size; check `can_accept`)
+// and receives completions through the callback, timestamped with the cycle
+// the data burst finishes (reads: +tCL+tBURST after CAS).
+class VaultController final : public Tickable {
+ public:
+  using CompletionFn = std::function<void(const DramRequest&, TimePs done_ps)>;
+
+  VaultController(const HmcConfig& cfg, std::uint64_t dram_khz, CompletionFn on_complete);
+
+  bool can_accept() const { return queue_.size() < cfg_.vault_queue_size; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool idle() const { return queue_.empty() && completed_.empty(); }
+
+  void enqueue(const DramRequest& req);
+
+  void tick(Cycle cycle, TimePs now) override;
+
+  // Stats.
+  std::uint64_t activates = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t precharges = 0;
+  // Row hits = (reads + writes) - activates: every activate serves exactly
+  // one conflicting/closed-row request in this model.
+  std::uint64_t row_misses = 0;
+  Distribution queue_latency_ps;
+
+ private:
+  HmcConfig cfg_;
+  std::uint64_t dram_khz_;
+  CompletionFn on_complete_;
+  std::vector<DramBank> banks_;
+  std::vector<DramRequest> queue_;  // FR-FCFS scans; arrival order preserved
+  Cycle bus_free_ = 0;              // shared vault data bus (tCCD pacing)
+  TimedChannel<DramRequest> completed_;
+};
+
+}  // namespace sndp

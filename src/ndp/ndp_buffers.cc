@@ -1,0 +1,83 @@
+#include "ndp/ndp_buffers.h"
+
+#include <stdexcept>
+
+namespace sndp {
+
+void ReadDataBuffer::deposit(const Packet& p) {
+  const NdpBufferKey key = NdpBufferKey::of(p.oid);
+  Entry& e = entries_[key];
+  if (entries_.size() > capacity_) {
+    throw std::logic_error("ReadDataBuffer: over capacity — credit protocol violated");
+  }
+  if ((e.accumulated & p.mask) != 0) {
+    throw std::logic_error("ReadDataBuffer: duplicate lanes in RDF response");
+  }
+  e.accumulated |= p.mask;
+  e.expected |= p.expected_mask;
+  for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+    if (p.mask & (LaneMask{1} << lane)) e.data[lane] = p.lane_data[lane];
+  }
+}
+
+bool ReadDataBuffer::complete(const NdpBufferKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.expected != 0 &&
+         it->second.accumulated == it->second.expected;
+}
+
+ReadDataBuffer::Entry ReadDataBuffer::take(const NdpBufferKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) throw std::logic_error("ReadDataBuffer: take() of absent entry");
+  Entry e = it->second;
+  entries_.erase(it);
+  return e;
+}
+
+void WriteAddrBuffer::deposit(const Packet& p) {
+  const NdpBufferKey key = NdpBufferKey::of(p.oid);
+  Entry& e = entries_[key];
+  if (entries_.size() > capacity_) {
+    throw std::logic_error("WriteAddrBuffer: over capacity — credit protocol violated");
+  }
+  if ((e.accumulated & p.mask) != 0) {
+    throw std::logic_error("WriteAddrBuffer: duplicate lanes in WTA packet");
+  }
+  e.accumulated |= p.mask;
+  e.expected |= p.expected_mask;
+  e.width = p.mem_width;
+  e.f32 = p.mem_f32;
+  e.misaligned = e.misaligned || p.misaligned;
+  for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+    if (p.mask & (LaneMask{1} << lane)) e.addrs[lane] = p.lane_addrs[lane];
+  }
+}
+
+bool WriteAddrBuffer::complete(const NdpBufferKey& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.expected != 0 &&
+         it->second.accumulated == it->second.expected;
+}
+
+WriteAddrBuffer::Entry WriteAddrBuffer::take(const NdpBufferKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) throw std::logic_error("WriteAddrBuffer: take() of absent entry");
+  Entry e = it->second;
+  entries_.erase(it);
+  return e;
+}
+
+void CmdBuffer::push(Packet cmd) {
+  if (queue_.size() >= capacity_) {
+    throw std::logic_error("CmdBuffer: over capacity — credit protocol violated");
+  }
+  queue_.push_back(std::move(cmd));
+}
+
+Packet CmdBuffer::pop() {
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  return p;
+}
+
+}  // namespace sndp

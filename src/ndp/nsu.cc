@@ -1,0 +1,352 @@
+#include "ndp/nsu.h"
+
+#include <stdexcept>
+
+#include "mem/address_map.h"
+#include "noc/network.h"
+
+namespace sndp {
+
+Nsu::Nsu(HmcId hmc_id, const SystemContext& ctx, SendFn send_network, SendFn send_local_vault)
+    : hmc_id_(hmc_id),
+      ctx_(ctx),
+      send_network_(std::move(send_network)),
+      send_local_vault_(std::move(send_local_vault)),
+      cfg_(ctx.cfg->nsu),
+      read_data_(ctx.cfg->ndp_buffers.nsu_read_data_entries),
+      write_addr_(ctx.cfg->ndp_buffers.nsu_write_addr_entries),
+      cmds_(ctx.cfg->ndp_buffers.nsu_cmd_entries) {
+  warps_.resize(cfg_.max_warps);
+}
+
+void Nsu::receive(Packet&& p, TimePs now) { in_.push(std::move(p), now); }
+
+bool Nsu::idle() const {
+  if (!in_.empty() || !cmds_.empty()) return false;
+  for (const NsuWarp& w : warps_) {
+    if (w.valid) return false;
+  }
+  return true;
+}
+
+unsigned Nsu::active_warps() const {
+  unsigned n = 0;
+  for (const NsuWarp& w : warps_) n += w.valid ? 1 : 0;
+  return n;
+}
+
+double Nsu::avg_occupancy() const {
+  if (tick_count_ == 0) return 0.0;
+  return static_cast<double>(occupancy_accum_) /
+         (static_cast<double>(tick_count_) * cfg_.max_warps);
+}
+
+double Nsu::icache_utilization() const {
+  // 8 B per instruction, as a fraction of the 4 KB I-cache (Fig. 11).
+  const double bytes = static_cast<double>(icache_pcs_.size()) * 8.0;
+  return bytes / static_cast<double>(cfg_.icache_bytes);
+}
+
+LaneMask Nsu::exec_mask(const NsuWarp& warp, const Instr& instr) const {
+  if (instr.guard_pred == kNoPred) return warp.active;
+  LaneMask m = 0;
+  for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+    if (!(warp.active & (LaneMask{1} << lane))) continue;
+    if (warp.lanes[lane].preds[static_cast<unsigned>(instr.guard_pred)] == instr.guard_sense) {
+      m |= LaneMask{1} << lane;
+    }
+  }
+  return m;
+}
+
+void Nsu::tick(Cycle cycle, TimePs now) {
+  ++tick_count_;
+  occupancy_accum_ += active_warps();
+
+  // Ingress.
+  while (auto p = in_.pop_ready(now)) {
+    switch (p->type) {
+      case PacketType::kOfldCmd:
+        cmds_.push(std::move(*p));
+        break;
+      case PacketType::kRdfResp:
+        read_data_.deposit(*p);
+        break;
+      case PacketType::kWta:
+        write_addr_.deposit(*p);
+        break;
+      case PacketType::kNsuWriteAck: {
+        bool matched = false;
+        for (NsuWarp& w : warps_) {
+          if (w.valid && w.oid.sm == p->oid.sm && w.oid.warp == p->oid.warp &&
+              w.oid.instance == p->oid.instance) {
+            if (w.pending_writes == 0) throw std::logic_error("Nsu: unexpected write ack");
+            --w.pending_writes;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) throw std::logic_error("Nsu: write ack for unknown warp");
+        break;
+      }
+      default:
+        throw std::logic_error(std::string("Nsu: unexpected packet ") +
+                               packet_type_name(p->type));
+    }
+  }
+
+  try_spawn(cycle, now);
+
+  // Single-issue with temporal SIMT: a warp instruction occupies the issue
+  // port for warp_width / simd_lanes cycles (§4.5).  OFLD markers are
+  // bookkeeping (spawn-time init / ack-wait), not lane work — they do not
+  // hold the port.
+  if (issue_busy_until_ > cycle) return;
+  const unsigned n = static_cast<unsigned>(warps_.size());
+  for (unsigned i = 0; i < n; ++i) {
+    NsuWarp& w = warps_[(rr_next_ + i) % n];
+    if (!w.valid || w.ready_cycle > cycle) continue;
+    const Instr& next = ctx_.image->nsu.at(w.pc);
+    // Port occupancy: markers are bookkeeping (0 cycles); loads/stores move
+    // a full line through the NDP buffer port (1 cycle); lane ALU work pays
+    // the temporal-SIMT initiation interval.
+    unsigned hold = 0;
+    if (next.is_global_mem()) {
+      hold = 1;
+    } else if (next.op != Opcode::kOfldBeg && next.op != Opcode::kOfldEnd) {
+      hold = (cfg_.warp_width + cfg_.simd_lanes - 1) / cfg_.simd_lanes;
+    }
+    if (step_warp(w, cycle, now)) {
+      rr_next_ = (rr_next_ + i + 1) % n;
+      issue_busy_until_ = cycle + hold;
+      break;
+    }
+  }
+}
+
+void Nsu::try_spawn(Cycle cycle, TimePs now) {
+  while (!cmds_.empty()) {
+    NsuWarp* slot = nullptr;
+    for (NsuWarp& w : warps_) {
+      if (!w.valid) {
+        slot = &w;
+        break;
+      }
+    }
+    if (slot == nullptr) return;  // all warp slots busy; commands wait
+
+    const Packet cmd = cmds_.pop();
+    *slot = NsuWarp{};
+    slot->valid = true;
+    slot->oid = cmd.oid;
+    slot->pc = static_cast<unsigned>(cmd.line_addr);  // start PC field
+    slot->active = cmd.mask;
+    slot->ready_cycle = cycle + 1;
+    // Initialize live-in registers and predicate bits.
+    for (std::size_t r = 0; r < cmd.reg_ids.size(); ++r) {
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        slot->lanes[lane].regs[cmd.reg_ids[r]] = cmd.reg_values[r * kWarpWidth + lane];
+      }
+    }
+    if (!cmd.lane_preds.empty()) {
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        for (unsigned p = 0; p < kNumPreds; ++p) {
+          slot->lanes[lane].preds[p] = (cmd.lane_preds[lane] >> p) & 1;
+        }
+      }
+    }
+    // The command-buffer entry is free as soon as the warp spawns: return
+    // the credit to the GPU-side buffer manager (§4.3).
+    Packet credit;
+    credit.type = PacketType::kCredit;
+    credit.src_node = static_cast<std::uint16_t>(hmc_id_);
+    credit.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
+    credit.size_bytes = small_packet_bytes();
+    credit.target_nsu = static_cast<std::uint8_t>(hmc_id_);
+    credit.credit_cmd = 1;
+    send_network_(std::move(credit), now);
+  }
+}
+
+bool Nsu::step_warp(NsuWarp& warp, Cycle cycle, TimePs now) {
+  const Program& prog = ctx_.image->nsu;
+  const Instr& in = prog.at(warp.pc);
+  icache_pcs_.insert(warp.pc);
+
+  switch (in.op) {
+    case Opcode::kOfldBeg:
+      // Register initialization already happened at spawn; one cycle.
+      ++warp.pc;
+      warp.ready_cycle = cycle + 1;
+      ++instrs_;
+      return true;
+
+    case Opcode::kLd: {
+      const LaneMask lanes = exec_mask(warp, in);
+      OffloadPacketId oid = warp.oid;
+      oid.seq = warp.seq;
+      if (lanes == 0) {
+        ++warp.seq;
+        ++warp.pc;
+        warp.ready_cycle = cycle + 1;
+        ++instrs_;
+        return true;
+      }
+      const NdpBufferKey key = NdpBufferKey::of(oid);
+      if (!read_data_.complete(key)) {
+        ++stall_read_wait_;
+        return false;  // data not yet in the read-data buffer
+      }
+      const ReadDataBuffer::Entry entry = read_data_.take(key);
+      if (entry.expected != lanes) {
+        throw std::logic_error("Nsu: read-data lane mask mismatch with GPU");
+      }
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        if (lanes & (LaneMask{1} << lane)) warp.lanes[lane].regs[in.dst] = entry.data[lane];
+      }
+      ++warp.freed_read_entries;
+      lane_ops_ += popcount_mask(lanes);
+      ++instrs_;
+      ++warp.seq;
+      ++warp.pc;
+      warp.ready_cycle = cycle + 2;  // buffer read port
+      return true;
+    }
+
+    case Opcode::kSt: {
+      const LaneMask lanes = exec_mask(warp, in);
+      OffloadPacketId oid = warp.oid;
+      oid.seq = warp.seq;
+      if (lanes == 0) {
+        ++warp.seq;
+        ++warp.pc;
+        warp.ready_cycle = cycle + 1;
+        ++instrs_;
+        return true;
+      }
+      const NdpBufferKey key = NdpBufferKey::of(oid);
+      if (!write_addr_.complete(key)) return false;  // WTA not yet arrived
+      const WriteAddrBuffer::Entry entry = write_addr_.take(key);
+      if (entry.expected != lanes) {
+        throw std::logic_error("Nsu: write-address lane mask mismatch with GPU");
+      }
+      // Group lanes by destination line and emit one write per line.
+      const unsigned line_bytes = ctx_.amap->line_bytes();
+      unsigned num_lines = 0;
+      LaneMask remaining = lanes;
+      while (remaining != 0) {
+        const unsigned first = static_cast<unsigned>(std::countr_zero(remaining));
+        const Addr line = entry.addrs[first] & ~static_cast<Addr>(line_bytes - 1);
+        LaneMask line_lanes = 0;
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (!(remaining & (LaneMask{1} << lane))) continue;
+          if ((entry.addrs[lane] & ~static_cast<Addr>(line_bytes - 1)) == line) {
+            line_lanes |= LaneMask{1} << lane;
+          }
+        }
+        remaining &= ~line_lanes;
+        ++num_lines;
+
+        Packet wr;
+        wr.type = PacketType::kNsuWrite;
+        wr.oid = oid;
+        wr.line_addr = line;
+        wr.mask = line_lanes;
+        wr.mem_width = entry.width;
+        wr.mem_f32 = entry.f32;
+        wr.misaligned = entry.misaligned;
+        wr.size_bytes = nsu_write_packet_bytes(popcount_mask(line_lanes), entry.width,
+                                               entry.misaligned);
+        wr.lane_addrs.assign(kWarpWidth, 0);
+        wr.lane_data.assign(kWarpWidth, 0);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (line_lanes & (LaneMask{1} << lane)) {
+            wr.lane_addrs[lane] = entry.addrs[lane];
+            wr.lane_data[lane] = warp.lanes[lane].regs[in.src[1]];
+          }
+        }
+        const HmcId dest = ctx_.amap->hmc_of(line);
+        wr.src_node = static_cast<std::uint16_t>(hmc_id_);
+        wr.dst_node = static_cast<std::uint16_t>(dest);
+        ++write_packets_;
+        if (dest == hmc_id_) {
+          send_local_vault_(std::move(wr), now);
+        } else {
+          send_network_(std::move(wr), now);
+        }
+      }
+      warp.pending_writes += num_lines;
+      ++warp.freed_write_entries;
+      lane_ops_ += popcount_mask(lanes);
+      ++instrs_;
+      ++warp.seq;
+      ++warp.pc;
+      warp.ready_cycle = cycle + num_lines;  // one write per cycle
+      return true;
+    }
+
+    case Opcode::kOfldEnd:
+      if (warp.pending_writes > 0) return false;  // wait for DRAM write acks
+      finish_warp(warp, now);
+      ++instrs_;
+      return true;
+
+    default: {
+      // NSU-side ALU work.
+      if (!in.is_alu()) {
+        throw std::logic_error(std::string("Nsu: unexpected opcode in NSU code: ") +
+                               opcode_name(in.op));
+      }
+      const LaneMask lanes = exec_mask(warp, in);
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        if (lanes & (LaneMask{1} << lane)) execute_alu(in, warp.lanes[lane]);
+      }
+      lane_ops_ += popcount_mask(lanes);
+      ++instrs_;
+      ++warp.pc;
+      const bool sfu = in.exec_class() == ExecClass::kSfu;
+      warp.ready_cycle = cycle + (sfu ? cfg_.sfu_latency : cfg_.alu_latency);
+      return true;
+    }
+  }
+}
+
+void Nsu::finish_warp(NsuWarp& warp, TimePs now) {
+  const OffloadBlockInfo& info = ctx_.image->blocks.at(warp.oid.block);
+
+  Packet ack;
+  ack.type = PacketType::kOfldAck;
+  ack.oid = warp.oid;
+  ack.src_node = static_cast<std::uint16_t>(hmc_id_);
+  ack.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
+  ack.mask = warp.active;
+  ack.size_bytes = ofld_ack_packet_bytes(static_cast<unsigned>(info.regs_out.size()),
+                                         popcount_mask(warp.active));
+  ack.reg_ids = info.regs_out;
+  ack.reg_values.assign(info.regs_out.size() * kWarpWidth, 0);
+  for (std::size_t r = 0; r < info.regs_out.size(); ++r) {
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      ack.reg_values[r * kWarpWidth + lane] = warp.lanes[lane].regs[info.regs_out[r]];
+    }
+  }
+  // Piggyback the freed data-buffer credits on the ACK (§4.3).
+  ack.credit_read_data = static_cast<std::uint16_t>(info.num_loads);
+  ack.credit_write_addr = static_cast<std::uint16_t>(info.num_stores);
+  ack.target_nsu = static_cast<std::uint8_t>(hmc_id_);
+  send_network_(std::move(ack), now);
+
+  ++blocks_completed_;
+  warp = NsuWarp{};  // slot free; next command can spawn on a later tick
+}
+
+void Nsu::export_stats(StatSet& out, const std::string& prefix) const {
+  out.set(prefix + ".lane_ops", static_cast<double>(lane_ops_));
+  out.set(prefix + ".instrs", static_cast<double>(instrs_));
+  out.set(prefix + ".blocks_completed", static_cast<double>(blocks_completed_));
+  out.set(prefix + ".write_packets", static_cast<double>(write_packets_));
+  out.set(prefix + ".stall_read_wait", static_cast<double>(stall_read_wait_));
+  out.set(prefix + ".avg_occupancy", avg_occupancy());
+  out.set(prefix + ".icache_utilization", icache_utilization());
+}
+
+}  // namespace sndp

@@ -1,0 +1,98 @@
+// NSU — the Near-data-processing SIMD Unit on each HMC's logic layer
+// (paper §4.1.2, §4.5).
+//
+// Deliberately minimal, matching the standardized design: no MMU/TLB, no
+// data cache, no coalescer (addresses arrive pre-translated from the GPU in
+// WTA packets / pre-fetched data in RDF responses), a small instruction
+// cache, and warp slots fed by the offload command buffer.  Runs at half
+// the SM clock (350 MHz; §7.6 sweeps it lower).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/program.h"
+#include "ndp/ndp_buffers.h"
+#include "noc/packet.h"
+#include "sim/clock.h"
+#include "sim/context.h"
+#include "sim/timed_channel.h"
+
+namespace sndp {
+
+class Nsu final : public Tickable {
+ public:
+  // `send_network`: forward a packet into the inter-stack network / GPU
+  // link.  `send_local_vault`: hand a write to a vault in this same stack
+  // (intra-HMC NoC, no off-chip link).  Both are provided by the owning HMC.
+  using SendFn = std::function<void(Packet&&, TimePs)>;
+
+  Nsu(HmcId hmc_id, const SystemContext& ctx, SendFn send_network, SendFn send_local_vault);
+
+  void tick(Cycle cycle, TimePs now) override;
+
+  // Packet ingress (offload commands, RDF responses, WTA, write acks).
+  void receive(Packet&& p, TimePs now);
+
+  bool idle() const;
+  unsigned active_warps() const;
+
+  // Stats (Fig. 11).
+  double avg_occupancy() const;          // mean busy warp slots / max_warps
+  double icache_utilization() const;     // touched instruction bytes / icache size
+  std::uint64_t lane_ops() const { return lane_ops_; }
+  void export_stats(StatSet& out, const std::string& prefix) const;
+
+ private:
+  struct NsuWarp {
+    bool valid = false;
+    OffloadPacketId oid{};  // sm / warp / instance / block of this execution
+    unsigned pc = 0;
+    std::uint32_t seq = 0;
+    Cycle ready_cycle = 0;
+    unsigned pending_writes = 0;
+    LaneMask active = 0;
+    std::array<ThreadCtx, kWarpWidth> lanes{};
+    // Credits to piggyback on the offload ACK (§4.3).
+    unsigned freed_read_entries = 0;
+    unsigned freed_write_entries = 0;
+  };
+
+  void try_spawn(Cycle cycle, TimePs now);
+  // Attempts to execute the instruction at warp.pc.  Returns true if the
+  // warp made progress (instruction executed or skipped).
+  bool step_warp(NsuWarp& warp, Cycle cycle, TimePs now);
+  void finish_warp(NsuWarp& warp, TimePs now);
+  LaneMask exec_mask(const NsuWarp& warp, const Instr& instr) const;
+
+  HmcId hmc_id_;
+  const SystemContext& ctx_;
+  SendFn send_network_;
+  SendFn send_local_vault_;
+  const NsuConfig& cfg_;
+
+  std::vector<NsuWarp> warps_;
+  unsigned rr_next_ = 0;        // round-robin issue pointer
+  Cycle issue_busy_until_ = 0;  // temporal-SIMT occupancy of the issue port
+  ReadDataBuffer read_data_;
+  WriteAddrBuffer write_addr_;
+  CmdBuffer cmds_;
+  TimedChannel<Packet> in_;
+
+  // Stats.
+  std::uint64_t lane_ops_ = 0;
+  std::uint64_t instrs_ = 0;
+  std::uint64_t blocks_completed_ = 0;
+  std::uint64_t occupancy_accum_ = 0;
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t write_packets_ = 0;
+  std::uint64_t stall_read_wait_ = 0;
+  std::set<unsigned> icache_pcs_;
+};
+
+}  // namespace sndp

@@ -1,0 +1,2 @@
+// Link is header-only; this TU anchors the module.
+#include "noc/link.h"

@@ -1,0 +1,106 @@
+#include "noc/network.h"
+
+#include <stdexcept>
+
+#include "sim/trace.h"
+
+namespace sndp {
+namespace {
+std::uint64_t pair_key(unsigned a, unsigned b) {
+  const unsigned lo = a < b ? a : b;
+  const unsigned hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+}  // namespace
+
+Network::Network(const SystemConfig& cfg)
+    : num_hmcs_(cfg.num_hmcs),
+      link_cfg_(cfg.link),
+      router_latency_ps_(cfg.link.router_latency_cycles *
+                         tick_time_ps(1, cfg.clocks.dram_khz)) {
+  rx_.resize(num_hmcs_ + 1);  // +1: the GPU node
+  auto make_pair = [&] {
+    LinkPair p;
+    p.up = std::make_unique<Link>(link_cfg_.gb_per_s, link_cfg_.propagation_ps);
+    p.down = std::make_unique<Link>(link_cfg_.gb_per_s, link_cfg_.propagation_ps);
+    return p;
+  };
+  gpu_links_.reserve(num_hmcs_);
+  for (unsigned h = 0; h < num_hmcs_; ++h) gpu_links_.push_back(make_pair());
+  // Hypercube edges: (i, i ^ (1 << d)) for each dimension d, created once.
+  const unsigned dims = hypercube_dimensions(num_hmcs_);
+  for (unsigned i = 0; i < num_hmcs_; ++i) {
+    for (unsigned d = 0; d < dims; ++d) {
+      const unsigned j = i ^ (1u << d);
+      if (i < j) cube_links_.emplace(pair_key(i, j), make_pair());
+    }
+  }
+}
+
+Link& Network::gpu_link(unsigned hmc, bool toward_hmc) {
+  LinkPair& p = gpu_links_.at(hmc);
+  return toward_hmc ? *p.up : *p.down;
+}
+
+Link& Network::cube_link(unsigned from, unsigned to) {
+  auto it = cube_links_.find(pair_key(from, to));
+  if (it == cube_links_.end()) throw std::logic_error("Network: no such cube link");
+  return from < to ? *it->second.up : *it->second.down;
+}
+
+TimePs Network::send(Packet pkt, TimePs now) {
+  const unsigned gpu = gpu_node();
+  if (pkt.src_node == pkt.dst_node) throw std::logic_error("Network: src == dst");
+  if (pkt.src_node > gpu || pkt.dst_node > gpu) throw std::logic_error("Network: bad node id");
+
+  bytes_by_type_[pkt.type] += pkt.size_bytes;
+  const LinkTier ctrl = is_urgent_packet(pkt.type)    ? LinkTier::kUrgent
+                        : is_control_packet(pkt.type) ? LinkTier::kControl
+                                                      : LinkTier::kBulk;
+
+  TimePs t = now;
+  if (pkt.src_node == gpu) {
+    // GPU -> HMC: one dedicated link; no network hops (the destination HMC
+    // is always directly attached).
+    t = gpu_link(pkt.dst_node, /*toward_hmc=*/true).transmit(t, pkt.size_bytes, ctrl);
+    gpu_up_bytes_ += pkt.size_bytes;
+  } else if (pkt.dst_node == gpu) {
+    t = gpu_link(pkt.src_node, /*toward_hmc=*/false).transmit(t, pkt.size_bytes, ctrl);
+    gpu_down_bytes_ += pkt.size_bytes;
+  } else {
+    // HMC -> HMC over the hypercube, dimension-order.
+    const auto path = hypercube_route(pkt.src_node, pkt.dst_node);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (i > 0) t += router_latency_ps_;  // per-hop router pipeline
+      t = cube_link(path[i], path[i + 1]).transmit(t, pkt.size_bytes, ctrl);
+      cube_bytes_ += pkt.size_bytes;
+    }
+  }
+  const unsigned dst = pkt.dst_node;
+  if (trace_ != nullptr) {
+    // Row id: source node (GPU = num_hmcs).
+    trace_->complete(packet_type_name(pkt.type), "packet",
+                     static_cast<int>(pkt.src_node), now, t - now);
+  }
+  rx_[dst].push(std::move(pkt), t);
+  return t;
+}
+
+bool Network::idle() const {
+  for (const auto& ch : rx_) {
+    if (!ch.empty()) return false;
+  }
+  return true;
+}
+
+void Network::export_stats(StatSet& out) const {
+  out.set("net.gpu_up_bytes", static_cast<double>(gpu_up_bytes_));
+  out.set("net.gpu_down_bytes", static_cast<double>(gpu_down_bytes_));
+  out.set("net.cube_bytes", static_cast<double>(cube_bytes_));
+  out.set("net.total_offchip_bytes", static_cast<double>(total_offchip_bytes()));
+  for (const auto& [type, bytes] : bytes_by_type_) {
+    out.set(std::string("net.bytes.") + packet_type_name(type), static_cast<double>(bytes));
+  }
+}
+
+}  // namespace sndp

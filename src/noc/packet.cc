@@ -1,0 +1,110 @@
+#include "noc/packet.h"
+
+#include <bit>
+#include <sstream>
+
+namespace sndp {
+
+const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kMemRead: return "MEM_RD";
+    case PacketType::kMemReadResp: return "MEM_RD_RESP";
+    case PacketType::kMemWrite: return "MEM_WR";
+    case PacketType::kMemWriteAck: return "MEM_WR_ACK";
+    case PacketType::kOfldCmd: return "OFLD_CMD";
+    case PacketType::kRdf: return "RDF";
+    case PacketType::kRdfResp: return "RDF_RESP";
+    case PacketType::kWta: return "WTA";
+    case PacketType::kNsuWrite: return "NSU_WR";
+    case PacketType::kNsuWriteAck: return "NSU_WR_ACK";
+    case PacketType::kCacheInval: return "INVAL";
+    case PacketType::kOfldAck: return "OFLD_ACK";
+    case PacketType::kCredit: return "CREDIT";
+  }
+  return "?";
+}
+
+bool is_control_packet(PacketType t) {
+  switch (t) {
+    case PacketType::kMemRead:
+    case PacketType::kMemWriteAck:
+    case PacketType::kOfldCmd:
+    case PacketType::kRdf:
+    case PacketType::kWta:
+    case PacketType::kNsuWriteAck:
+    case PacketType::kCacheInval:
+    case PacketType::kOfldAck:
+    case PacketType::kCredit:
+      return true;
+    case PacketType::kMemReadResp:
+    case PacketType::kMemWrite:
+    case PacketType::kRdfResp:
+    case PacketType::kNsuWrite:
+      return false;
+  }
+  return false;
+}
+
+bool is_urgent_packet(PacketType t) {
+  switch (t) {
+    case PacketType::kOfldCmd:
+    case PacketType::kOfldAck:
+    case PacketType::kCredit:
+    case PacketType::kNsuWriteAck:
+    case PacketType::kCacheInval:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned popcount_mask(LaneMask m) { return static_cast<unsigned>(std::popcount(m)); }
+
+unsigned cmd_packet_bytes(unsigned num_regs, unsigned active_lanes, bool with_preds) {
+  unsigned bytes = kPktHeaderBytes + kOidBytes + kAddrBytes + kMaskBytes + kTargetBytes;
+  bytes += kRegBytes * num_regs * active_lanes;
+  if (with_preds) bytes += active_lanes;  // 8 predicate bits per lane
+  return bytes;
+}
+
+unsigned rdf_wta_packet_bytes(unsigned active_lanes, bool misaligned) {
+  unsigned bytes = kPktHeaderBytes + kOidBytes + kAddrBytes + kMaskBytes + kTargetBytes;
+  if (misaligned) bytes += active_lanes;  // 1 B offset per lane (Fig. 4(b))
+  return bytes;
+}
+
+unsigned rdf_resp_packet_bytes(unsigned active_lanes, unsigned width) {
+  return kPktHeaderBytes + kOidBytes + kAddrBytes + kMaskBytes + width * active_lanes;
+}
+
+unsigned nsu_write_packet_bytes(unsigned active_lanes, unsigned width, bool misaligned) {
+  unsigned bytes = kPktHeaderBytes + kAddrBytes + width * active_lanes;
+  if (misaligned) bytes += active_lanes;
+  return bytes;
+}
+
+unsigned ofld_ack_packet_bytes(unsigned num_regs, unsigned active_lanes) {
+  return kPktHeaderBytes + kOidBytes + kRegBytes * num_regs * active_lanes;
+}
+
+unsigned small_packet_bytes() { return kPktHeaderBytes + kOidBytes; }
+
+unsigned inval_packet_bytes() { return kPktHeaderBytes + kAddrBytes; }
+
+unsigned mem_read_req_bytes() { return kPktHeaderBytes + kAddrBytes; }
+
+unsigned mem_read_resp_bytes() { return kPktHeaderBytes + kLineBytes; }
+
+unsigned mem_write_req_bytes(unsigned touched_bytes) {
+  return kPktHeaderBytes + kAddrBytes + kMaskBytes + touched_bytes;
+}
+
+std::string to_string(const Packet& p) {
+  std::ostringstream os;
+  os << packet_type_name(p.type) << " " << p.src_node << "->" << p.dst_node << " "
+     << p.size_bytes << "B line=0x" << std::hex << p.line_addr << std::dec << " oid={sm"
+     << p.oid.sm << " w" << p.oid.warp << " seq" << p.oid.seq << " blk" << p.oid.block << "}";
+  return os.str();
+}
+
+}  // namespace sndp

@@ -1,0 +1,123 @@
+// Packet formats for baseline memory traffic and the NDP partitioned
+// execution protocol (paper Fig. 4).
+//
+// Sizes model what would be on the wire; the `lane_*` vectors carry the
+// functional payload (real addresses and data values) so the simulator can
+// verify end-to-end results, but only the bytes a real packet would carry
+// are charged to links and energy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sndp {
+
+enum class PacketType : std::uint8_t {
+  // Baseline execution model.
+  kMemRead,      // GPU -> vault: fetch a cache line
+  kMemReadResp,  // vault -> GPU: 128 B line
+  kMemWrite,     // GPU -> vault: write-through words
+  kMemWriteAck,  // vault -> GPU
+  // Partitioned-execution protocol (Fig. 2(b), Fig. 4).
+  kOfldCmd,      // GPU SM -> target NSU: start PC, mask, live-in registers
+  kRdf,          // GPU -> owning vault: read-and-forward request
+  kRdfResp,      // vault or GPU cache -> target NSU: requested words only
+  kWta,          // GPU -> target NSU: write addresses for a store
+  kNsuWrite,     // NSU -> destination vault: computed store data
+  kNsuWriteAck,  // vault -> NSU
+  kCacheInval,   // vault -> GPU: invalidate stale cached line (§4.2)
+  kOfldAck,      // NSU -> GPU SM: block done, live-out registers
+  kCredit,       // NSU -> GPU buffer manager: freed buffer entries (§4.3)
+};
+
+const char* packet_type_name(PacketType t);
+
+// Control packets (requests, commands, addresses, credits, acks) ride the
+// links' control virtual channel and preempt bulk data (responses, line
+// fills, write data).
+bool is_control_packet(PacketType t);
+
+// Urgent packets (offload commands, acks, credits, invalidations) preempt
+// even control traffic — their latency sets the NDP credit-recycle rate.
+bool is_urgent_packet(PacketType t);
+
+// Fig. 4: "SM ID | Warp ID | Seq. num" plus the static block and a unique
+// instance number used for internal consistency checks.
+struct OffloadPacketId {
+  SmId sm = kInvalidId;
+  WarpId warp = kInvalidId;
+  std::uint32_t seq = 0;       // per memory instruction within the block
+  std::uint32_t block = 0;     // static offload block id
+  std::uint64_t instance = 0;  // unique per offload-block execution
+
+  // Buffer lookups match on the warp's current offload execution; seq
+  // distinguishes entries within it.
+  friend bool operator==(const OffloadPacketId&, const OffloadPacketId&) = default;
+};
+
+struct Packet {
+  PacketType type = PacketType::kMemRead;
+  std::uint16_t src_node = 0;  // 0..H-1: HMC; H: the GPU
+  std::uint16_t dst_node = 0;
+  std::uint32_t size_bytes = 0;  // on-wire size incl. header
+
+  OffloadPacketId oid{};
+  Addr line_addr = 0;
+  std::uint64_t token = 0;  // requester cookie (baseline path, vault round-trip)
+
+  LaneMask mask = 0;           // lanes this packet covers
+  LaneMask expected_mask = 0;  // all lanes of the memory instruction (merge test)
+  std::uint8_t target_nsu = 0;
+  std::uint8_t mem_width = 0;
+  bool mem_f32 = false;
+  bool misaligned = false;
+
+  // Functional payload, indexed by lane (valid where `mask` has the bit).
+  std::vector<Addr> lane_addrs;
+  std::vector<RegValue> lane_data;
+  // Register marshalling (kOfldCmd / kOfldAck): ids + per-lane values laid
+  // out as values[reg_index * kWarpWidth + lane].
+  std::vector<std::uint8_t> reg_ids;
+  std::vector<RegValue> reg_values;
+  std::vector<std::uint8_t> lane_preds;  // packed predicate bits per lane
+
+  // kCredit payload.
+  std::uint16_t credit_cmd = 0;
+  std::uint16_t credit_read_data = 0;
+  std::uint16_t credit_write_addr = 0;
+};
+
+// --- On-wire size calculators (header + Fig. 4 fields). -------------------
+inline constexpr unsigned kPktHeaderBytes = 8;
+inline constexpr unsigned kOidBytes = 4;
+inline constexpr unsigned kAddrBytes = 8;
+inline constexpr unsigned kMaskBytes = 4;
+inline constexpr unsigned kTargetBytes = 1;
+inline constexpr unsigned kRegBytes = 8;
+inline constexpr unsigned kLineBytes = 128;
+
+unsigned popcount_mask(LaneMask m);
+
+// Offload command: oid + start PC + mask + target (+ registers + preds).
+unsigned cmd_packet_bytes(unsigned num_regs, unsigned active_lanes, bool with_preds);
+// RDF request / WTA: oid + base address + mask + target (+ per-lane offsets
+// when misaligned).
+unsigned rdf_wta_packet_bytes(unsigned active_lanes, bool misaligned);
+// RDF response: oid + base + mask + only the words actually accessed.
+unsigned rdf_resp_packet_bytes(unsigned active_lanes, unsigned width);
+// NSU write: address + data words (+ offsets when misaligned).
+unsigned nsu_write_packet_bytes(unsigned active_lanes, unsigned width, bool misaligned);
+unsigned ofld_ack_packet_bytes(unsigned num_regs, unsigned active_lanes);
+unsigned small_packet_bytes();             // acks / credits
+unsigned inval_packet_bytes();             // cache invalidation
+unsigned mem_read_req_bytes();             // baseline line fetch request
+unsigned mem_read_resp_bytes();            // baseline line fetch response
+unsigned mem_write_req_bytes(unsigned touched_bytes);  // write-through words
+
+std::string to_string(const Packet& p);
+
+}  // namespace sndp

@@ -1,0 +1,28 @@
+#include "noc/router.h"
+
+#include <bit>
+
+namespace sndp {
+
+unsigned hypercube_distance(unsigned a, unsigned b) {
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+std::vector<unsigned> hypercube_route(unsigned a, unsigned b) {
+  std::vector<unsigned> path;
+  path.push_back(a);
+  unsigned cur = a;
+  while (cur != b) {
+    const unsigned diff = cur ^ b;
+    const unsigned bit = diff & (~diff + 1u);  // lowest set bit
+    cur ^= bit;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+unsigned hypercube_dimensions(unsigned num_nodes) {
+  return static_cast<unsigned>(std::countr_zero(num_nodes));
+}
+
+}  // namespace sndp

@@ -1,0 +1,26 @@
+// Route computation for the memory network.
+//
+// The 2^k HMCs form a k-dimensional hypercube (paper §5: 3-D hypercube for
+// 8 HMCs, 3 links per HMC); the GPU hangs off every HMC through a dedicated
+// bidirectional link (8 GPU links total).  Routing is deterministic
+// dimension-order: resolve the lowest differing address bit first — acyclic
+// channel dependencies, hence deadlock-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sndp {
+
+// Hop count between two hypercube nodes.
+unsigned hypercube_distance(unsigned a, unsigned b);
+
+// Node sequence a -> ... -> b (inclusive of both endpoints).
+std::vector<unsigned> hypercube_route(unsigned a, unsigned b);
+
+// Number of network dimensions for `num_nodes` (power of two).
+unsigned hypercube_dimensions(unsigned num_nodes);
+
+}  // namespace sndp

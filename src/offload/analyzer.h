@@ -1,0 +1,69 @@
+// Static offload-block identification (paper §3.1).
+//
+// The analyzer scans each basic block for contiguous regions of plain
+// load/store/ALU instructions and scores them with Eq. 1:
+//
+//     Score = GPUTrafficReduction - OffloadOverhead
+//
+// where GPUTrafficReduction sums the data bytes of every global LD/ST in
+// the region (offloading keeps that data off the GPU links) and
+// OffloadOverhead counts the live-in/live-out register bytes that must be
+// marshalled between GPU and NSU.  Address-calculation instructions are
+// excluded from the overhead — they execute on the GPU either way (§4.1).
+//
+// Structural rules enforced here:
+//  * Blocks never span basic blocks, barriers, or scratchpad/constant
+//    accesses (§3.1).
+//  * Predicate-setting compares always stay on the GPU; a block cannot use
+//    a predicate defined inside itself on an NSU-side instruction.
+//  * No value may flow from an in-block load into an in-block memory
+//    address or compare: such regions are split after the feeding load so
+//    the loaded value returns to the GPU (as a live-out register) before
+//    the dependent block begins.  This is exactly how x = B[A[i]] becomes
+//    two blocks, the second being a "single indirect load" block (§4.4).
+//  * Any single indirect load (address derived from memory data) is added
+//    as its own offload block even when Eq. 1 rejects it (§4.4) — the
+//    static score cannot see the divergence savings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace sndp {
+
+struct AnalyzerOptions {
+  double min_score = 0.0;       // accept candidates with Score > min_score
+  bool indirect_rule = true;    // §4.4
+  unsigned max_mem_insts = 64;  // bound from the seq-number field width
+};
+
+// A candidate/accepted region prior to code generation.
+struct BlockCandidate {
+  unsigned begin = 0;  // original program index of the first instruction
+  unsigned end = 0;    // one past the last instruction
+  unsigned num_loads = 0;
+  unsigned num_stores = 0;
+  std::vector<std::uint8_t> regs_in;
+  std::vector<std::uint8_t> regs_out;
+  // Per-instruction roles, relative to `begin`.
+  std::vector<bool> on_nsu;
+  std::vector<bool> addr_calc;
+  bool needs_preds = false;
+  bool indirect_single_load = false;
+  double score = 0.0;
+};
+
+struct AnalysisResult {
+  std::vector<BlockCandidate> accepted;
+  std::vector<BlockCandidate> rejected;  // scored but not profitable
+};
+
+// Analyze `prog` and return accepted (and rejected) candidates, in
+// program order, non-overlapping.
+AnalysisResult analyze(const Program& prog, const AnalyzerOptions& opts = {});
+
+std::string to_string(const BlockCandidate& c);
+
+}  // namespace sndp

@@ -1,0 +1,101 @@
+#include "offload/dataflow.h"
+
+namespace sndp {
+
+RegSet read_set(const Instr& instr) {
+  RegSet set;
+  for_each_src_reg(instr, [&](std::uint8_t r) { set.set(r); });
+  return set;
+}
+
+RegSet write_set(const Instr& instr) {
+  RegSet set;
+  if (instr.writes_reg()) set.set(instr.dst);
+  return set;
+}
+
+std::vector<bool> address_slice(const Program& prog, unsigned begin, unsigned end) {
+  std::vector<bool> in_slice(end - begin, false);
+  // Walk backwards keeping the set of registers that are "address sources":
+  // a register needed (transitively) to compute a memory base address that
+  // is *defined later* in the range.
+  RegSet needed;
+  for (unsigned i = end; i-- > begin;) {
+    const Instr& in = prog.at(i);
+    if (in.writes_reg() && needed.test(in.dst)) {
+      in_slice[i - begin] = true;
+      needed.reset(in.dst);
+      needed |= read_set(in);
+    }
+    if (in.is_global_mem()) {
+      needed.set(in.src[0]);  // base address register
+    }
+  }
+  return in_slice;
+}
+
+std::vector<bool> load_data_consumers(const Program& prog, unsigned begin, unsigned end) {
+  std::vector<bool> consumes(end - begin, false);
+  RegSet tainted;
+  for (unsigned i = begin; i < end; ++i) {
+    const Instr& in = prog.at(i);
+    const bool reads_taint = (read_set(in) & tainted).any();
+    if (reads_taint) consumes[i - begin] = true;
+    if (in.op == Opcode::kLd) {
+      tainted.set(in.dst);
+    } else if (in.writes_reg()) {
+      if (reads_taint) {
+        tainted.set(in.dst);  // taint propagates through ALU chains
+      } else {
+        tainted.reset(in.dst);  // redefinition from clean sources kills taint
+      }
+    }
+  }
+  return consumes;
+}
+
+namespace {
+
+// Successor instruction indices of `i` for liveness purposes.
+void for_each_successor(const Program& prog, unsigned i, auto&& fn) {
+  const Instr& in = prog.at(i);
+  if (in.op == Opcode::kExit) return;
+  if (in.op == Opcode::kBra) {
+    fn(static_cast<unsigned>(in.target));
+    // A guarded branch can fall through; an unguarded one always jumps.
+    if (in.guard_pred == kNoPred) return;
+  }
+  if (i + 1 < prog.size()) fn(i + 1);
+}
+
+}  // namespace
+
+RegSet live_registers_at(const Program& prog, unsigned index) {
+  const unsigned n = static_cast<unsigned>(prog.size());
+  std::vector<RegSet> live_in(n + 1);  // live_in[i] = live before instruction i
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (unsigned i = n; i-- > 0;) {
+      const Instr& in = prog.at(i);
+      RegSet out;
+      for_each_successor(prog, i, [&](unsigned s) { out |= live_in[s]; });
+      RegSet next = out;
+      // A guarded write may not execute: it does not kill the register.
+      if (in.writes_reg() && in.guard_pred == kNoPred) next.reset(in.dst);
+      next |= read_set(in);
+      if (next != live_in[i]) {
+        live_in[i] = next;
+        changed = true;
+      }
+    }
+  }
+  return index < n ? live_in[index] : RegSet{};
+}
+
+bool live_outside(const Program& prog, unsigned begin, unsigned end, unsigned reg) {
+  (void)begin;
+  return live_registers_at(prog, end).test(reg);
+}
+
+}  // namespace sndp

@@ -1,0 +1,45 @@
+// Register dataflow utilities used by the offload-block analyzer:
+// address slices (which ALU ops feed memory addresses), load-data taint
+// (which registers transitively hold values loaded inside a region), and
+// conservative liveness (is a register read outside a region).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace sndp {
+
+using RegSet = std::bitset<kNumRegs>;
+
+// Registers read by `instr` (excluding immediates / unused slots).
+RegSet read_set(const Instr& instr);
+
+// Register written by `instr` (empty set if none).
+RegSet write_set(const Instr& instr);
+
+// For the half-open instruction range [begin, end) of `prog`, returns a
+// bool per instruction in the range: true if the instruction is part of
+// some memory instruction's *address slice* — it transitively produces the
+// base-address register (src[0]) of a global LD/ST inside the range.
+// Address slices stay on the GPU under partitioned execution (§4.1).
+std::vector<bool> address_slice(const Program& prog, unsigned begin, unsigned end);
+
+// For [begin, end), returns a bool per instruction: true if the instruction
+// consumes load data — it reads a register that transitively derives from
+// the result of a global LD inside the range.
+std::vector<bool> load_data_consumers(const Program& prog, unsigned begin, unsigned end);
+
+// Registers live at the program point just before instruction `index`
+// (index == prog.size() is the exit point: nothing live).  Computed by a
+// backward dataflow fixpoint over the full CFG (branches, loops).  Writes
+// under a guard predicate do not kill (the write may not happen).
+RegSet live_registers_at(const Program& prog, unsigned index);
+
+// True if `reg` is live at the program point `end` — i.e., a path from the
+// end of a block [*, end) reads it before writing it.
+bool live_outside(const Program& prog, unsigned begin, unsigned end, unsigned reg);
+
+}  // namespace sndp

@@ -1,0 +1,32 @@
+#include "offload/target_selection.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace sndp {
+
+TargetSelectionStats simulate_target_selection(unsigned num_hmcs, unsigned num_accesses,
+                                               TargetPolicy policy, unsigned trials, Rng& rng) {
+  if (num_hmcs == 0 || num_accesses == 0 || trials == 0) {
+    throw std::invalid_argument("simulate_target_selection: zero-sized input");
+  }
+  double total = 0.0;
+  std::vector<unsigned> counts(num_hmcs);
+  for (unsigned t = 0; t < trials; ++t) {
+    std::fill(counts.begin(), counts.end(), 0u);
+    unsigned first = 0;
+    for (unsigned a = 0; a < num_accesses; ++a) {
+      const unsigned h = static_cast<unsigned>(rng.next_below(num_hmcs));
+      if (a == 0) first = h;
+      ++counts[h];
+    }
+    const unsigned local = policy == TargetPolicy::kFirstAccess
+                               ? counts[first]
+                               : *std::max_element(counts.begin(), counts.end());
+    total += static_cast<double>(num_accesses - local) / static_cast<double>(num_accesses);
+  }
+  return TargetSelectionStats{total / static_cast<double>(trials)};
+}
+
+}  // namespace sndp

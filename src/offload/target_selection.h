@@ -1,0 +1,27 @@
+// Analytical Monte-Carlo model behind the target-NSU selection policy study
+// (paper Fig. 5): with memory accesses spread uniformly over the HMCs, how
+// much inter-stack traffic does "target = HMC of the first access" cost
+// versus the optimal "target = HMC with the most accesses"?
+//
+// Traffic metric: the fraction of a block's memory accesses that are remote
+// to the chosen target NSU and therefore cross the memory network
+// (normalized so that all-remote == 1.0, matching the figure's scale).
+#pragma once
+
+#include "common/rng.h"
+
+namespace sndp {
+
+enum class TargetPolicy {
+  kFirstAccess,  // the paper's policy (bounded state)
+  kOptimal,      // needs unbounded address buffering (rejected by the paper)
+};
+
+struct TargetSelectionStats {
+  double mean_traffic = 0.0;  // normalized remote-access fraction
+};
+
+TargetSelectionStats simulate_target_selection(unsigned num_hmcs, unsigned num_accesses,
+                                               TargetPolicy policy, unsigned trials, Rng& rng);
+
+}  // namespace sndp

@@ -1,0 +1,24 @@
+#include "sim/clock.h"
+
+#include <stdexcept>
+
+namespace sndp {
+
+TimePs Scheduler::step() {
+  if (domains_.empty()) throw std::logic_error("Scheduler: no clock domains");
+  // Find the earliest edge.
+  TimePs earliest = kTimeNever;
+  for (const ClockDomain* d : domains_) {
+    const TimePs t = d->next_time();
+    if (t < earliest) earliest = t;
+  }
+  now_ = earliest;
+  // Tick every domain whose edge lands exactly at this instant, in
+  // registration order (deterministic tie-break).
+  for (ClockDomain* d : domains_) {
+    if (d->next_time() == earliest) d->run_tick();
+  }
+  return now_;
+}
+
+}  // namespace sndp

@@ -1,0 +1,46 @@
+// Shared, non-owning wiring context handed to every timed component, plus
+// the kernel-launch descriptor.  All pointers are owned by the Simulator
+// and outlive the components.
+#pragma once
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace sndp {
+
+class AddressMap;
+class GlobalMemory;
+class Network;
+class OffloadGovernor;
+class NdpBufferManager;
+class RoCacheMirror;
+class WtaInflightTracker;
+struct EnergyCounters;
+struct KernelImage;
+
+// Kernel grid: num_ctas thread blocks of cta_threads threads each.
+// Thread register conventions at launch:
+//   R0 = global thread id, R1 = total thread count,
+//   R2 = CTA id,           R3 = thread id within the CTA.
+struct LaunchParams {
+  unsigned cta_threads = 256;
+  unsigned num_ctas = 1;
+  unsigned total_threads() const { return cta_threads * num_ctas; }
+  unsigned warps_per_cta() const { return (cta_threads + kWarpWidth - 1) / kWarpWidth; }
+};
+
+struct SystemContext {
+  const SystemConfig* cfg = nullptr;
+  const AddressMap* amap = nullptr;
+  GlobalMemory* gmem = nullptr;
+  Network* net = nullptr;
+  OffloadGovernor* governor = nullptr;
+  NdpBufferManager* bufmgr = nullptr;
+  EnergyCounters* energy = nullptr;
+  RoCacheMirror* ro_cache = nullptr;
+  WtaInflightTracker* wta_tracker = nullptr;
+  const KernelImage* image = nullptr;
+  LaunchParams launch{};
+};
+
+}  // namespace sndp

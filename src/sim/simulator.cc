@@ -1,0 +1,183 @@
+#include "sim/simulator.h"
+
+#include "sim/trace.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/log.h"
+#include "ctrl/governor.h"
+#include "gpu/gpu.h"
+#include "gpu/wta_tracker.h"
+#include "ndp/ro_cache.h"
+#include "mem/address_map.h"
+#include "mem/hmc.h"
+#include "memfunc/global_memory.h"
+#include "noc/network.h"
+#include "offload/codegen.h"
+#include "workloads/workload.h"
+
+namespace sndp {
+
+Simulator::Simulator(const SystemConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+
+RunResult Simulator::run(Workload& workload) {
+  GlobalMemory gmem;
+  MemoryAllocator alloc;
+  Rng rng(cfg_.placement_seed ^ 0xABCDEF);
+  workload.setup(gmem, alloc, rng);
+  const KernelImage image = analyze_and_generate(workload.program(), analyzer_opts_);
+  RunResult result = run_image(image, workload.launch(), gmem, workload.name());
+  result.verified = workload.verify(gmem);
+  return result;
+}
+
+RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& launch,
+                               GlobalMemory& gmem, const std::string& name) {
+  RunResult result;
+  result.workload = name;
+
+  AddressMap amap(cfg_);
+  Network net(cfg_);
+  TraceWriter trace;
+  if (!cfg_.trace_path.empty()) {
+    for (unsigned h = 0; h < cfg_.num_hmcs; ++h) {
+      trace.name_row(static_cast<int>(h), "HMC " + std::to_string(h));
+    }
+    trace.name_row(static_cast<int>(cfg_.num_hmcs), "GPU");
+    net.set_trace(&trace);
+  }
+  EnergyCounters counters;
+  OffloadGovernor governor(cfg_.governor, static_cast<unsigned>(image.blocks.size()),
+                           cfg_.l2.line_bytes, cfg_.placement_seed ^ 0x60BE44);
+  NdpBufferManager bufmgr(cfg_.ndp_buffers, cfg_.num_hmcs);
+  RoCacheMirror ro_cache(cfg_.num_hmcs, cfg_.nsu, cfg_.l2.line_bytes);
+  WtaInflightTracker wta_tracker(cfg_.num_hmcs);
+
+  SystemContext ctx;
+  ctx.cfg = &cfg_;
+  ctx.amap = &amap;
+  ctx.gmem = &gmem;
+  ctx.net = &net;
+  ctx.governor = &governor;
+  ctx.bufmgr = &bufmgr;
+  ctx.energy = &counters;
+  ctx.ro_cache = &ro_cache;
+  ctx.wta_tracker = &wta_tracker;
+  ctx.image = &image;
+  ctx.launch = launch;
+
+  Gpu gpu(ctx);
+  std::vector<std::unique_ptr<Hmc>> hmcs;
+  for (unsigned h = 0; h < cfg_.num_hmcs; ++h) hmcs.push_back(std::make_unique<Hmc>(h, ctx));
+
+  // Clock domains (Table 2).
+  ClockDomain sm_domain("sm", cfg_.clocks.sm_khz);
+  ClockDomain l2_domain("l2", cfg_.clocks.l2_khz);
+  ClockDomain dram_domain("dram", cfg_.clocks.dram_khz);
+  ClockDomain nsu_domain("nsu", cfg_.clocks.nsu_khz);
+  for (auto& sm : gpu.sms()) sm_domain.add(sm.get());
+  sm_domain.add(&gpu.core_tickable());
+  l2_domain.add(&gpu.l2_tickable());
+  for (auto& hmc : hmcs) dram_domain.add(hmc.get());
+  for (auto& hmc : hmcs) nsu_domain.add(&hmc->nsu());
+
+  Scheduler sched;
+  sched.add(&sm_domain);
+  sched.add(&l2_domain);
+  sched.add(&dram_domain);
+  sched.add(&nsu_domain);
+
+  auto system_idle = [&] {
+    if (!gpu.idle() || !net.idle()) return false;
+    for (const auto& hmc : hmcs) {
+      if (!hmc->idle()) return false;
+    }
+    return true;
+  };
+
+  // Main loop: poll idle every few edges (the check scans every component).
+  bool completed = false;
+  while (true) {
+    for (unsigned i = 0; i < 64; ++i) sched.step();
+    if (system_idle()) {
+      completed = true;
+      break;
+    }
+    if (sched.now() >= cfg_.max_time_ps) break;
+  }
+
+  result.completed = completed;
+  result.sm_cycles = sm_domain.now_cycle();
+  result.runtime_ps = sched.now();
+  result.stall_dependency = gpu.total_stall_dependency();
+  result.stall_exec_busy = gpu.total_stall_exec_busy();
+  result.stall_warp_idle = gpu.total_stall_warp_idle();
+  result.ipc = result.sm_cycles
+                   ? static_cast<double>(gpu.total_issued()) / static_cast<double>(result.sm_cycles)
+                   : 0.0;
+  result.gpu_link_bytes = net.gpu_up_bytes() + net.gpu_down_bytes();
+  result.cube_link_bytes = net.cube_bytes();
+  {
+    auto it = net.bytes_by_type().find(PacketType::kCacheInval);
+    result.inval_bytes = it == net.bytes_by_type().end() ? 0 : it->second;
+  }
+
+  // Fold DRAM counters into the energy counters.
+  for (const auto& hmc : hmcs) counters.dram_activates += hmc->total_activates();
+  counters.offchip_bytes = net.total_offchip_bytes();
+  {
+    std::uint64_t active = 0;
+    for (const auto& sm : gpu.sms()) active += sm->active_cycles;
+    counters.sm_active_seconds =
+        static_cast<double>(active) / (static_cast<double>(cfg_.clocks.sm_khz) * 1e3);
+  }
+  result.counters = counters;
+
+  const bool ndp_enabled = cfg_.governor.mode != OffloadMode::kOff;
+  result.energy = EnergyModel(cfg_.energy)
+                      .compute(counters, result.runtime_ps, cfg_.num_sms, cfg_.num_hmcs,
+                               ndp_enabled);
+
+  // End-of-run invariants: with everything drained, all NSU buffer credits
+  // must be home and no WTA can still be in flight (§4.1.1 page-migration
+  // safety).  (Only meaningful when the run completed.)
+  if (completed && !bufmgr.all_idle()) {
+    throw std::logic_error("Simulator: NDP buffer credits leaked");
+  }
+  if (completed && !wta_tracker.all_quiescent()) {
+    throw std::logic_error("Simulator: in-flight WTA counter leaked");
+  }
+
+  // Export stats.
+  gpu.export_stats(result.stats);
+  governor.export_stats(result.stats);
+  bufmgr.export_stats(result.stats);
+  net.export_stats(result.stats);
+  for (unsigned h = 0; h < hmcs.size(); ++h) {
+    hmcs[h]->export_stats(result.stats, "hmc" + std::to_string(h));
+  }
+  result.energy.export_stats(result.stats);
+  result.stats.set("wta.max_inflight", static_cast<double>(wta_tracker.max_seen()));
+  result.stats.set("wta.total", static_cast<double>(wta_tracker.total()));
+  result.stats.set("rocache.hits", static_cast<double>(ro_cache.hits()));
+  result.stats.set("rocache.fills", static_cast<double>(ro_cache.fills()));
+  result.stats.set("rocache.invalidations", static_cast<double>(ro_cache.invalidations()));
+  result.stats.set("sim.sm_cycles", static_cast<double>(result.sm_cycles));
+  result.stats.set("sim.runtime_ps", static_cast<double>(result.runtime_ps));
+  result.stats.set("sim.ipc", result.ipc);
+  result.stats.set("sim.completed", completed ? 1.0 : 0.0);
+
+  if (!completed) {
+    SNDP_WARN("sim", "run '%s' hit the simulated-time safety valve", name.c_str());
+  }
+  if (!cfg_.trace_path.empty()) {
+    if (!trace.write(cfg_.trace_path)) {
+      SNDP_WARN("sim", "failed to write trace to '%s'", cfg_.trace_path.c_str());
+    }
+    result.stats.set("trace.events", static_cast<double>(trace.size()));
+  }
+  return result;
+}
+
+}  // namespace sndp

@@ -1,0 +1,75 @@
+// Top-level facade: builds the whole system (GPU + HMCs + memory network +
+// governor) for a workload, runs it to completion, and returns a RunResult
+// with timing, traffic, stall, and energy statistics.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto cfg = SystemConfig::paper();
+//   cfg.governor.mode = OffloadMode::kDynamicCache;
+//   VaddWorkload wl(ProblemScale::kSmall);
+//   RunResult r = Simulator(cfg).run(wl);
+//   std::cout << r.sm_cycles << " cycles, verified=" << r.verified << "\n";
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "energy/energy_model.h"
+#include "isa/program.h"
+#include "offload/analyzer.h"
+#include "sim/context.h"
+
+namespace sndp {
+
+class Workload;
+
+struct RunResult {
+  std::string workload;
+  bool completed = false;  // false: hit the simulated-time safety valve
+  bool verified = false;   // workload oracle check on final memory contents
+  Cycle sm_cycles = 0;
+  TimePs runtime_ps = 0;
+  double ipc = 0.0;
+
+  // Fig. 8 stall cycles (aggregated over SMs).
+  std::uint64_t stall_dependency = 0;
+  std::uint64_t stall_exec_busy = 0;
+  std::uint64_t stall_warp_idle = 0;
+
+  // Off-chip traffic split (bytes).
+  std::uint64_t gpu_link_bytes = 0;
+  std::uint64_t cube_link_bytes = 0;
+  std::uint64_t inval_bytes = 0;  // §4.2 coherence overhead
+
+  EnergyCounters counters{};
+  EnergyBreakdown energy{};
+  StatSet stats;
+
+  double speedup_vs(const RunResult& baseline) const {
+    return static_cast<double>(baseline.sm_cycles) / static_cast<double>(sm_cycles);
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SystemConfig& cfg);
+
+  // Runs `workload` to completion on a freshly-built system.
+  RunResult run(Workload& workload);
+
+  // For tests: run a pre-built kernel image directly (the workload's setup
+  // must already have populated `gmem`).
+  RunResult run_image(const KernelImage& image, const LaunchParams& launch,
+                      class GlobalMemory& gmem, const std::string& name);
+
+  const AnalyzerOptions& analyzer_options() const { return analyzer_opts_; }
+  void set_analyzer_options(const AnalyzerOptions& opts) { analyzer_opts_ = opts; }
+
+ private:
+  SystemConfig cfg_;
+  AnalyzerOptions analyzer_opts_{};
+};
+
+}  // namespace sndp

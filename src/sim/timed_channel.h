@@ -1,0 +1,60 @@
+// TimedChannel<T>: an in-order message channel with per-message delivery
+// times.  The sender pushes with an absolute ready time; the receiver polls
+// with the current time and pops messages whose time has come.  FIFO order
+// is preserved even if a later push computes an earlier ready time (the
+// ready time is clamped to be monotonic, which models an in-order pipe).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.h"
+
+namespace sndp {
+
+template <typename T>
+class TimedChannel {
+ public:
+  void push(T msg, TimePs ready_ps) {
+    if (!queue_.empty() && ready_ps < queue_.back().ready_ps) {
+      ready_ps = queue_.back().ready_ps;  // keep FIFO / in-order semantics
+    }
+    queue_.push_back(Entry{ready_ps, std::move(msg)});
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // True if the head message is deliverable at `now`.
+  bool ready(TimePs now) const { return !queue_.empty() && queue_.front().ready_ps <= now; }
+
+  // Peek at the head message (must be non-empty).
+  const T& front() const { return queue_.front().msg; }
+  TimePs front_ready_ps() const { return queue_.front().ready_ps; }
+
+  // Pop the head if deliverable at `now`.
+  std::optional<T> pop_ready(TimePs now) {
+    if (!ready(now)) return std::nullopt;
+    T msg = std::move(queue_.front().msg);
+    queue_.pop_front();
+    return msg;
+  }
+
+  // Pop unconditionally (used when draining at end of simulation).
+  T pop() {
+    T msg = std::move(queue_.front().msg);
+    queue_.pop_front();
+    return msg;
+  }
+
+ private:
+  struct Entry {
+    TimePs ready_ps;
+    T msg;
+  };
+  std::deque<Entry> queue_;
+};
+
+}  // namespace sndp

@@ -1,0 +1,78 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sndp {
+namespace {
+
+// JSON string escaping for the small set of names we emit.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+double us(TimePs ps) { return static_cast<double>(ps) * 1e-6; }
+
+}  // namespace
+
+void TraceWriter::complete(const std::string& name, const std::string& category, int tid,
+                           TimePs start_ps, TimePs dur_ps) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{'X', name, category, tid, start_ps, dur_ps});
+}
+
+void TraceWriter::instant(const std::string& name, const std::string& category, int tid,
+                          TimePs at_ps) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{'i', name, category, tid, at_ps, 0});
+}
+
+void TraceWriter::name_row(int tid, const std::string& name) {
+  row_names_.emplace_back(tid, name);
+}
+
+std::string TraceWriter::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : row_names_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << escape(name) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\""
+       << escape(e.name) << "\",\"cat\":\"" << escape(e.category) << "\",\"ts\":" << us(e.start_ps);
+    if (e.phase == 'X') os << ",\"dur\":" << us(e.dur_ps);
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool TraceWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace sndp

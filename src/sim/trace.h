@@ -1,0 +1,55 @@
+// Chrome-trace (about://tracing, Perfetto) event writer.
+//
+// When `SystemConfig::trace_path` is set, the simulator records packet
+// flights and offload-block lifecycles and writes a JSON trace at the end
+// of the run.  Rows (tids) group events by component: one row per HMC link
+// direction, one per NSU, one for the GPU.  Load a trace with
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sndp {
+
+class TraceWriter {
+ public:
+  // Complete ("X") event: [start_ps, start_ps + dur_ps) on row `tid`.
+  void complete(const std::string& name, const std::string& category, int tid,
+                TimePs start_ps, TimePs dur_ps);
+  // Instant ("i") event.
+  void instant(const std::string& name, const std::string& category, int tid, TimePs at_ps);
+  // Names a row in the viewer.
+  void name_row(int tid, const std::string& name);
+
+  std::size_t size() const { return events_.size(); }
+
+  // Serializes to Chrome-trace JSON (timestamps in microseconds).
+  std::string to_json() const;
+  // Writes to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+  // Bound the trace to keep giant runs tractable; events past the cap are
+  // dropped (counted in dropped()).
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct Event {
+    char phase;  // 'X' or 'i'
+    std::string name;
+    std::string category;
+    int tid;
+    TimePs start_ps;
+    TimePs dur_ps;
+  };
+  std::vector<Event> events_;
+  std::vector<std::pair<int, std::string>> row_names_;
+  std::size_t capacity_ = 2'000'000;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sndp

@@ -1,0 +1,71 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void BfsWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  // The node arrays must exceed the 2 MB L2 or the "divergent" gathers all
+  // hit on chip and NDP has nothing to save (the paper uses 1M nodes).
+  nodes_ = pick<std::uint64_t>(2048, 131072, 524288);
+  edges_ = alloc.alloc(nodes_ * kDegree * 8);
+  val_ = alloc.alloc(nodes_ * 8);
+  dist_ = alloc.alloc(nodes_ * 8);
+  res_ = alloc.alloc(nodes_ * 8);
+  for (std::uint64_t v = 0; v < nodes_; ++v) {
+    mem.write_f64(val_ + 8 * v, wl::value(v, 41));
+    mem.write_f64(dist_ + 8 * v, wl::value(v, 42));
+    for (unsigned e = 0; e < kDegree; ++e) {
+      mem.write_u64(edges_ + 8 * (v * kDegree + e),
+                    wl::index(v * kDegree + e, nodes_, 43));
+    }
+  }
+
+  // Per node: gather val[] and dist[] of its neighbors through the edge
+  // list.  The neighbor ids are (pseudo)random, so the two dependent loads
+  // are divergent — the analyzer turns each into a single-instruction
+  // indirect offload block (§4.4) and the NDP path fetches only the touched
+  // words instead of whole cache lines.
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(edges_))
+      .movi(17, static_cast<std::int64_t>(val_))
+      .movi(18, static_cast<std::int64_t>(dist_))
+      .movi(19, static_cast<std::int64_t>(res_))
+      .mov(7, 0)
+      .movi(6, static_cast<std::int64_t>(nodes_))
+      .label("loop")
+      .movi(20, 0)  // acc = +0.0 (bit pattern)
+      .madi(8, 7, 8 * kDegree, 16);
+  for (unsigned e = 0; e < kDegree; ++e) {
+    pb.ld(10, 8, static_cast<std::int64_t>(8 * e));  // eid — streaming, regular
+    pb.madi(11, 10, 8, 17);                           // &val[eid]   (address from data)
+    pb.ld(12, 11);                                    // indirect block #1
+    pb.madi(13, 10, 8, 18);                           // &dist[eid]
+    pb.ld(14, 13);                                    // indirect block #2
+    pb.alu(Opcode::kFAdd, 20, 20, 12);
+    pb.alu(Opcode::kFAdd, 20, 20, 14);
+  }
+  pb.madi(9, 7, 8, 19)
+      .st(9, 20)
+      .alu(Opcode::kIAdd, 7, 7, 1)
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("loop")
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(nodes_ / 256 / kGridStride)};
+}
+
+bool BfsWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t v = 0; v < nodes_; ++v) {
+    double acc = 0.0;
+    for (unsigned e = 0; e < kDegree; ++e) {
+      const std::uint64_t eid = wl::index(v * kDegree + e, nodes_, 43);
+      acc += wl::value(eid, 41);
+      acc += wl::value(eid, 42);
+    }
+    if (mem.read_f64(res_ + 8 * v) != acc) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

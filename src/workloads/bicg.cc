@@ -1,0 +1,71 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void BicgWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  n_ = pick<std::uint64_t>(2048, 131072, 524288);
+  a_ = alloc.alloc(2 * n_ * 8);  // A followed by A^T stripe
+  p_ = alloc.alloc(n_ * 8);
+  r_ = alloc.alloc(n_ * 8);
+  q_ = alloc.alloc(n_ * 8);
+  s_ = alloc.alloc(n_ * 8);
+  for (std::uint64_t i = 0; i < 2 * n_; ++i) mem.write_f64(a_ + 8 * i, wl::value(i, 51));
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    mem.write_f64(p_ + 8 * i, wl::value(i, 52));
+    mem.write_f64(r_ + 8 * i, wl::value(i, 53));
+  }
+
+  // The two BiCG partial products: q[i] = A[i] * p[i] and
+  // s[i] = A^T[i] * r[i].  A scratchpad staging store of the first product
+  // sits between them (as the Polybench kernel stages data in shared
+  // memory), which both exercises the SHM path and splits the region into
+  // the paper's two offload blocks.
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(a_))
+      .movi(17, static_cast<std::int64_t>(p_))
+      .movi(18, static_cast<std::int64_t>(r_))
+      .movi(19, static_cast<std::int64_t>(q_))
+      .movi(20, static_cast<std::int64_t>(s_))
+      .movi(24, 0)
+      .mov(7, 0)
+      .movi(6, static_cast<std::int64_t>(n_))
+      .label("loop")
+      // Block 1: q[i] = A[i] * p[i].
+      .madi(8, 7, 8, 16)
+      .madi(9, 7, 8, 17)
+      .madi(10, 7, 8, 19)
+      .ld(11, 8)
+      .ld(12, 9)
+      .alu(Opcode::kFMul, 13, 11, 12)
+      .st(10, 13)
+      // Scratchpad staging (never inside an offload block, §3.1).
+      .madi(25, 3, 8, 24)
+      .shm_st(25, 13)
+      // Block 2: s[i] = A^T[i] * r[i].
+      .madi(8, 7, 8, 16)
+      .alui(Opcode::kIAdd, 8, 8, static_cast<std::int64_t>(n_ * 8))
+      .madi(9, 7, 8, 18)
+      .madi(10, 7, 8, 20)
+      .ld(11, 8)
+      .ld(12, 9)
+      .alu(Opcode::kFMul, 13, 11, 12)
+      .st(10, 13)
+      .alu(Opcode::kIAdd, 7, 7, 1)
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("loop")
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(n_ / 256 / kGridStride)};
+}
+
+bool BicgWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    if (mem.read_f64(q_ + 8 * i) != wl::value(i, 51) * wl::value(i, 52)) return false;
+    if (mem.read_f64(s_ + 8 * i) != wl::value(n_ + i, 51) * wl::value(i, 53)) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

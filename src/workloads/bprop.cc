@@ -1,0 +1,63 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void BpropWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  neurons_ = pick<std::uint64_t>(2048, 16384, 65536);
+  w_ = alloc.alloc(neurons_ * kInputs * 8);
+  in_ = alloc.alloc(kInputs * 8);
+  out_ = alloc.alloc(neurons_ * 8);
+  for (std::uint64_t i = 0; i < kInputs; ++i) mem.write_f64(in_ + 8 * i, wl::value(i, 31));
+  for (std::uint64_t i = 0; i < neurons_ * kInputs; ++i) {
+    mem.write_f64(w_ + 8 * i, wl::value(i, 32));
+  }
+
+  // out[j] = sum_i W[i][j] * IN[i].  IN is a tiny structure (like the
+  // paper's 68 B BPROP constant) that always hits in the GPU caches, but an
+  // offloaded instance pushes it across the GPU link on every RDF hit —
+  // the §7.1 pathology.  W[i][j] is laid out with j contiguous so the
+  // weight loads coalesce and stream.
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(w_))
+      .movi(17, static_cast<std::int64_t>(in_))
+      .movi(18, static_cast<std::int64_t>(out_))
+      .mov(7, 0)
+      .movi(6, static_cast<std::int64_t>(neurons_))
+      .label("loop")
+      .madi(8, 7, 8, 16);  // &W[0][j]
+  for (unsigned i = 0; i < kInputs; ++i) {
+    const auto w_off = static_cast<std::int64_t>(i * neurons_ * 8);
+    pb.ld(10, 8, w_off);                          // W[i][j] — streaming
+    pb.ld(11, 17, static_cast<std::int64_t>(i * 8));  // IN[i] — cache resident
+    if (i == 0) {
+      pb.alu(Opcode::kFMul, 12, 10, 11);
+    } else {
+      pb.fma(12, 10, 11, 12);
+    }
+  }
+  pb.madi(9, 7, 8, 18)
+      .st(9, 12)
+      .alu(Opcode::kIAdd, 7, 7, 1)
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("loop")
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(neurons_ / 256 / kGridStride)};
+}
+
+bool BpropWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t j = 0; j < neurons_; ++j) {
+    double acc = 0.0;
+    for (unsigned i = 0; i < kInputs; ++i) {
+      const double w = wl::value(static_cast<std::uint64_t>(i) * neurons_ + j, 32);
+      const double in = wl::value(i, 31);
+      acc = i == 0 ? w * in : w * in + acc;
+    }
+    if (mem.read_f64(out_ + 8 * j) != acc) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

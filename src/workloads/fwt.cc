@@ -1,0 +1,50 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void FwtWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  n_ = pick<std::uint64_t>(1024, 65536, 262144);  // butterfly pairs
+  data_ = alloc.alloc(2 * n_ * 8);
+  out_ = alloc.alloc(2 * n_ * 8);
+  for (std::uint64_t i = 0; i < 2 * n_; ++i) mem.write_f64(data_ + 8 * i, wl::value(i, 61));
+
+  // One butterfly stage — out[i] = d[i] + d[i+n], out[i+n] = d[i] - d[i+n]
+  // — then a barrier, then the normalization pass out[*] /= 2.  Two offload
+  // blocks separated by the CTA barrier (blocks never span BAR, §3.1).
+  const auto half = static_cast<std::int64_t>(n_ * 8);
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(data_))
+      .movi(17, static_cast<std::int64_t>(out_))
+      .madi(8, 0, 8, 16)   // &d[i]
+      .madi(9, 0, 8, 17)   // &out[i]
+      .ld(10, 8)           // d[i]
+      .ld(11, 8, half)     // d[i+n]
+      .alu(Opcode::kFAdd, 12, 10, 11)
+      .alu(Opcode::kFSub, 13, 10, 11)
+      .st(9, 12)
+      .st(9, 13, half)
+      .bar()
+      // Normalization of this thread's own two elements.
+      .ld(14, 9)
+      .alui(Opcode::kFDiv, 14, 14, 2)
+      .st(9, 14)
+      .ld(15, 9, half)
+      .alui(Opcode::kFDiv, 15, 15, 2)
+      .st(9, 15, half)
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(n_ / 256)};
+}
+
+bool FwtWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    const double a = wl::value(i, 61);
+    const double b = wl::value(n_ + i, 61);
+    if (mem.read_f64(out_ + 8 * i) != (a + b) / 2.0) return false;
+    if (mem.read_f64(out_ + 8 * (n_ + i)) != (a - b) / 2.0) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

@@ -1,0 +1,59 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void MinifeWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  nnz_ = pick<std::uint64_t>(2048, 131072, 524288);
+  // x[] must not fit in the L2 (the paper's 128x64x64 grid does not), or
+  // the gather loses its divergence cost on the baseline.
+  ncols_ = nnz_ * 2;
+  a_ = alloc.alloc(nnz_ * 8);
+  col_ = alloc.alloc(nnz_ * 8);
+  x_ = alloc.alloc(ncols_ * 8);
+  p_ = alloc.alloc(nnz_ * 8);
+  for (std::uint64_t k = 0; k < nnz_; ++k) {
+    mem.write_f64(a_ + 8 * k, wl::value(k, 71));
+    mem.write_u64(col_ + 8 * k, wl::index(k, ncols_, 72));
+  }
+  for (std::uint64_t c = 0; c < ncols_; ++c) mem.write_f64(x_ + 8 * c, wl::value(c, 73));
+
+  // Sparse matvec partials: P[k] = A[k] * x[col[k]].  The x[] gather is
+  // indirect through the streamed column index — the column load ends one
+  // block and the gather + product + store form the next (the analyzer's
+  // taint split).
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(a_))
+      .movi(17, static_cast<std::int64_t>(col_))
+      .movi(18, static_cast<std::int64_t>(x_))
+      .movi(19, static_cast<std::int64_t>(p_))
+      .mov(7, 0)
+      .movi(6, static_cast<std::int64_t>(nnz_))
+      .label("loop")
+      .madi(8, 7, 8, 16)   // &A[k]
+      .madi(9, 7, 8, 17)   // &col[k]
+      .ld(10, 9)           // c = col[k]
+      .madi(11, 10, 8, 18) // &x[c]  — address from loaded data: block split
+      .ld(12, 11)          // x[c] — divergent gather
+      .ld(13, 8)           // A[k]
+      .alu(Opcode::kFMul, 14, 12, 13)
+      .madi(15, 7, 8, 19)
+      .st(15, 14)
+      .alu(Opcode::kIAdd, 7, 7, 1)
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("loop")
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(nnz_ / 256 / kGridStride)};
+}
+
+bool MinifeWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t k = 0; k < nnz_; ++k) {
+    const double expect = wl::value(wl::index(k, ncols_, 72), 73) * wl::value(k, 71);
+    if (mem.read_f64(p_ + 8 * k) != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

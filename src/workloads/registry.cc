@@ -1,0 +1,29 @@
+#include "workloads/registry.h"
+
+#include <stdexcept>
+
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> kNames = {"BPROP", "BFS",    "BICG", "FWT",  "KMN",
+                                                  "MiniFE", "SP",    "STN",  "STCL", "VADD"};
+  return kNames;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name, ProblemScale scale) {
+  if (name == "BPROP") return std::make_unique<BpropWorkload>(scale);
+  if (name == "BFS") return std::make_unique<BfsWorkload>(scale);
+  if (name == "BICG") return std::make_unique<BicgWorkload>(scale);
+  if (name == "FWT") return std::make_unique<FwtWorkload>(scale);
+  if (name == "KMN") return std::make_unique<KmnWorkload>(scale);
+  if (name == "MiniFE") return std::make_unique<MinifeWorkload>(scale);
+  if (name == "SP") return std::make_unique<SpWorkload>(scale);
+  if (name == "STN") return std::make_unique<StnWorkload>(scale);
+  if (name == "STCL") return std::make_unique<StclWorkload>(scale);
+  if (name == "VADD") return std::make_unique<VaddWorkload>(scale);
+  throw std::invalid_argument("make_workload: unknown workload '" + name + "'");
+}
+
+}  // namespace sndp

@@ -1,0 +1,18 @@
+// Workload factory: make any of the paper's Table 1 workloads by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace sndp {
+
+// Names in Table 1 order: BPROP BFS BICG FWT KMN MiniFE SP STN STCL VADD.
+const std::vector<std::string>& workload_names();
+
+// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name, ProblemScale scale);
+
+}  // namespace sndp

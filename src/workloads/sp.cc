@@ -1,0 +1,48 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void SpWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  n_ = pick<std::uint64_t>(2048, 256 * 1024, 1024 * 1024);
+  a_ = alloc.alloc(n_ * 8);
+  b_ = alloc.alloc(n_ * 8);
+  p_ = alloc.alloc(n_ * 8);
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    mem.write_f64(a_ + 8 * i, wl::value(i, 11));
+    mem.write_f64(b_ + 8 * i, wl::value(i, 12));
+  }
+
+  // P[i] = A[i] * B[i] — the per-element partial of the dot product (the
+  // tree reduction runs on the host in the oracle), as a grid-stride loop.
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(a_))
+      .movi(17, static_cast<std::int64_t>(b_))
+      .movi(18, static_cast<std::int64_t>(p_))
+      .mov(7, 0)
+      .movi(6, static_cast<std::int64_t>(n_))
+      .label("loop")
+      .madi(8, 7, 8, 16)
+      .madi(9, 7, 8, 17)
+      .madi(10, 7, 8, 18)
+      .ld(11, 8)
+      .ld(12, 9)
+      .alu(Opcode::kFMul, 13, 11, 12)
+      .st(10, 13)
+      .alu(Opcode::kIAdd, 7, 7, 1)
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("loop")
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(n_ / 256 / kGridStride)};
+}
+
+bool SpWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    if (mem.read_f64(p_ + 8 * i) != wl::value(i, 11) * wl::value(i, 12)) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

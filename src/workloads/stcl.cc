@@ -1,0 +1,74 @@
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void StclWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  points_ = pick<std::uint64_t>(2048, 131072, 262144);
+  pts_ = alloc.alloc(points_ * kDims * 8);
+  ctr_ = alloc.alloc(kCenters * kDims * 8);
+  out_ = alloc.alloc(points_ * 8);
+  for (std::uint64_t i = 0; i < points_ * kDims; ++i) {
+    mem.write_f64(pts_ + 8 * i, wl::value(i, 91));
+  }
+  for (std::uint64_t i = 0; i < kCenters * kDims; ++i) {
+    mem.write_f64(ctr_ + 8 * i, wl::value(i, 92));
+  }
+
+  // Streamcluster distance loop: for each center c,
+  //   dist_c = sum_d (pt[d] - ctr[c][d])^2,   out[p] = sum_c dist_c.
+  // The point coordinates are re-read on every center iteration (L1 hits
+  // after the first) and the center table is tiny — a cache-friendly
+  // workload that NDP must learn to leave on the GPU (§7.1/§7.3).  The
+  // loop body is one offload block; the running total crosses block
+  // instances as a live-in + live-out register.
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(pts_))
+      .movi(17, static_cast<std::int64_t>(ctr_))
+      .movi(18, static_cast<std::int64_t>(out_))
+      .madi(8, 0, 8 * kDims, 16)  // &pt[p][0]
+      .movi(20, 0)                // total = +0.0
+      .movi(21, 0)                // c = 0
+      .label("center_loop")
+      .madi(9, 21, 8 * kDims, 17);  // &ctr[c][0]
+  for (unsigned d = 0; d < kDims; ++d) {
+    pb.ld(10, 8, static_cast<std::int64_t>(8 * d));   // pt[d] — cached re-read
+    pb.ld(11, 9, static_cast<std::int64_t>(8 * d));   // ctr[c][d] — tiny table
+    pb.alu(Opcode::kFSub, 12, 10, 11);
+    if (d == 0) {
+      pb.alu(Opcode::kFMul, 13, 12, 12);
+    } else {
+      pb.fma(13, 12, 12, 13);
+    }
+  }
+  pb.alu(Opcode::kFAdd, 20, 20, 13)  // total += dist_c
+      .alui(Opcode::kIAdd, 21, 21, 1)
+      .isetpi(0, CmpOp::kLt, 21, kCenters)
+      .pred(0)
+      .bra("center_loop")
+      .madi(9, 0, 8, 18)
+      .st(9, 20)
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(points_ / 256)};
+}
+
+bool StclWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t p = 0; p < points_; ++p) {
+    double total = 0.0;
+    for (unsigned c = 0; c < kCenters; ++c) {
+      double dist = 0.0;
+      for (unsigned d = 0; d < kDims; ++d) {
+        const double pt = wl::value(p * kDims + d, 91);
+        const double ct = wl::value(static_cast<std::uint64_t>(c) * kDims + d, 92);
+        const double t = pt - ct;
+        dist = d == 0 ? t * t : t * t + dist;
+      }
+      total += dist;
+    }
+    if (mem.read_f64(out_ + 8 * p) != total) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

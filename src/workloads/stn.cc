@@ -1,0 +1,114 @@
+#include <cmath>
+
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+namespace {
+
+// The kernel clamps neighbor indices to [0, n-1]; the oracle replicates it.
+std::int64_t clamp_idx(std::int64_t i, std::int64_t n) {
+  if (i < 0) return 0;
+  if (i >= n) return n - 1;
+  return i;
+}
+
+float f32_value(std::uint64_t i) { return static_cast<float>(wl::value(i, 81)); }
+
+}  // namespace
+
+void StnWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  nx_ = pick<std::uint64_t>(256, 1024, 2048);
+  ny_ = pick<std::uint64_t>(8, 16, 32);
+  nz_ = pick<std::uint64_t>(1, 8, 8);
+  const std::uint64_t n = nx_ * ny_ * nz_;
+  in_ = alloc.alloc(n * 4);
+  out_ = alloc.alloc(n * 4);
+  for (std::uint64_t i = 0; i < n; ++i) mem.write_f32(in_ + 4 * i, f32_value(i));
+
+  // 7-point stencil over a flat index with clamped offsets.  Neighbor loads
+  // overlap heavily between adjacent threads and warps, so the GPU caches
+  // absorb most of them — the workload the cache-aware governor must
+  // protect (§7.3).  The per-thread coefficients (alpha, beta) are computed
+  // on the GPU before the block and become live-in register transfers,
+  // making naive offloading doubly wasteful.
+  const auto N = static_cast<std::int64_t>(n);
+  const auto sx = std::int64_t{1};
+  const auto sy = static_cast<std::int64_t>(nx_);
+  const auto sz = static_cast<std::int64_t>(nx_ * ny_);
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(in_))
+      .movi(17, static_cast<std::int64_t>(out_))
+      // alpha = 1 + (tid % 3), beta = 2: per-thread live-in context.
+      .alui(Opcode::kIRem, 20, 0, 3)
+      .alui(Opcode::kIAdd, 20, 20, 1)
+      .unary(Opcode::kI2F, 20, 20)  // alpha (double)
+      .movi(21, 2)
+      .unary(Opcode::kI2F, 21, 21)  // beta
+      // The barrier (the Parboil kernel syncs after staging) keeps the
+      // coefficient computation out of the offload block, so alpha/beta are
+      // genuine live-in register transfers rather than recomputable on the
+      // NSU.
+      .bar();
+  // Clamped neighbor indices (address slice — stays on the GPU).
+  struct Off {
+    unsigned reg;
+    std::int64_t delta;
+  };
+  const Off offs[6] = {{24, -sx}, {25, +sx}, {26, -sy}, {27, +sy}, {28, -sz}, {29, +sz}};
+  for (const Off& o : offs) {
+    pb.alui(Opcode::kIAdd, o.reg, 0, o.delta)
+        .alui(Opcode::kIMax, o.reg, o.reg, 0)
+        .alui(Opcode::kIMin, o.reg, o.reg, N - 1)
+        .madi(o.reg, o.reg, 4, 16);  // byte address
+  }
+  pb.madi(8, 0, 4, 16)    // &in[i]
+      .madi(9, 0, 4, 17)  // &out[i]
+      // The offload block: 7 loads, sum, scale — ~15 NSU instructions.
+      .ld(10, 8, 0, 4, true)  // center (f32)
+      .ld(11, 24, 0, 4, true)
+      .ld(12, 25, 0, 4, true)
+      .alu(Opcode::kFAdd, 13, 11, 12)
+      .ld(11, 26, 0, 4, true)
+      .alu(Opcode::kFAdd, 13, 13, 11)
+      .ld(11, 27, 0, 4, true)
+      .alu(Opcode::kFAdd, 13, 13, 11)
+      .ld(11, 28, 0, 4, true)
+      .alu(Opcode::kFAdd, 13, 13, 11)
+      .ld(11, 29, 0, 4, true)
+      .alu(Opcode::kFAdd, 13, 13, 11)
+      .alui(Opcode::kFDiv, 13, 13, 8)        // average-ish of neighbors
+      .alu(Opcode::kFMul, 13, 13, 20)        // * alpha (live-in)
+      .fma(13, 10, 21, 13)                   // + center * beta (live-in)
+      .st(9, 13, 0, 4, true)
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(n / 256)};
+}
+
+bool StnWorkload::verify(const GlobalMemory& mem) const {
+  const auto n = static_cast<std::int64_t>(nx_ * ny_ * nz_);
+  const auto sy = static_cast<std::int64_t>(nx_);
+  const auto sz = static_cast<std::int64_t>(nx_ * ny_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double alpha = 1.0 + static_cast<double>(i % 3);
+    const double beta = 2.0;
+    const double center = static_cast<double>(f32_value(static_cast<std::uint64_t>(i)));
+    double sum = 0.0;
+    const std::int64_t deltas[6] = {-1, +1, -sy, +sy, -sz, +sz};
+    // Match the kernel's left-to-right FADD chain exactly.
+    double acc = static_cast<double>(f32_value(clamp_idx(i + deltas[0], n))) +
+                 static_cast<double>(f32_value(clamp_idx(i + deltas[1], n)));
+    for (int d = 2; d < 6; ++d) {
+      acc += static_cast<double>(f32_value(clamp_idx(i + deltas[d], n)));
+    }
+    sum = acc / 8.0;
+    sum *= alpha;
+    sum = center * beta + sum;
+    const float expect = static_cast<float>(sum);
+    if (mem.read_f32(out_ + 4 * i) != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

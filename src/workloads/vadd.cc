@@ -1,0 +1,53 @@
+#include <cmath>
+
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+void VaddWorkload::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  n_ = pick<std::uint64_t>(2048, 256 * 1024, 1024 * 1024);
+  a_ = alloc.alloc(n_ * 8);
+  b_ = alloc.alloc(n_ * 8);
+  c_ = alloc.alloc(n_ * 8);
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    mem.write_f64(a_ + 8 * i, wl::value(i, 1));
+    mem.write_f64(b_ + 8 * i, wl::value(i, 2));
+  }
+
+  // C[i] = A[i] + B[i] (paper Fig. 2's running example), written as the
+  // canonical grid-stride loop: each thread covers kGridStride elements,
+  // so every warp executes the offload block several times and block
+  // instances across the machine desynchronize (as in the real SDK kernel).
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(a_))
+      .movi(17, static_cast<std::int64_t>(b_))
+      .movi(18, static_cast<std::int64_t>(c_))
+      .mov(7, 0)  // i = tid
+      .movi(6, static_cast<std::int64_t>(n_))
+      .label("loop")
+      .madi(8, 7, 8, 16)   // &A[i]
+      .madi(9, 7, 8, 17)   // &B[i]
+      .madi(10, 7, 8, 18)  // &C[i]
+      .ld(11, 8)
+      .ld(12, 9)
+      .alu(Opcode::kFAdd, 13, 11, 12)
+      .st(10, 13)
+      .alu(Opcode::kIAdd, 7, 7, 1)  // i += total threads (R1)
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("loop")
+      .exit();
+  program_ = pb.build();
+  launch_ = LaunchParams{256, static_cast<unsigned>(n_ / 256 / kGridStride)};
+}
+
+bool VaddWorkload::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    const double expect = wl::value(i, 1) + wl::value(i, 2);
+    if (mem.read_f64(c_ + 8 * i) != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace sndp

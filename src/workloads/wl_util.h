@@ -1,0 +1,30 @@
+// Shared helpers for workload generators: deterministic pseudo-random data
+// so that both the device initialization and the host oracle can recompute
+// any element from its index without storing a copy.
+#pragma once
+
+#include <cstdint>
+
+namespace sndp::wl {
+
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Deterministic value in [0, 1) for element `i` of stream `salt`.
+inline double value(std::uint64_t i, std::uint64_t salt) {
+  return static_cast<double>(mix(i ^ (salt * 0x9E3779B97F4A7C15ull)) >> 11) * 0x1.0p-53;
+}
+
+// Deterministic index in [0, n) — used for irregular/indirect access
+// patterns (BFS edges, MiniFE columns).
+inline std::uint64_t index(std::uint64_t i, std::uint64_t n, std::uint64_t salt) {
+  return mix(i ^ (salt * 0xBF58476D1CE4E5B9ull)) % n;
+}
+
+}  // namespace sndp::wl

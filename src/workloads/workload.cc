@@ -1,0 +1,2 @@
+// Workload base is header-only; this TU anchors the module.
+#include "workloads/workload.h"

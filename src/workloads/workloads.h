@@ -1,0 +1,178 @@
+// The ten evaluated workloads (paper Table 1).  Each reproduces the memory
+// and compute signature the NDP mechanism cares about: streaming vs cached
+// access, regular vs divergent/indirect addressing, and the offload-block
+// shapes the paper's static analyzer extracted.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace sndp {
+
+// Streaming kernels use grid-stride loops: each thread covers this many
+// elements, like the original CUDA kernels whose grids are capped.
+inline constexpr unsigned kGridStride = 4;
+
+// VADD — vector addition (CUDA SDK): C[i] = A[i] + B[i].  Pure streaming;
+// one 4-instruction offload block (LD, LD, FADD, ST).
+class VaddWorkload final : public Workload {
+ public:
+  explicit VaddWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "VADD"; }
+  std::string description() const override { return "Vector addition (streaming)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t n_ = 0;
+  Addr a_ = 0, b_ = 0, c_ = 0;
+};
+
+// SP — scalar (dot) product partials (CUDA SDK): P[i] = A[i] * B[i].
+class SpWorkload final : public Workload {
+ public:
+  explicit SpWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "SP"; }
+  std::string description() const override { return "Scalar-product partials (streaming)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t n_ = 0;
+  Addr a_ = 0, b_ = 0, p_ = 0;
+};
+
+// KMN — k-means distance kernel (Rodinia): per (object, feature) partial
+// distance D = (x - c)^2 over a large streamed feature matrix.  The paper's
+// biggest NDP winner: bandwidth-bound, no reuse.
+class KmnWorkload final : public Workload {
+ public:
+  explicit KmnWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "KMN"; }
+  std::string description() const override { return "K-means distance map (streaming)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t n_ = 0;
+  Addr x_ = 0, d_ = 0;
+};
+
+// BPROP — back propagation (Rodinia): out[j] = sum_i W[i][j] * IN[i] with a
+// tiny input vector that lives in the GPU caches.  The pathological case of
+// §7.1: offloading pushes cache-hit data across the GPU links every block.
+class BpropWorkload final : public Workload {
+ public:
+  explicit BpropWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "BPROP"; }
+  std::string description() const override {
+    return "Back propagation (cached 68 B input structure)";
+  }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+  static constexpr unsigned kInputs = 16;  // 16 x 8 B > the paper's 68 B structure
+
+ private:
+  std::uint64_t neurons_ = 0;
+  Addr w_ = 0, in_ = 0, out_ = 0;
+};
+
+// BFS — breadth-first-search relaxation step (Rodinia): per node, gather
+// values of its neighbors through an edge list — divergent indirect loads
+// that become single-instruction offload blocks (§4.4).
+class BfsWorkload final : public Workload {
+ public:
+  explicit BfsWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "BFS"; }
+  std::string description() const override { return "BFS gather (divergent indirect loads)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+  static constexpr unsigned kDegree = 2;
+
+ private:
+  std::uint64_t nodes_ = 0;
+  Addr edges_ = 0, val_ = 0, dist_ = 0, res_ = 0;
+};
+
+// BICG — BiCGStab kernel (Polybench): two independent streamed
+// multiply-accumulate products per element (the paper's 4+4 blocks).
+class BicgWorkload final : public Workload {
+ public:
+  explicit BicgWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "BICG"; }
+  std::string description() const override { return "BiCG partial products (two streams)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t n_ = 0;
+  Addr a_ = 0, p_ = 0, r_ = 0, q_ = 0, s_ = 0;
+};
+
+// FWT — fast Walsh transform (CUDA SDK): butterfly stage (large block) plus
+// a scaling pass (small block), separated by a CTA barrier.
+class FwtWorkload final : public Workload {
+ public:
+  explicit FwtWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "FWT"; }
+  std::string description() const override { return "Fast Walsh transform butterfly"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t n_ = 0;  // butterflies (pairs)
+  Addr data_ = 0, out_ = 0;
+};
+
+// MiniFE — finite-element sparse matvec fragment (Mantevo): indirect
+// gather x[col[k]] feeding a streamed product, P[k] = A[k] * x[col[k]].
+class MinifeWorkload final : public Workload {
+ public:
+  explicit MinifeWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "MiniFE"; }
+  std::string description() const override { return "FEM sparse matvec gather"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t nnz_ = 0;
+  std::uint64_t ncols_ = 0;
+  Addr a_ = 0, col_ = 0, x_ = 0, p_ = 0;
+};
+
+// STN — 3-D stencil (Parboil): 7-point stencil whose neighbor loads enjoy
+// high L1/L2 locality — NDP hurts it until the cache-aware governor
+// suppresses the block (§7.3).
+class StnWorkload final : public Workload {
+ public:
+  explicit StnWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "STN"; }
+  std::string description() const override { return "7-point stencil (cache-friendly)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  std::uint64_t nx_ = 0, ny_ = 0, nz_ = 0;
+  Addr in_ = 0, out_ = 0;
+};
+
+// STCL — streamcluster distance loop (Rodinia): points re-read per center
+// (cache-resident), centers tiny — another cache-sensitive workload.
+class StclWorkload final : public Workload {
+ public:
+  explicit StclWorkload(ProblemScale scale) : Workload(scale) {}
+  std::string name() const override { return "STCL"; }
+  std::string description() const override { return "Streamcluster distances (cache-friendly)"; }
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+
+  static constexpr unsigned kDims = 4;
+  static constexpr unsigned kCenters = 2;
+
+ private:
+  std::uint64_t points_ = 0;
+  Addr pts_ = 0, ctr_ = 0, out_ = 0;
+};
+
+}  // namespace sndp

@@ -1,0 +1,113 @@
+// Tests for address decomposition and random page placement.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "mem/address_map.h"
+
+namespace sndp {
+namespace {
+
+TEST(AddressMap, LineRounding) {
+  AddressMap amap(SystemConfig::paper());
+  EXPECT_EQ(amap.line_of(0), 0u);
+  EXPECT_EQ(amap.line_of(127), 0u);
+  EXPECT_EQ(amap.line_of(128), 128u);
+  EXPECT_EQ(amap.line_of(0x12345), 0x12345u & ~127u);
+}
+
+TEST(AddressMap, SamePageSameHmc) {
+  const SystemConfig cfg = SystemConfig::paper();
+  AddressMap amap(cfg);
+  for (Addr page = 0; page < 64; ++page) {
+    const Addr base = page * cfg.page_bytes;
+    const HmcId h = amap.hmc_of(base);
+    EXPECT_EQ(amap.hmc_of(base + cfg.page_bytes - 1), h);
+    EXPECT_EQ(amap.hmc_of(base + 128), h);
+    EXPECT_LT(h, cfg.num_hmcs);
+  }
+}
+
+TEST(AddressMap, PlacementRoughlyUniform) {
+  const SystemConfig cfg = SystemConfig::paper();
+  AddressMap amap(cfg);
+  std::map<HmcId, unsigned> counts;
+  constexpr unsigned kPages = 80000;
+  for (unsigned p = 0; p < kPages; ++p) ++counts[amap.hmc_of_page(p)];
+  ASSERT_EQ(counts.size(), cfg.num_hmcs);
+  for (const auto& [h, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kPages / 8.0, kPages / 8.0 * 0.1);
+  }
+}
+
+TEST(AddressMap, PlacementDependsOnSeed) {
+  SystemConfig a = SystemConfig::paper();
+  SystemConfig b = SystemConfig::paper();
+  b.placement_seed = a.placement_seed + 1;
+  AddressMap ma(a), mb(b);
+  unsigned diffs = 0;
+  for (unsigned p = 0; p < 1000; ++p) diffs += ma.hmc_of_page(p) != mb.hmc_of_page(p) ? 1 : 0;
+  EXPECT_GT(diffs, 500u);
+}
+
+TEST(AddressMap, ConsecutiveLinesInterleaveVaults) {
+  const SystemConfig cfg = SystemConfig::paper();
+  AddressMap amap(cfg);
+  // Lines within one page must cycle through all 16 vaults.
+  std::map<VaultId, unsigned> vaults;
+  for (unsigned l = 0; l < cfg.page_bytes / 128; ++l) {
+    ++vaults[amap.decode(l * 128).vault];
+  }
+  EXPECT_EQ(vaults.size(), cfg.hmc.num_vaults);
+}
+
+TEST(AddressMap, VaultLocalLinesInterleaveBanksInRowBursts) {
+  const SystemConfig cfg = SystemConfig::paper();
+  AddressMap amap(cfg);
+  // Successive lines landing in vault 0 share a (bank, row) for 4-line
+  // bursts (row locality), then rotate through all banks (parallelism).
+  const unsigned stride = cfg.hmc.num_vaults * 128;
+  std::map<unsigned, unsigned> banks;
+  for (unsigned i = 0; i < 4 * cfg.hmc.banks_per_vault; ++i) {
+    const DramCoord c = amap.decode(static_cast<Addr>(i) * stride);
+    EXPECT_EQ(c.vault, 0u);
+    ++banks[c.bank];
+    // Lines within one 4-line burst share bank and row.
+    const DramCoord first = amap.decode(static_cast<Addr>(i - i % 4) * stride);
+    EXPECT_EQ(c.bank, first.bank);
+    EXPECT_EQ(c.row, first.row);
+  }
+  EXPECT_EQ(banks.size(), cfg.hmc.banks_per_vault);
+  for (const auto& [bank, count] : banks) EXPECT_EQ(count, 4u) << bank;
+}
+
+TEST(AddressMap, DecodeFieldsWithinBounds) {
+  const SystemConfig cfg = SystemConfig::paper();
+  AddressMap amap(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const Addr a = rng.next_u64() & ((1ull << 34) - 1);
+    const DramCoord c = amap.decode(a);
+    EXPECT_LT(c.hmc, cfg.num_hmcs);
+    EXPECT_LT(c.vault, cfg.hmc.num_vaults);
+    EXPECT_LT(c.bank, cfg.hmc.banks_per_vault);
+    EXPECT_LT(c.column, cfg.hmc.row_bytes / 128);
+  }
+}
+
+TEST(AddressMap, DecodeIsDeterministic) {
+  AddressMap a(SystemConfig::paper());
+  AddressMap b(SystemConfig::paper());
+  for (Addr addr = 0; addr < 1 << 20; addr += 4093) {
+    const DramCoord ca = a.decode(addr);
+    const DramCoord cb = b.decode(addr);
+    EXPECT_EQ(ca.hmc, cb.hmc);
+    EXPECT_EQ(ca.vault, cb.vault);
+    EXPECT_EQ(ca.bank, cb.bank);
+    EXPECT_EQ(ca.row, cb.row);
+  }
+}
+
+}  // namespace
+}  // namespace sndp

@@ -1,0 +1,138 @@
+// Tests for the textual assembler.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace sndp {
+namespace {
+
+TEST(Assembler, BasicProgram) {
+  const Program p = assemble(R"(
+    MOVI R1, 0x100
+    IADD R2, R1, 8
+    LD   R3, [R2+0]
+    ST   [R2+8], R3
+    EXIT
+  )");
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.at(0).op, Opcode::kMovI);
+  EXPECT_EQ(p.at(0).imm, 0x100);
+  EXPECT_EQ(p.at(1).op, Opcode::kIAdd);
+  EXPECT_TRUE(p.at(1).use_imm);
+  EXPECT_EQ(p.at(2).op, Opcode::kLd);
+  EXPECT_EQ(p.at(2).mem_width, 8u);
+  EXPECT_EQ(p.at(3).op, Opcode::kSt);
+  EXPECT_EQ(p.at(3).imm, 8);
+  EXPECT_EQ(p.at(4).op, Opcode::kExit);
+}
+
+TEST(Assembler, WidthSuffixes) {
+  const Program p = assemble(R"(
+    LD.32  R1, [R0+0]
+    LD.F32 R2, [R0+4]
+    LD.64  R3, [R0+8]
+    EXIT
+  )");
+  EXPECT_EQ(p.at(0).mem_width, 4u);
+  EXPECT_FALSE(p.at(0).mem_f32);
+  EXPECT_EQ(p.at(1).mem_width, 4u);
+  EXPECT_TRUE(p.at(1).mem_f32);
+  EXPECT_EQ(p.at(2).mem_width, 8u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+    MOVI R1, 0
+  loop:
+    IADD R1, R1, 1
+    ISETP P0, LT, R1, 10
+    @P0 BRA loop
+    EXIT
+  )");
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.at(3).op, Opcode::kBra);
+  EXPECT_EQ(p.at(3).target, 1);
+  EXPECT_EQ(p.at(3).guard_pred, 0);
+  EXPECT_TRUE(p.at(3).guard_sense);
+}
+
+TEST(Assembler, NegatedGuard) {
+  const Program p = assemble("@!P3 IADD R1, R1, 1\nEXIT\n");
+  EXPECT_EQ(p.at(0).guard_pred, 3);
+  EXPECT_FALSE(p.at(0).guard_sense);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+    ; full-line comment
+    MOVI R1, 1   ; trailing comment
+    # hash comment
+    EXIT
+  )");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, MadWithImmediateAndRegister) {
+  const Program p = assemble(R"(
+    IMAD R4, R0, 8, R2
+    IMAD R5, R0, R1, R2
+    EXIT
+  )");
+  EXPECT_TRUE(p.at(0).use_imm);
+  EXPECT_EQ(p.at(0).imm, 8);
+  EXPECT_FALSE(p.at(1).use_imm);
+}
+
+TEST(Assembler, ScratchpadOps) {
+  const Program p = assemble(R"(
+    SHM.ST [R1+0], R2
+    SHM.LD R3, [R1+0]
+    EXIT
+  )");
+  EXPECT_EQ(p.at(0).op, Opcode::kShmSt);
+  EXPECT_EQ(p.at(1).op, Opcode::kShmLd);
+}
+
+TEST(Assembler, NegativeOffsetsAndImmediates) {
+  const Program p = assemble(R"(
+    LD R1, [R2-24]
+    IADD R3, R3, -5
+    EXIT
+  )");
+  EXPECT_EQ(p.at(0).imm, -24);
+  EXPECT_EQ(p.at(1).imm, -5);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble("FROB R1, R2\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  EXPECT_THROW(assemble("BRA nowhere\nEXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, RegisterOutOfRange) {
+  EXPECT_THROW(assemble("MOVI R32, 1\n"), AsmError);
+  EXPECT_THROW(assemble("ISETP P9, LT, R0, 1\nEXIT\n"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("IADD R1, R2\n"), AsmError);
+  EXPECT_THROW(assemble("LD R1\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadCompareOp) {
+  EXPECT_THROW(assemble("ISETP P0, QQ, R0, R1\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ReportsLineNumber) {
+  try {
+    assemble("MOVI R1, 1\nBOGUS\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace sndp

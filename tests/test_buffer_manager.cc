@@ -1,0 +1,105 @@
+// Tests for the credit-based NDP buffer manager (§4.3).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gpu/buffer_manager.h"
+
+namespace sndp {
+namespace {
+
+NdpBufferConfig cfg() {
+  NdpBufferConfig c;
+  c.nsu_cmd_entries = 2;
+  c.nsu_read_data_entries = 8;
+  c.nsu_write_addr_entries = 4;
+  return c;
+}
+
+TEST(BufferManager, GrantConsumesCredits) {
+  NdpBufferManager mgr(cfg(), 2);
+  EXPECT_TRUE(mgr.try_reserve(0, 3, 2));
+  EXPECT_EQ(mgr.free_cmd(0), 1u);
+  EXPECT_EQ(mgr.free_read_data(0), 5u);
+  EXPECT_EQ(mgr.free_write_addr(0), 2u);
+  // The other HMC's credits are untouched.
+  EXPECT_EQ(mgr.free_cmd(1), 2u);
+}
+
+TEST(BufferManager, DenialLeavesCreditsIntact) {
+  NdpBufferManager mgr(cfg(), 1);
+  EXPECT_FALSE(mgr.try_reserve(0, 9, 0));  // too many read-data entries
+  EXPECT_EQ(mgr.free_cmd(0), 2u);
+  EXPECT_EQ(mgr.free_read_data(0), 8u);
+  EXPECT_TRUE(mgr.all_idle());
+}
+
+TEST(BufferManager, CmdExhaustionBlocks) {
+  NdpBufferManager mgr(cfg(), 1);
+  EXPECT_TRUE(mgr.try_reserve(0, 1, 1));
+  EXPECT_TRUE(mgr.try_reserve(0, 1, 1));
+  EXPECT_FALSE(mgr.try_reserve(0, 1, 1));  // command entries gone
+  mgr.release(0, 1, 0, 0);
+  EXPECT_TRUE(mgr.try_reserve(0, 1, 0));
+}
+
+TEST(BufferManager, ZeroDataBlocksStillNeedCmd) {
+  NdpBufferManager mgr(cfg(), 1);
+  EXPECT_TRUE(mgr.try_reserve(0, 0, 0));
+  EXPECT_EQ(mgr.free_cmd(0), 1u);
+}
+
+TEST(BufferManager, ReleaseRestoresIdle) {
+  NdpBufferManager mgr(cfg(), 2);
+  EXPECT_TRUE(mgr.try_reserve(1, 4, 3));
+  EXPECT_FALSE(mgr.all_idle());
+  mgr.release(1, 0, 4, 3);  // data credits (piggybacked on the ACK)
+  mgr.release(1, 1, 0, 0);  // command credit (at spawn)
+  EXPECT_TRUE(mgr.all_idle());
+}
+
+TEST(BufferManager, OverReleaseThrows) {
+  NdpBufferManager mgr(cfg(), 1);
+  EXPECT_THROW(mgr.release(0, 1, 0, 0), std::logic_error);
+  EXPECT_TRUE(mgr.try_reserve(0, 2, 0));
+  EXPECT_THROW(mgr.release(0, 0, 3, 0), std::logic_error);
+}
+
+TEST(BufferManager, StatsCountGrantsAndDenials) {
+  NdpBufferManager mgr(cfg(), 1);
+  mgr.try_reserve(0, 0, 0);
+  mgr.try_reserve(0, 99, 0);
+  StatSet stats;
+  mgr.export_stats(stats);
+  EXPECT_DOUBLE_EQ(stats.get("bufmgr.grants"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.get("bufmgr.denials"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.get("bufmgr.denials_rd"), 1.0);
+}
+
+// Property: a random sequence of reserve/release pairs never exceeds
+// capacity and always returns to idle.
+TEST(BufferManager, RandomizedConservation) {
+  NdpBufferManager mgr(cfg(), 4);
+  Rng rng(31);
+  struct Grant {
+    unsigned hmc, rd, wta;
+  };
+  std::vector<Grant> outstanding;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.bernoulli(0.6) || outstanding.empty()) {
+      const unsigned hmc = static_cast<unsigned>(rng.next_below(4));
+      const unsigned rd = static_cast<unsigned>(rng.next_below(5));
+      const unsigned wta = static_cast<unsigned>(rng.next_below(3));
+      if (mgr.try_reserve(hmc, rd, wta)) outstanding.push_back({hmc, rd, wta});
+    } else {
+      const std::size_t pick = rng.next_below(outstanding.size());
+      const Grant g = outstanding[pick];
+      outstanding.erase(outstanding.begin() + static_cast<std::ptrdiff_t>(pick));
+      mgr.release(g.hmc, 1, g.rd, g.wta);
+    }
+  }
+  for (const Grant& g : outstanding) mgr.release(g.hmc, 1, g.rd, g.wta);
+  EXPECT_TRUE(mgr.all_idle());
+}
+
+}  // namespace
+}  // namespace sndp

@@ -1,0 +1,149 @@
+// Tests for the set-associative cache model with MSHRs.
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace sndp {
+namespace {
+
+CacheConfig small_cfg() {
+  CacheConfig c;
+  c.size_bytes = 2048;  // 4 sets x 4 ways x 128 B
+  c.ways = 4;
+  c.line_bytes = 128;
+  c.mshr_entries = 4;
+  return c;
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(small_cfg(), "t");
+  EXPECT_EQ(cache.access_read(0x0, 1), CacheAccessResult::kMissNew);
+  cache.fill(0x0);
+  EXPECT_EQ(cache.access_read(0x0, 2), CacheAccessResult::kHit);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.misses, 1u);
+}
+
+TEST(Cache, MshrMergesSameLine) {
+  Cache cache(small_cfg(), "t");
+  EXPECT_EQ(cache.access_read(0x100, 10), CacheAccessResult::kMissNew);
+  EXPECT_EQ(cache.access_read(0x100, 11), CacheAccessResult::kMissMerged);
+  EXPECT_EQ(cache.access_read(0x100, 12), CacheAccessResult::kMissMerged);
+  auto waiters = cache.fill(0x100);
+  ASSERT_EQ(waiters.size(), 3u);
+  EXPECT_EQ(waiters[0], 10u);
+  EXPECT_EQ(waiters[1], 11u);
+  EXPECT_EQ(waiters[2], 12u);
+}
+
+TEST(Cache, MshrFullStalls) {
+  Cache cache(small_cfg(), "t");
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(cache.access_read(0x1000 * (i + 1), i), CacheAccessResult::kMissNew);
+  }
+  EXPECT_EQ(cache.mshr_free(), 0u);
+  EXPECT_EQ(cache.access_read(0x9000, 99), CacheAccessResult::kMshrFull);
+  EXPECT_EQ(cache.mshr_stalls, 1u);
+  cache.fill(0x1000);
+  EXPECT_EQ(cache.mshr_free(), 1u);
+  EXPECT_EQ(cache.access_read(0x9000, 99), CacheAccessResult::kMissNew);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  CacheConfig cfg = small_cfg();
+  Cache cache(cfg, "t");
+  // 4 sets: line k * 0x200 maps to set 0 for every k.
+  for (unsigned k = 0; k < 4; ++k) {
+    cache.access_read(k * 0x200, k);
+    cache.fill(k * 0x200);
+  }
+  // Touch line 0 so line 0x200 becomes LRU.
+  EXPECT_EQ(cache.access_read(0x0, 9), CacheAccessResult::kHit);
+  // Insert a 5th line into set 0: must evict 0x200 (LRU), not 0x0.
+  cache.access_read(4 * 0x200, 5);
+  cache.fill(4 * 0x200);
+  EXPECT_EQ(cache.evictions, 1u);
+  EXPECT_EQ(cache.access_read(0x0, 9), CacheAccessResult::kHit);
+  EXPECT_EQ(cache.access_read(0x200, 9), CacheAccessResult::kMissNew);
+}
+
+TEST(Cache, ProbeDoesNotAllocateMshr) {
+  Cache cache(small_cfg(), "t");
+  EXPECT_FALSE(cache.probe(0x300));
+  EXPECT_EQ(cache.mshr_free(), 4u);
+  cache.access_read(0x300, 1);
+  cache.fill(0x300);
+  EXPECT_TRUE(cache.probe(0x300));
+}
+
+TEST(Cache, WriteTouchNoAllocate) {
+  Cache cache(small_cfg(), "t");
+  EXPECT_FALSE(cache.write_touch(0x80));  // miss: no allocation
+  EXPECT_EQ(cache.access_read(0x80, 1), CacheAccessResult::kMissNew);
+  cache.fill(0x80);
+  EXPECT_TRUE(cache.write_touch(0x80));
+  EXPECT_EQ(cache.write_hits, 1u);
+  EXPECT_EQ(cache.write_misses, 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache cache(small_cfg(), "t");
+  cache.access_read(0x400, 1);
+  cache.fill(0x400);
+  EXPECT_TRUE(cache.invalidate(0x400));
+  EXPECT_FALSE(cache.invalidate(0x400));  // already gone
+  EXPECT_EQ(cache.access_read(0x400, 2), CacheAccessResult::kMissNew);
+}
+
+TEST(Cache, FillWithoutMshrInstallsLine) {
+  // Fills may arrive for lines without waiters (e.g. after invalidation).
+  Cache cache(small_cfg(), "t");
+  EXPECT_TRUE(cache.fill(0x500).empty());
+  EXPECT_EQ(cache.access_read(0x500, 1), CacheAccessResult::kHit);
+}
+
+TEST(Cache, StatsExport) {
+  Cache cache(small_cfg(), "l1");
+  cache.access_read(0x0, 1);
+  cache.fill(0x0);
+  cache.access_read(0x0, 1);
+  StatSet stats;
+  cache.export_stats(stats);
+  EXPECT_DOUBLE_EQ(stats.get("l1.hits"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.get("l1.misses"), 1.0);
+}
+
+// Property-style sweep: for any geometry, filling 2N distinct lines that
+// map to the same set keeps exactly `ways` residents (the rest evict), and
+// the most-recently-filled lines survive.
+class CacheGeometry : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(CacheGeometry, SetBoundedResidencyAndCounts) {
+  const auto [ways, sets] = GetParam();
+  CacheConfig cfg;
+  cfg.line_bytes = 128;
+  cfg.ways = ways;
+  cfg.size_bytes = static_cast<std::uint64_t>(ways) * sets * 128;
+  cfg.mshr_entries = 64;
+  Cache cache(cfg, "t");
+  ASSERT_EQ(cfg.num_sets(), sets);
+
+  const unsigned n = 2 * ways;
+  for (unsigned k = 0; k < n; ++k) {
+    const Addr line = static_cast<Addr>(k) * sets * 128;
+    EXPECT_EQ(cache.access_read(line, k), CacheAccessResult::kMissNew);
+    cache.fill(line);
+  }
+  EXPECT_EQ(cache.evictions, n - ways);
+  for (unsigned k = n - ways; k < n; ++k) {
+    EXPECT_TRUE(cache.probe(static_cast<Addr>(k) * sets * 128));
+  }
+  EXPECT_EQ(cache.hits + cache.misses, n + ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 16u),
+                                            ::testing::Values(4u, 64u, 512u)));
+
+}  // namespace
+}  // namespace sndp

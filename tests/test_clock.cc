@@ -1,0 +1,120 @@
+// Tests for the clock-domain scheduler and timed channels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/timed_channel.h"
+
+namespace sndp {
+namespace {
+
+class Recorder final : public Tickable {
+ public:
+  void tick(Cycle cycle, TimePs now) override { events.emplace_back(cycle, now); }
+  std::vector<std::pair<Cycle, TimePs>> events;
+};
+
+TEST(ClockDomain, TicksMapToExactTimes) {
+  ClockDomain dom("test", 1'000'000);  // 1 GHz -> 1000 ps period
+  Recorder r;
+  dom.add(&r);
+  for (int i = 0; i < 5; ++i) dom.run_tick();
+  ASSERT_EQ(r.events.size(), 5u);
+  for (unsigned i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.events[i].first, i);
+    EXPECT_EQ(r.events[i].second, i * 1000u);
+  }
+}
+
+TEST(Scheduler, InterleavesDomainsByTime) {
+  ClockDomain fast("fast", 1'000'000);  // 1000 ps
+  ClockDomain slow("slow", 400'000);    // 2500 ps
+  Recorder rf, rs;
+  fast.add(&rf);
+  slow.add(&rs);
+  Scheduler sched;
+  sched.add(&fast);
+  sched.add(&slow);
+  // Advance until the fast domain has ticked 10 times.
+  while (rf.events.size() < 10) sched.step();
+  // Slow domain must have ticked at 0, 2500, 5000, 7500 within 9000 ps.
+  ASSERT_GE(rs.events.size(), 4u);
+  EXPECT_EQ(rs.events[1].second, 2500u);
+  EXPECT_EQ(rs.events[3].second, 7500u);
+  // Monotonic global time.
+  EXPECT_GE(sched.now(), 9000u);
+}
+
+TEST(Scheduler, CoincidentEdgesTickBothDomains) {
+  ClockDomain a("a", 1'000'000), b("b", 500'000);
+  Recorder ra, rb;
+  a.add(&ra);
+  b.add(&rb);
+  Scheduler sched;
+  sched.add(&a);
+  sched.add(&b);
+  sched.step();  // t=0: both fire
+  EXPECT_EQ(ra.events.size(), 1u);
+  EXPECT_EQ(rb.events.size(), 1u);
+  sched.step();  // t=1000: only a
+  EXPECT_EQ(ra.events.size(), 2u);
+  EXPECT_EQ(rb.events.size(), 1u);
+  sched.step();  // t=2000: both again
+  EXPECT_EQ(ra.events.size(), 3u);
+  EXPECT_EQ(rb.events.size(), 2u);
+}
+
+TEST(Scheduler, FractionalPeriodNoDrift) {
+  // 666'667 kHz (tCK = 1.5 ns nominal): after 1e6 ticks, time must match
+  // the exact rational n*1e9/khz, not an accumulated rounded period.
+  ClockDomain dram("dram", 666'667);
+  for (int i = 0; i < 1000; ++i) dram.run_tick();
+  EXPECT_EQ(dram.next_time(), tick_time_ps(1000, 666'667));
+  EXPECT_NEAR(static_cast<double>(dram.next_time()), 1000 * 1499.99925, 1.0);
+}
+
+TEST(TimedChannel, FifoDelivery) {
+  TimedChannel<int> ch;
+  ch.push(1, 100);
+  ch.push(2, 200);
+  EXPECT_FALSE(ch.ready(50));
+  EXPECT_TRUE(ch.ready(100));
+  EXPECT_EQ(*ch.pop_ready(150), 1);
+  EXPECT_FALSE(ch.ready(150));
+  EXPECT_EQ(*ch.pop_ready(200), 2);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(TimedChannel, MonotonicClampPreservesFifo) {
+  TimedChannel<int> ch;
+  ch.push(1, 500);
+  ch.push(2, 100);  // would overtake: clamped to 500
+  EXPECT_FALSE(ch.ready(499));
+  EXPECT_TRUE(ch.ready(500));
+  EXPECT_EQ(*ch.pop_ready(500), 1);
+  EXPECT_TRUE(ch.ready(500));
+  EXPECT_EQ(*ch.pop_ready(500), 2);
+}
+
+TEST(TimedChannel, PopNotReadyReturnsNullopt) {
+  TimedChannel<int> ch;
+  EXPECT_EQ(ch.pop_ready(1000), std::nullopt);
+  ch.push(5, 2000);
+  EXPECT_EQ(ch.pop_ready(1999), std::nullopt);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(SchedulerRunUntilIdle, StopsAtDeadline) {
+  ClockDomain dom("d", 1'000'000);
+  Recorder r;
+  dom.add(&r);
+  Scheduler sched;
+  sched.add(&dom);
+  const bool became_idle = sched.run_until_idle([] { return false; }, 10'000);
+  EXPECT_FALSE(became_idle);
+  EXPECT_GE(sched.now(), 10'000u);
+}
+
+}  // namespace
+}  // namespace sndp

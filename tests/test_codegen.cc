@@ -1,0 +1,156 @@
+// Tests for offload code generation (§3.2, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "offload/codegen.h"
+
+namespace sndp {
+namespace {
+
+Program vadd_like() {
+  return assemble(R"(
+    MOVI R16, 0x10000
+    MOVI R17, 0x20000
+    MOVI R18, 0x30000
+    IMAD R8, R0, 8, R16
+    IMAD R9, R0, 8, R17
+    IMAD R10, R0, 8, R18
+    LD   R11, [R8+0]
+    LD   R12, [R9+0]
+    FADD R13, R11, R12
+    ST   [R10+0], R13
+    EXIT
+  )");
+}
+
+TEST(Codegen, MarkersBracketTheBlock) {
+  const KernelImage img = analyze_and_generate(vadd_like());
+  ASSERT_EQ(img.blocks.size(), 1u);
+  const OffloadBlockInfo& b = img.blocks[0];
+  EXPECT_EQ(img.gpu.at(b.gpu_begin).op, Opcode::kOfldBeg);
+  EXPECT_EQ(img.gpu.at(b.gpu_end).op, Opcode::kOfldEnd);
+  EXPECT_EQ(img.gpu.at(b.gpu_begin).imm, 0);
+  EXPECT_EQ(b.body_size(), 4u);  // LD LD FADD ST
+  EXPECT_NO_THROW(img.gpu.validate());
+  EXPECT_NO_THROW(img.nsu.validate());
+}
+
+TEST(Codegen, NsuCodeExcludesAddressCalc) {
+  const KernelImage img = analyze_and_generate(vadd_like());
+  const OffloadBlockInfo& b = img.blocks[0];
+  // NSU program: OFLD.BEG, LD, LD, FADD, ST, OFLD.END.
+  EXPECT_EQ(img.nsu.at(b.nsu_entry).op, Opcode::kOfldBeg);
+  EXPECT_EQ(img.nsu.at(b.nsu_entry + 1).op, Opcode::kLd);
+  EXPECT_EQ(img.nsu.at(b.nsu_entry + 2).op, Opcode::kLd);
+  EXPECT_EQ(img.nsu.at(b.nsu_entry + 3).op, Opcode::kFAdd);
+  EXPECT_EQ(img.nsu.at(b.nsu_entry + 4).op, Opcode::kSt);
+  EXPECT_EQ(img.nsu.at(b.nsu_entry + 5).op, Opcode::kOfldEnd);
+  EXPECT_EQ(b.nsu_inst_count, 4u);
+  for (const Instr& in : img.nsu.code()) {
+    EXPECT_NE(in.op, Opcode::kIMad) << "address calculation leaked into NSU code";
+    EXPECT_NE(in.op, Opcode::kMovI);
+  }
+}
+
+TEST(Codegen, GpuInstructionsKeepRolesStamped) {
+  const KernelImage img = analyze_and_generate(vadd_like());
+  const OffloadBlockInfo& b = img.blocks[0];
+  unsigned on_nsu_count = 0;
+  for (unsigned i = b.gpu_begin + 1; i < b.gpu_end; ++i) {
+    if (img.gpu.at(i).on_nsu) ++on_nsu_count;
+  }
+  EXPECT_EQ(on_nsu_count, 1u);  // the FADD
+}
+
+TEST(Codegen, BranchTargetsRemappedAroundInsertions) {
+  const Program p = assemble(R"(
+    MOVI R16, 0x10000
+    MOV  R7, R0
+  loop:
+    IMAD R8, R7, 8, R16
+    LD   R10, [R8+0]
+    FADD R11, R10, R10
+    ST   [R8+0], R11
+    IADD R7, R7, R1
+    ISETP P0, LT, R7, R6
+    @P0 BRA loop
+    EXIT
+  )");
+  const KernelImage img = analyze_and_generate(p);
+  ASSERT_EQ(img.blocks.size(), 1u);
+  // Find the branch in the GPU program and check it still points at the
+  // IMAD (the loop head), i.e. the old target shifted by the insertions.
+  const Instr* bra = nullptr;
+  for (const Instr& in : img.gpu.code()) {
+    if (in.op == Opcode::kBra) bra = &in;
+  }
+  ASSERT_NE(bra, nullptr);
+  EXPECT_EQ(img.gpu.at(static_cast<unsigned>(bra->target)).op, Opcode::kIMad);
+  EXPECT_NO_THROW(img.gpu.validate());
+}
+
+TEST(Codegen, BranchToBlockStartLandsOnMarker) {
+  // When a block starts exactly at a branch target, the branch must land on
+  // the OFLD.BEG so the offload decision is made every iteration.
+  const Program p = assemble(R"(
+    MOVI R16, 0x10000
+    MOV  R7, R0
+  loop:
+    LD   R10, [R16+0]
+    FADD R11, R10, R10
+    ST   [R16+0], R11
+    IADD R7, R7, R1
+    ISETP P0, LT, R7, R6
+    @P0 BRA loop
+    EXIT
+  )");
+  const KernelImage img = analyze_and_generate(p);
+  ASSERT_EQ(img.blocks.size(), 1u);
+  const Instr* bra = nullptr;
+  for (const Instr& in : img.gpu.code()) {
+    if (in.op == Opcode::kBra) bra = &in;
+  }
+  ASSERT_NE(bra, nullptr);
+  EXPECT_EQ(img.gpu.at(static_cast<unsigned>(bra->target)).op, Opcode::kOfldBeg);
+}
+
+TEST(Codegen, MultipleBlocksNumberedInOrder) {
+  const Program p = assemble(R"(
+    MOVI R16, 0x10000
+    LD   R10, [R16+0]
+    FADD R11, R10, R10
+    ST   [R16+0], R11
+    BAR
+    LD   R12, [R16+64]
+    FADD R13, R12, R12
+    ST   [R16+64], R13
+    EXIT
+  )");
+  const KernelImage img = analyze_and_generate(p);
+  ASSERT_EQ(img.blocks.size(), 2u);
+  EXPECT_EQ(img.blocks[0].block_id, 0u);
+  EXPECT_EQ(img.blocks[1].block_id, 1u);
+  EXPECT_LT(img.blocks[0].gpu_end, img.blocks[1].gpu_begin);
+  EXPECT_LT(img.blocks[0].nsu_entry, img.blocks[1].nsu_entry);
+  // Each NSU block region ends with OFLD.END before the next begins.
+  EXPECT_EQ(img.nsu.at(img.blocks[1].nsu_entry).op, Opcode::kOfldBeg);
+}
+
+TEST(Codegen, OverlappingBlocksRejected) {
+  const Program p = vadd_like();
+  AnalysisResult r = analyze(p);
+  ASSERT_EQ(r.accepted.size(), 1u);
+  std::vector<BlockCandidate> bad = {r.accepted[0], r.accepted[0]};
+  EXPECT_THROW(generate(p, bad), std::invalid_argument);
+}
+
+TEST(Codegen, NoBlocksPassesThrough) {
+  const Program p = assemble("IADD R1, R0, 1\nEXIT\n");
+  const KernelImage img = analyze_and_generate(p);
+  EXPECT_EQ(img.blocks.size(), 0u);
+  EXPECT_EQ(img.gpu.size(), p.size());
+  EXPECT_EQ(img.nsu.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sndp

@@ -1,0 +1,210 @@
+// Tests for DRAM bank timing and the FR-FCFS vault controller.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.h"
+#include "mem/address_map.h"
+#include "mem/dram.h"
+#include "mem/vault.h"
+
+namespace sndp {
+namespace {
+
+DramTiming timing() { return SystemConfig::paper().hmc.timing; }
+
+TEST(DramBank, ActivateEnablesCasAfterTrcd) {
+  DramBank bank;
+  const DramTiming t = timing();
+  EXPECT_TRUE(bank.can_activate(0));
+  bank.activate(0, /*row=*/5, t);
+  EXPECT_TRUE(bank.row_open(5));
+  EXPECT_FALSE(bank.can_cas(t.tRCD - 1));
+  EXPECT_TRUE(bank.can_cas(t.tRCD));
+}
+
+TEST(DramBank, PrechargeRespectsTras) {
+  DramBank bank;
+  const DramTiming t = timing();
+  bank.activate(0, 5, t);
+  EXPECT_FALSE(bank.can_precharge(t.tRAS - 1));
+  EXPECT_TRUE(bank.can_precharge(t.tRAS));
+  bank.precharge(t.tRAS, t);
+  EXPECT_TRUE(bank.closed());
+  EXPECT_FALSE(bank.can_activate(t.tRAS + t.tRP - 1));
+  EXPECT_TRUE(bank.can_activate(t.tRAS + t.tRP));
+}
+
+TEST(DramBank, WriteRecoveryDelaysPrecharge) {
+  DramBank bank;
+  const DramTiming t = timing();
+  bank.activate(0, 1, t);
+  const Cycle cas_at = t.tRCD;
+  bank.cas(cas_at, /*is_write=*/true, t);
+  // Write: precharge blocked until cas + tBURST + tWR (beyond tRAS here? compare both).
+  const Cycle wr_limit = cas_at + t.tBURST + t.tWR;
+  EXPECT_FALSE(bank.can_precharge(wr_limit - 1));
+  EXPECT_TRUE(bank.can_precharge(std::max<Cycle>(wr_limit, t.tRAS)));
+}
+
+TEST(DramBank, CasToCasGap) {
+  DramBank bank;
+  const DramTiming t = timing();
+  bank.activate(0, 1, t);
+  bank.cas(t.tRCD, false, t);
+  EXPECT_FALSE(bank.can_cas(t.tRCD + t.tCCD - 1));
+  EXPECT_TRUE(bank.can_cas(t.tRCD + t.tCCD));
+}
+
+// --- Vault controller ------------------------------------------------------
+
+struct VaultHarness {
+  explicit VaultHarness(const SystemConfig& cfg = SystemConfig::paper())
+      : config(cfg),
+        amap(config),
+        vault(config.hmc, config.clocks.dram_khz,
+              [this](const DramRequest& r, TimePs done) { completions.emplace_back(r, done); }) {}
+
+  void run(Cycle cycles) {
+    for (Cycle c = 0; c < cycles; ++c) {
+      vault.tick(cycle, tick_time_ps(cycle, config.clocks.dram_khz));
+      ++cycle;
+    }
+  }
+
+  void push(Addr line_addr, bool write = false, std::uint64_t token = 0) {
+    DramRequest req;
+    req.line_addr = line_addr;
+    req.is_write = write;
+    req.token = token;
+    req.coord = amap.decode(line_addr);
+    req.enqueue_ps = tick_time_ps(cycle, config.clocks.dram_khz);
+    vault.enqueue(req);
+  }
+
+  SystemConfig config;
+  AddressMap amap;
+  std::vector<std::pair<DramRequest, TimePs>> completions;
+  VaultController vault;
+  Cycle cycle = 0;
+};
+
+TEST(Vault, SingleReadLatency) {
+  VaultHarness h;
+  h.push(0);
+  h.run(100);
+  ASSERT_EQ(h.completions.size(), 1u);
+  // Closed bank: ACT at cycle 0, CAS at tRCD, data at tRCD + tCL + tBURST.
+  const DramTiming t = h.config.hmc.timing;
+  const TimePs expect = tick_time_ps(t.tRCD + t.tCL + t.tBURST, h.config.clocks.dram_khz);
+  EXPECT_EQ(h.completions[0].second, expect);
+}
+
+TEST(Vault, RowHitIsFasterThanConflict) {
+  VaultHarness h;
+  const unsigned stride = h.config.hmc.num_vaults * 128;  // next line, same vault
+  // Two lines in the same row (consecutive vault-local lines share bank+row
+  // only if the bank bits match: use the same line twice shifted by 0 —
+  // instead, same address twice guarantees a row hit).
+  h.push(0, false, 1);
+  h.push(0, false, 2);
+  h.run(200);
+  ASSERT_EQ(h.completions.size(), 2u);
+  const TimePs gap_hit = h.completions[1].second - h.completions[0].second;
+
+  VaultHarness h2;
+  // Same bank, different row -> precharge + activate between CAS's.
+  const DramCoord c0 = h2.amap.decode(0);
+  Addr conflict = stride;
+  while (h2.amap.decode(conflict).bank != c0.bank || h2.amap.decode(conflict).row == c0.row ||
+         h2.amap.decode(conflict).vault != c0.vault) {
+    conflict += stride;
+  }
+  h2.push(0, false, 1);
+  h2.push(conflict, false, 2);
+  h2.run(400);
+  ASSERT_EQ(h2.completions.size(), 2u);
+  const TimePs gap_conflict = h2.completions[1].second - h2.completions[0].second;
+  EXPECT_LT(gap_hit, gap_conflict);
+}
+
+TEST(Vault, FrfcfsPrefersRowHitOverOlderConflict) {
+  VaultHarness h;
+  const unsigned stride = h.config.hmc.num_vaults * 128;
+  const DramCoord c0 = h.amap.decode(0);
+  // A conflicting request (same bank, different row) arrives FIRST, then a
+  // row-hit request: after the first access opens row 0, FR-FCFS must
+  // serve the row hit before the conflict.
+  Addr conflict = stride;
+  while (h.amap.decode(conflict).bank != c0.bank || h.amap.decode(conflict).row == c0.row ||
+         h.amap.decode(conflict).vault != c0.vault) {
+    conflict += stride;
+  }
+  h.push(0, false, 1);
+  h.run(14);  // row 0 is open, first CAS issued
+  h.push(conflict, false, 2);  // older in queue
+  h.push(0, false, 3);         // row hit
+  h.run(400);
+  ASSERT_EQ(h.completions.size(), 3u);
+  EXPECT_EQ(h.completions[1].first.token, 3u);  // the row hit overtook
+  EXPECT_EQ(h.completions[2].first.token, 2u);
+}
+
+TEST(Vault, BackToBackThroughputBoundedByTccd) {
+  VaultHarness h;
+  // 16 requests to the same row: after the first, one CAS per tCCD.
+  for (int i = 0; i < 16; ++i) h.push(0, false, i);
+  h.run(200);
+  ASSERT_EQ(h.completions.size(), 16u);
+  const DramTiming t = h.config.hmc.timing;
+  const double ccd_ps =
+      static_cast<double>(t.tCCD) * 1e9 / static_cast<double>(h.config.clocks.dram_khz);
+  for (int i = 1; i < 16; ++i) {
+    const TimePs gap = h.completions[i].second - h.completions[i - 1].second;
+    // tick->ps mapping floors, so consecutive gaps may differ by 1 ps.
+    EXPECT_NEAR(static_cast<double>(gap), ccd_ps, 1.0);
+  }
+}
+
+TEST(Vault, CapacityEnforced) {
+  VaultHarness h;
+  for (unsigned i = 0; i < h.config.hmc.vault_queue_size; ++i) h.push(i * 0x10000, false, i);
+  EXPECT_FALSE(h.vault.can_accept());
+  EXPECT_THROW(h.push(0x999000), std::logic_error);
+  h.run(2000);
+  EXPECT_TRUE(h.vault.can_accept());
+  EXPECT_EQ(h.completions.size(), h.config.hmc.vault_queue_size);
+}
+
+TEST(Vault, BankParallelismOverlapsActivates) {
+  // Requests to N different banks should complete much faster than N
+  // row-conflicts to one bank.
+  VaultHarness h;
+  const unsigned stride = h.config.hmc.num_vaults * 128;
+  // Different banks: consecutive vault-local lines.
+  for (unsigned i = 0; i < 8; ++i) h.push(i * stride, false, i);
+  h.run(400);
+  ASSERT_EQ(h.completions.size(), 8u);
+  const TimePs parallel_done = h.completions.back().second;
+
+  VaultHarness h2;
+  const DramCoord c0 = h2.amap.decode(0);
+  Addr addr = 0;
+  unsigned pushed = 0;
+  // 8 distinct rows of the same bank.
+  std::uint64_t last_row = ~0ull;
+  while (pushed < 8) {
+    const DramCoord c = h2.amap.decode(addr);
+    if (c.vault == c0.vault && c.bank == c0.bank && c.row != last_row) {
+      h2.push(addr, false, pushed++);
+      last_row = c.row;
+    }
+    addr += stride;
+  }
+  h2.run(2000);
+  ASSERT_EQ(h2.completions.size(), 8u);
+  EXPECT_LT(parallel_done, h2.completions.back().second);
+}
+
+}  // namespace
+}  // namespace sndp

@@ -1,0 +1,95 @@
+// Tests for the energy model (§5 constants, Fig. 10 categories).
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace sndp {
+namespace {
+
+TEST(Energy, DramActivationUsesPaperConstant) {
+  EnergyModel model(EnergyConfig{});
+  EnergyCounters c;
+  c.dram_activates = 1000;
+  const EnergyBreakdown e = model.compute(c, 0, 0, 0, false);
+  EXPECT_DOUBLE_EQ(e.dram_j, 1000 * 11.8e-9);
+}
+
+TEST(Energy, DramRowReadPerBit) {
+  EnergyModel model(EnergyConfig{});
+  EnergyCounters c;
+  c.dram_read_bytes = 128;
+  const EnergyBreakdown e = model.compute(c, 0, 0, 0, false);
+  EXPECT_DOUBLE_EQ(e.dram_j, 128 * 8 * 4e-12);
+}
+
+TEST(Energy, OffchipTwoPicojoulePerBit) {
+  EnergyModel model(EnergyConfig{});
+  EnergyCounters c;
+  c.offchip_bytes = 1'000'000;
+  const EnergyBreakdown e = model.compute(c, 0, 0, 0, false);
+  EXPECT_DOUBLE_EQ(e.offchip_j, 1e6 * 8 * 2e-12);
+}
+
+TEST(Energy, StaticPowerScalesWithTimeAndActivity) {
+  const EnergyConfig cfg{};
+  EnergyModel model(cfg);
+  EnergyCounters none;
+  const TimePs second_ps = 1'000'000'000'000ull;  // 1 s
+  // SM static power accrues per active SM-second (idle SMs power-gate):
+  // more SMs alone change nothing; more aggregate activity does.
+  const EnergyBreakdown e64 = model.compute(none, second_ps, 64, 8, false);
+  const EnergyBreakdown e72 = model.compute(none, second_ps, 72, 8, false);
+  EXPECT_DOUBLE_EQ(e72.gpu_j, e64.gpu_j);
+  EnergyCounters busy;
+  busy.sm_active_seconds = 3.0;  // e.g. 3 SMs active for the whole second
+  const EnergyBreakdown eb = model.compute(busy, second_ps, 64, 8, false);
+  EXPECT_NEAR(eb.gpu_j - e64.gpu_j, 3.0 * cfg.sm_static_w, 1e-9);
+  // Chip-level static (L2 etc.) still scales with wall time.
+  const EnergyBreakdown e2s = model.compute(none, 2 * second_ps, 64, 8, false);
+  EXPECT_NEAR(e2s.gpu_j, 2 * e64.gpu_j, 1e-9);
+}
+
+TEST(Energy, NdpPowerGatedWhenOff) {
+  const EnergyConfig cfg{};
+  EnergyModel model(cfg);
+  EnergyCounters none;
+  const TimePs t = 1'000'000'000ull;
+  const EnergyBreakdown off = model.compute(none, t, 64, 8, false);
+  const EnergyBreakdown on = model.compute(none, t, 64, 8, true);
+  EXPECT_DOUBLE_EQ(off.nsu_j, 0.0);
+  EXPECT_GT(on.nsu_j, 0.0);
+  EXPECT_GT(on.offchip_j, off.offchip_j);  // memory-network links powered
+}
+
+TEST(Energy, TotalIsSumOfCategories) {
+  EnergyModel model(EnergyConfig{});
+  EnergyCounters c;
+  c.sm_lane_ops = 1000;
+  c.nsu_lane_ops = 100;
+  c.l1_accesses = 50;
+  c.l2_accesses = 20;
+  c.gpu_wire_bytes = 4096;
+  c.hmc_noc_bytes = 2048;
+  c.dram_activates = 3;
+  c.dram_read_bytes = 256;
+  c.dram_write_bytes = 128;
+  c.offchip_bytes = 512;
+  const EnergyBreakdown e = model.compute(c, 12345678, 64, 8, true);
+  EXPECT_DOUBLE_EQ(e.total(), e.gpu_j + e.nsu_j + e.hmc_noc_j + e.offchip_j + e.dram_j);
+  EXPECT_GT(e.gpu_j, 0.0);
+  EXPECT_GT(e.hmc_noc_j, 0.0);
+}
+
+TEST(Energy, ExportNamesStable) {
+  EnergyBreakdown e;
+  e.gpu_j = 1;
+  e.dram_j = 2;
+  StatSet stats;
+  e.export_stats(stats);
+  EXPECT_DOUBLE_EQ(stats.get("energy.gpu_j"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.get("energy.dram_j"), 2.0);
+  EXPECT_DOUBLE_EQ(stats.get("energy.total_j"), 3.0);
+}
+
+}  // namespace
+}  // namespace sndp

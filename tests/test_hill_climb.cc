@@ -1,0 +1,131 @@
+// Tests for the hill-climbing dynamic offload-ratio controller (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "ctrl/hill_climb.h"
+
+namespace sndp {
+namespace {
+
+GovernorConfig cfg() {
+  GovernorConfig g;
+  g.initial_ratio = 0.1;
+  g.initial_step = 0.15;
+  g.step_unit = 0.05;
+  g.step_min = 0.05;
+  g.step_max = 0.15;
+  g.history_window = 4;
+  return g;
+}
+
+// Drives the controller against a synthetic throughput landscape.
+double run_epochs(HillClimbController& hc, const std::function<double(double)>& ipc_of,
+                  unsigned epochs) {
+  for (unsigned i = 0; i < epochs; ++i) hc.end_epoch(ipc_of(hc.ratio()));
+  return hc.ratio();
+}
+
+TEST(HillClimb, InitialState) {
+  HillClimbController hc(cfg());
+  EXPECT_DOUBLE_EQ(hc.ratio(), 0.1);
+  EXPECT_DOUBLE_EQ(hc.step(), 0.15);
+}
+
+TEST(HillClimb, FirstEpochOnlyRecordsBaseline) {
+  HillClimbController hc(cfg());
+  hc.end_epoch(1.0);
+  EXPECT_DOUBLE_EQ(hc.ratio(), 0.1);  // unchanged after the first epoch
+  hc.end_epoch(2.0);
+  EXPECT_NE(hc.ratio(), 0.1);  // moves from the second epoch on
+}
+
+TEST(HillClimb, ClimbsTowardUnimodalOptimum) {
+  // Property: for any unimodal landscape peaking at p, the controller's
+  // time-averaged ratio approaches p within the max step size.
+  for (double peak : {0.3, 0.5, 0.7}) {
+    HillClimbController hc(cfg());
+    auto ipc = [peak](double r) { return 1.0 - (r - peak) * (r - peak); };
+    double avg = 0.0;
+    constexpr unsigned kEpochs = 60;
+    for (unsigned i = 0; i < kEpochs; ++i) {
+      hc.end_epoch(ipc(hc.ratio()));
+      if (i >= kEpochs / 2) avg += hc.ratio();
+    }
+    avg /= kEpochs / 2;
+    EXPECT_NEAR(avg, peak, 0.2) << "peak " << peak;
+  }
+}
+
+TEST(HillClimb, MonotonicDecreasingLandscapeDrivesRatioDown) {
+  HillClimbController hc(cfg());
+  run_epochs(hc, [](double r) { return 1.0 - r; }, 40);
+  EXPECT_LT(hc.ratio(), 0.2);
+}
+
+TEST(HillClimb, MonotonicIncreasingLandscapeDrivesRatioUp) {
+  HillClimbController hc(cfg());
+  run_epochs(hc, [](double r) { return r; }, 40);
+  EXPECT_GT(hc.ratio(), 0.8);
+}
+
+TEST(HillClimb, BouncesOffWalls) {
+  HillClimbController hc(cfg());
+  // Always-worse signal: direction flips every epoch; ratio must stay in
+  // [0,1] and keep probing (the paper notes it never settles exactly).
+  double prev = 2.0;
+  for (unsigned i = 0; i < 50; ++i) {
+    hc.end_epoch(prev);
+    prev *= 0.9;  // strictly decreasing IPC regardless of ratio
+    EXPECT_GE(hc.ratio(), 0.0);
+    EXPECT_LE(hc.ratio(), 1.0);
+  }
+  EXPECT_EQ(std::abs(hc.direction()), 1);
+}
+
+TEST(HillClimb, StepShrinksUnderOscillation) {
+  HillClimbController hc(cfg());
+  // Every epoch looks worse than the last: the direction reverses each
+  // time (oscillation around a sharp optimum) and the step must shrink to
+  // its minimum.
+  double ipc = 10.0;
+  double min_seen = 1.0;
+  for (unsigned i = 0; i < 12; ++i) {
+    hc.end_epoch(ipc);
+    ipc -= 0.5;
+    min_seen = std::min(min_seen, hc.step());
+  }
+  // Algorithm 1 reaches the minimum step, then (per its else-branch) grows
+  // one notch and shrinks again — it never exceeds step_min + step_unit.
+  EXPECT_DOUBLE_EQ(min_seen, 0.05);
+  EXPECT_LE(hc.step(), 0.05 + 0.05 + 1e-12);
+}
+
+TEST(HillClimb, StepGrowsUnderSteadyProgress) {
+  GovernorConfig g = cfg();
+  g.initial_step = 0.05;
+  HillClimbController hc(g);
+  double ipc = 1.0;
+  for (unsigned i = 0; i < 10; ++i) {
+    ipc += 0.1;  // monotone improvement
+    hc.end_epoch(ipc);
+  }
+  EXPECT_DOUBLE_EQ(hc.step(), 0.15);
+}
+
+TEST(HillClimb, StepStaysWithinBounds) {
+  HillClimbController hc(cfg());
+  Rng rng(5);
+  for (unsigned i = 0; i < 200; ++i) {
+    hc.end_epoch(rng.next_double());
+    EXPECT_GE(hc.step(), 0.05);
+    EXPECT_LE(hc.step(), 0.15);
+    EXPECT_GE(hc.ratio(), 0.0);
+    EXPECT_LE(hc.ratio(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sndp

@@ -1,0 +1,259 @@
+// Tests for ISA semantics (execute_alu), predication, program structure.
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace sndp {
+namespace {
+
+Instr binary(Opcode op, unsigned rd, unsigned rs0, unsigned rs1) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.src[1] = static_cast<std::uint8_t>(rs1);
+  return in;
+}
+
+Instr binary_imm(Opcode op, unsigned rd, unsigned rs0, std::int64_t imm) {
+  Instr in;
+  in.op = op;
+  in.dst = static_cast<std::uint8_t>(rd);
+  in.src[0] = static_cast<std::uint8_t>(rs0);
+  in.imm = imm;
+  in.use_imm = true;
+  return in;
+}
+
+TEST(IsaExec, IntegerArithmetic) {
+  ThreadCtx t;
+  t.regs[1] = 10;
+  t.regs[2] = static_cast<RegValue>(-3);
+  execute_alu(binary(Opcode::kIAdd, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), 7);
+  execute_alu(binary(Opcode::kISub, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), 13);
+  execute_alu(binary(Opcode::kIMul, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), -30);
+  execute_alu(binary(Opcode::kIDiv, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), -3);
+  execute_alu(binary(Opcode::kIRem, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), 1);
+  execute_alu(binary(Opcode::kIMin, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), -3);
+  execute_alu(binary(Opcode::kIMax, 0, 1, 2), t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), 10);
+}
+
+TEST(IsaExec, DivisionByZeroYieldsZero) {
+  ThreadCtx t;
+  t.regs[1] = 42;
+  t.regs[2] = 0;
+  execute_alu(binary(Opcode::kIDiv, 0, 1, 2), t);
+  EXPECT_EQ(t.regs[0], 0u);
+  execute_alu(binary(Opcode::kIRem, 0, 1, 2), t);
+  EXPECT_EQ(t.regs[0], 0u);
+}
+
+TEST(IsaExec, BitOpsAndShifts) {
+  ThreadCtx t;
+  t.regs[1] = 0b1100;
+  t.regs[2] = 0b1010;
+  execute_alu(binary(Opcode::kAnd, 0, 1, 2), t);
+  EXPECT_EQ(t.regs[0], 0b1000u);
+  execute_alu(binary(Opcode::kOr, 0, 1, 2), t);
+  EXPECT_EQ(t.regs[0], 0b1110u);
+  execute_alu(binary(Opcode::kXor, 0, 1, 2), t);
+  EXPECT_EQ(t.regs[0], 0b0110u);
+  execute_alu(binary_imm(Opcode::kShl, 0, 1, 4), t);
+  EXPECT_EQ(t.regs[0], 0b11000000u);
+  execute_alu(binary_imm(Opcode::kShr, 0, 1, 2), t);
+  EXPECT_EQ(t.regs[0], 0b11u);
+}
+
+TEST(IsaExec, FloatArithmetic) {
+  ThreadCtx t;
+  t.regs[1] = f64_to_bits(1.5);
+  t.regs[2] = f64_to_bits(2.25);
+  execute_alu(binary(Opcode::kFAdd, 0, 1, 2), t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 3.75);
+  execute_alu(binary(Opcode::kFMul, 0, 1, 2), t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 3.375);
+  execute_alu(binary(Opcode::kFDiv, 0, 1, 2), t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 1.5 / 2.25);
+}
+
+TEST(IsaExec, FloatImmediateIsIntegerCast) {
+  ThreadCtx t;
+  t.regs[1] = f64_to_bits(10.0);
+  execute_alu(binary_imm(Opcode::kFDiv, 0, 1, 8), t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 1.25);
+}
+
+TEST(IsaExec, FusedOps) {
+  ThreadCtx t;
+  t.regs[1] = 3;
+  t.regs[2] = 4;
+  t.regs[3] = 5;
+  Instr mad = binary(Opcode::kIMad, 0, 1, 2);
+  mad.src[2] = 3;
+  execute_alu(mad, t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), 17);
+
+  t.regs[1] = f64_to_bits(2.0);
+  t.regs[2] = f64_to_bits(3.0);
+  t.regs[3] = f64_to_bits(1.0);
+  Instr fma = binary(Opcode::kFFma, 0, 1, 2);
+  fma.src[2] = 3;
+  execute_alu(fma, t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 7.0);
+}
+
+TEST(IsaExec, UnaryAndConversions) {
+  ThreadCtx t;
+  t.regs[1] = f64_to_bits(-2.25);
+  Instr in;
+  in.dst = 0;
+  in.src[0] = 1;
+  in.op = Opcode::kFAbs;
+  execute_alu(in, t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 2.25);
+  in.op = Opcode::kFNeg;
+  execute_alu(in, t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 2.25);
+  t.regs[1] = static_cast<RegValue>(-7);
+  in.op = Opcode::kI2F;
+  execute_alu(in, t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), -7.0);
+  t.regs[1] = f64_to_bits(9.75);
+  in.op = Opcode::kF2I;
+  execute_alu(in, t);
+  EXPECT_EQ(static_cast<std::int64_t>(t.regs[0]), 9);
+  t.regs[1] = f64_to_bits(16.0);
+  in.op = Opcode::kFSqrt;
+  execute_alu(in, t);
+  EXPECT_DOUBLE_EQ(bits_to_f64(t.regs[0]), 4.0);
+}
+
+TEST(IsaExec, PredicateCompare) {
+  ThreadCtx t;
+  t.regs[1] = 5;
+  Instr setp;
+  setp.op = Opcode::kISetp;
+  setp.pred_dst = 2;
+  setp.cmp = CmpOp::kLt;
+  setp.src[0] = 1;
+  setp.imm = 10;
+  setp.use_imm = true;
+  execute_alu(setp, t);
+  EXPECT_TRUE(t.preds[2]);
+  setp.cmp = CmpOp::kGe;
+  execute_alu(setp, t);
+  EXPECT_FALSE(t.preds[2]);
+}
+
+TEST(IsaGuard, SenseAndAbsence) {
+  ThreadCtx t;
+  t.preds[1] = true;
+  Instr in;
+  EXPECT_TRUE(guard_passes(in, t));  // unguarded
+  in.guard_pred = 1;
+  in.guard_sense = true;
+  EXPECT_TRUE(guard_passes(in, t));
+  in.guard_sense = false;
+  EXPECT_FALSE(guard_passes(in, t));
+  t.preds[1] = false;
+  EXPECT_TRUE(guard_passes(in, t));
+}
+
+TEST(IsaMeta, ExecClassAssignments) {
+  EXPECT_EQ(binary(Opcode::kIAdd, 0, 1, 2).exec_class(), ExecClass::kAlu);
+  EXPECT_EQ(binary(Opcode::kIMul, 0, 1, 2).exec_class(), ExecClass::kSfu);
+  EXPECT_EQ(binary(Opcode::kFFma, 0, 1, 2).exec_class(), ExecClass::kSfu);
+  Instr ld;
+  ld.op = Opcode::kLd;
+  EXPECT_EQ(ld.exec_class(), ExecClass::kMem);
+  Instr bra;
+  bra.op = Opcode::kBra;
+  EXPECT_EQ(bra.exec_class(), ExecClass::kCtrl);
+}
+
+TEST(IsaMeta, ForEachSrcRegSkipsImmediateSlot) {
+  Instr in = binary_imm(Opcode::kIAdd, 0, 1, 42);
+  std::vector<unsigned> regs;
+  for_each_src_reg(in, [&](std::uint8_t r) { regs.push_back(r); });
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(regs[0], 1u);
+
+  Instr mad = binary(Opcode::kIMad, 0, 1, 2);
+  mad.src[2] = 3;
+  regs.clear();
+  for_each_src_reg(mad, [&](std::uint8_t r) { regs.push_back(r); });
+  EXPECT_EQ(regs.size(), 3u);
+
+  // IMAD with immediate middle operand reads only src0 and src2.
+  Instr madi = mad;
+  madi.use_imm = true;
+  madi.src[1] = kNoReg;
+  regs.clear();
+  for_each_src_reg(madi, [&](std::uint8_t r) { regs.push_back(r); });
+  EXPECT_EQ(regs.size(), 2u);
+}
+
+TEST(IsaText, EffectiveAddress) {
+  ThreadCtx t;
+  t.regs[4] = 1000;
+  Instr ld;
+  ld.op = Opcode::kLd;
+  ld.src[0] = 4;
+  ld.imm = -16;
+  EXPECT_EQ(effective_address(ld, t), 984u);
+}
+
+TEST(ProgramStructure, ValidateCatchesBadBranch) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kBra;
+  code[0].target = 99;
+  code[1].op = Opcode::kExit;
+  Program prog(std::move(code));
+  EXPECT_THROW(prog.validate(), std::invalid_argument);
+}
+
+TEST(ProgramStructure, ValidateCatchesUnbalancedOfld) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kOfldEnd;
+  code[1].op = Opcode::kExit;
+  EXPECT_THROW(Program(std::move(code)).validate(), std::invalid_argument);
+}
+
+TEST(ProgramStructure, BasicBlockStartsAtTargetsAndAfterBranches) {
+  ProgramBuilder b;
+  b.movi(0, 0)
+      .label("top")
+      .alui(Opcode::kIAdd, 0, 0, 1)
+      .isetpi(0, CmpOp::kLt, 0, 10)
+      .pred(0)
+      .bra("top")
+      .exit();
+  Program prog = b.build();
+  const auto starts = prog.basic_block_starts();
+  // Starts: 0 (entry), 1 (branch target "top"), 4 (after the branch).
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 1u);
+  EXPECT_EQ(starts[2], 4u);
+}
+
+TEST(ProgramStructure, DisassembleRoundTripsMnemonics) {
+  ProgramBuilder b;
+  b.movi(1, 42).ld(2, 1, 8).st(1, 2, 16).exit();
+  const std::string text = b.build().disassemble();
+  EXPECT_NE(text.find("MOVI R1, 42"), std::string::npos);
+  EXPECT_NE(text.find("LD.64 R2, [R1+8]"), std::string::npos);
+  EXPECT_NE(text.find("ST.64 [R1+16], R2"), std::string::npos);
+  EXPECT_NE(text.find("EXIT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sndp

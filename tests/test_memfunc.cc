@@ -1,0 +1,101 @@
+// Tests for the functional global memory and allocator.
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+#include "memfunc/global_memory.h"
+
+namespace sndp {
+namespace {
+
+TEST(GlobalMemory, ZeroInitialized) {
+  GlobalMemory mem;
+  EXPECT_EQ(mem.read_u64(0x1234), 0u);
+  EXPECT_EQ(mem.frames_allocated(), 0u);  // reads never allocate
+}
+
+TEST(GlobalMemory, ReadBackWrites) {
+  GlobalMemory mem;
+  mem.write_u64(0x1000, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(mem.read_u64(0x1000), 0xDEADBEEFCAFEBABEull);
+  mem.write_u32(0x2000, 0x12345678u);
+  EXPECT_EQ(mem.read_u32(0x2000), 0x12345678u);
+}
+
+TEST(GlobalMemory, LittleEndianByteOrder) {
+  GlobalMemory mem;
+  mem.write_u64(0x100, 0x0807060504030201ull);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(mem.read(0x100 + i, 1), i + 1);
+  }
+}
+
+TEST(GlobalMemory, CrossFrameAccess) {
+  GlobalMemory mem;
+  const Addr boundary = GlobalMemory::kFrameBytes;
+  mem.write_u64(boundary - 4, 0x1122334455667788ull);
+  EXPECT_EQ(mem.read_u64(boundary - 4), 0x1122334455667788ull);
+  EXPECT_EQ(mem.frames_allocated(), 2u);
+}
+
+TEST(GlobalMemory, SparseAllocation) {
+  GlobalMemory mem;
+  mem.write_u64(0, 1);
+  mem.write_u64(1ull << 33, 2);  // 8 GiB away
+  EXPECT_EQ(mem.frames_allocated(), 2u);
+  EXPECT_EQ(mem.read_u64(0), 1u);
+  EXPECT_EQ(mem.read_u64(1ull << 33), 2u);
+}
+
+TEST(GlobalMemory, FloatHelpers) {
+  GlobalMemory mem;
+  mem.write_f64(0x10, 3.14159);
+  EXPECT_DOUBLE_EQ(mem.read_f64(0x10), 3.14159);
+  mem.write_f32(0x20, 2.5f);
+  EXPECT_FLOAT_EQ(mem.read_f32(0x20), 2.5f);
+}
+
+TEST(GlobalMemory, LoadRegF32ConvertsToDouble) {
+  GlobalMemory mem;
+  mem.write_f32(0x30, 1.5f);
+  const RegValue v = mem.load_reg(0x30, 4, true);
+  EXPECT_DOUBLE_EQ(bits_to_f64(v), 1.5);
+}
+
+TEST(GlobalMemory, StoreRegF32Truncates) {
+  GlobalMemory mem;
+  mem.store_reg(0x40, f64_to_bits(0.1), 4, true);
+  EXPECT_FLOAT_EQ(mem.read_f32(0x40), 0.1f);
+}
+
+TEST(GlobalMemory, LoadReg32ZeroExtends) {
+  GlobalMemory mem;
+  mem.write_u64(0x50, 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(mem.load_reg(0x50, 4, false), 0xFFFFFFFFull);
+}
+
+TEST(GlobalMemory, BadWidthThrows) {
+  GlobalMemory mem;
+  EXPECT_THROW(mem.read(0, 0), std::invalid_argument);
+  EXPECT_THROW(mem.read(0, 9), std::invalid_argument);
+  EXPECT_THROW(mem.write(0, 0, 16), std::invalid_argument);
+}
+
+TEST(MemoryAllocator, AlignmentAndMonotonicity) {
+  MemoryAllocator alloc(0x1000, 128);
+  const Addr a = alloc.alloc(100);
+  const Addr b = alloc.alloc(1);
+  EXPECT_EQ(a % 128, 0u);
+  EXPECT_EQ(b % 128, 0u);
+  EXPECT_GE(b, a + 100);
+  const Addr c = alloc.alloc(8, 4096);
+  EXPECT_EQ(c % 4096, 0u);
+}
+
+TEST(MemoryAllocator, RejectsBadAlignment) {
+  MemoryAllocator alloc;
+  EXPECT_THROW(alloc.alloc(8, 3), std::invalid_argument);
+  EXPECT_THROW(alloc.alloc(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sndp

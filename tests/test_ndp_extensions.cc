@@ -1,0 +1,160 @@
+// Tests for the NDP extensions: the §4.1.1 WTA in-flight tracker (dynamic
+// memory management), the §7.1 NSU read-only cache, and the optimal-target
+// ablation.
+#include <gtest/gtest.h>
+
+#include "sndp.h"
+
+namespace sndp {
+namespace {
+
+// --- WtaInflightTracker ------------------------------------------------------
+
+TEST(WtaTracker, CountsPerHmc) {
+  WtaInflightTracker t(4);
+  t.on_wta_generated(1);
+  t.on_wta_generated(1);
+  t.on_wta_generated(2);
+  EXPECT_EQ(t.inflight(1), 2u);
+  EXPECT_EQ(t.inflight(2), 1u);
+  EXPECT_TRUE(t.quiescent(0));
+  EXPECT_FALSE(t.quiescent(1));
+  EXPECT_FALSE(t.all_quiescent());
+  t.on_invalidation(1);
+  t.on_invalidation(1);
+  t.on_invalidation(2);
+  EXPECT_TRUE(t.all_quiescent());
+  EXPECT_EQ(t.max_seen(), 2u);
+  EXPECT_EQ(t.total(), 3u);
+}
+
+TEST(WtaTracker, UnderflowThrows) {
+  WtaInflightTracker t(2);
+  EXPECT_THROW(t.on_invalidation(0), std::logic_error);
+}
+
+TEST(WtaTracker, SimulationTracksAndDrains) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kAlways;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  ASSERT_TRUE(r.completed);
+  // WTAs flowed during the run (max > 0) and all drained (the simulator
+  // throws on leaks, so completing is itself the invariant).
+  EXPECT_GT(r.stats.get("wta.max_inflight"), 0.0);
+  EXPECT_GT(r.stats.get("wta.total"), 0.0);
+}
+
+TEST(WtaTracker, BaselineGeneratesNone) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kOff;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  EXPECT_DOUBLE_EQ(r.stats.get("wta.total"), 0.0);
+}
+
+// --- RoCacheMirror ------------------------------------------------------------
+
+NsuConfig ro_cfg(unsigned lines) {
+  NsuConfig c;
+  c.read_only_cache = true;
+  c.read_only_cache_bytes = static_cast<std::uint64_t>(lines) * 128;
+  return c;
+}
+
+TEST(RoCache, DisabledNeverHits) {
+  NsuConfig c;
+  c.read_only_cache = false;
+  RoCacheMirror m(2, c, 128);
+  EXPECT_FALSE(m.enabled());
+  EXPECT_FALSE(m.lookup_or_insert(0, 0x1000));
+  EXPECT_FALSE(m.lookup_or_insert(0, 0x1000));
+}
+
+TEST(RoCache, SecondTouchHits) {
+  RoCacheMirror m(2, ro_cfg(4), 128);
+  EXPECT_FALSE(m.lookup_or_insert(0, 0x1000));
+  EXPECT_TRUE(m.lookup_or_insert(0, 0x1000));
+  EXPECT_EQ(m.hits(), 1u);
+  EXPECT_EQ(m.fills(), 1u);
+}
+
+TEST(RoCache, PerNsuIsolation) {
+  RoCacheMirror m(2, ro_cfg(4), 128);
+  m.lookup_or_insert(0, 0x1000);
+  EXPECT_FALSE(m.lookup_or_insert(1, 0x1000));  // other NSU: cold
+}
+
+TEST(RoCache, LruEviction) {
+  RoCacheMirror m(1, ro_cfg(2), 128);
+  m.lookup_or_insert(0, 0x100);
+  m.lookup_or_insert(0, 0x200);
+  EXPECT_TRUE(m.lookup_or_insert(0, 0x100));   // refresh 0x100
+  m.lookup_or_insert(0, 0x300);                // evicts 0x200 (LRU)
+  EXPECT_TRUE(m.lookup_or_insert(0, 0x100));
+  EXPECT_FALSE(m.lookup_or_insert(0, 0x200));  // was evicted
+}
+
+TEST(RoCache, StoreInvalidatesEverywhere) {
+  RoCacheMirror m(2, ro_cfg(4), 128);
+  m.lookup_or_insert(0, 0x1000);
+  m.lookup_or_insert(1, 0x1000);
+  m.invalidate(0x1000);
+  EXPECT_EQ(m.invalidations(), 2u);
+  EXPECT_FALSE(m.lookup_or_insert(0, 0x1000));
+  EXPECT_FALSE(m.lookup_or_insert(1, 0x1000));
+}
+
+TEST(RoCache, ReducesBpropLinkTraffic) {
+  // End-to-end: BPROP's cache-resident input pushes shrink with the RO
+  // cache enabled (§7.1: "can benefit from adding a small read-only cache").
+  // A mixed ratio is needed: inline instances warm the GPU caches, and the
+  // offloaded instances then push the cached lines (the §7.1 pathology).
+  SystemConfig off = SystemConfig::small_test();
+  off.governor.mode = OffloadMode::kStaticRatio;
+  off.governor.static_ratio = 0.5;
+  auto wl1 = make_workload("BPROP", ProblemScale::kTiny);
+  const RunResult without = Simulator(off).run(*wl1);
+
+  SystemConfig on = off;
+  on.nsu.read_only_cache = true;
+  auto wl2 = make_workload("BPROP", ProblemScale::kTiny);
+  const RunResult with = Simulator(on).run(*wl2);
+
+  EXPECT_TRUE(with.verified);
+  EXPECT_GT(with.stats.get("rocache.hits"), 0.0);
+  EXPECT_LT(with.stats.get("net.gpu_up_bytes"), without.stats.get("net.gpu_up_bytes"));
+  EXPECT_LE(with.sm_cycles, without.sm_cycles);
+}
+
+// --- Optimal target selection ablation ---------------------------------------
+
+TEST(OptimalTarget, VerifiesAndUsesPendingBuffer) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kAlways;
+  cfg.optimal_target_selection = true;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(OptimalTarget, NoWorseNetworkTrafficThanFirstAccess) {
+  // The optimal policy minimizes remote accesses: inter-stack bytes must
+  // not exceed the first-access policy's (Fig. 5's premise), on average.
+  SystemConfig first_cfg = SystemConfig::small_test();
+  first_cfg.governor.mode = OffloadMode::kAlways;
+  auto wl1 = make_workload("MiniFE", ProblemScale::kTiny);
+  const RunResult first = Simulator(first_cfg).run(*wl1);
+
+  SystemConfig opt_cfg = first_cfg;
+  opt_cfg.optimal_target_selection = true;
+  auto wl2 = make_workload("MiniFE", ProblemScale::kTiny);
+  const RunResult opt = Simulator(opt_cfg).run(*wl2);
+
+  EXPECT_TRUE(opt.verified);
+  EXPECT_LE(opt.cube_link_bytes, first.cube_link_bytes);
+}
+
+}  // namespace
+}  // namespace sndp

@@ -1,0 +1,85 @@
+// Simulator-facade tests: safety valve, analyzer options, config plumbing.
+#include <gtest/gtest.h>
+
+#include "sndp.h"
+
+namespace sndp {
+namespace {
+
+TEST(SimulatorFacade, SafetyValveStopsRunaway) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.max_time_ps = 50'000;  // 50 ns: far too little to finish
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.verified);
+  EXPECT_GE(r.runtime_ps, 50'000u);
+}
+
+TEST(SimulatorFacade, RejectsInvalidConfig) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.num_hmcs = 3;
+  EXPECT_THROW(Simulator{cfg}, std::invalid_argument);
+}
+
+TEST(SimulatorFacade, AnalyzerOptionsChangeBlockExtraction) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kAlways;
+
+  Simulator normal(cfg);
+  auto wl1 = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult with_blocks = normal.run(*wl1);
+  EXPECT_GT(with_blocks.stats.get("governor.decisions"), 0.0);
+
+  // A prohibitive minimum score extracts no blocks: the run degenerates to
+  // the baseline even in always-offload mode.
+  Simulator strict(cfg);
+  AnalyzerOptions opts;
+  opts.min_score = 1e9;
+  opts.indirect_rule = false;
+  strict.set_analyzer_options(opts);
+  auto wl2 = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult no_blocks = strict.run(*wl2);
+  EXPECT_TRUE(no_blocks.verified);
+  EXPECT_DOUBLE_EQ(no_blocks.stats.get("governor.decisions"), 0.0);
+  EXPECT_DOUBLE_EQ(no_blocks.stats.get_or("net.bytes.OFLD_CMD", 0.0), 0.0);
+}
+
+TEST(SimulatorFacade, NsuFrequencyScalesNdpRuntime) {
+  // §7.6 in miniature: a slower NSU lengthens always-offload runs.
+  SystemConfig fast_cfg = SystemConfig::small_test();
+  fast_cfg.governor.mode = OffloadMode::kAlways;
+  SystemConfig slow_cfg = fast_cfg;
+  slow_cfg.clocks.nsu_khz = 87'500;  // 1/4 speed
+  auto wl1 = make_workload("SP", ProblemScale::kTiny);
+  auto wl2 = make_workload("SP", ProblemScale::kTiny);
+  const RunResult fast = Simulator(fast_cfg).run(*wl1);
+  const RunResult slow = Simulator(slow_cfg).run(*wl2);
+  EXPECT_TRUE(slow.verified);
+  EXPECT_GT(slow.sm_cycles, fast.sm_cycles);
+}
+
+TEST(SimulatorFacade, HmcCountChangesPlacementSpread) {
+  SystemConfig cfg1 = SystemConfig::small_test();
+  cfg1.num_hmcs = 1;  // degenerate hypercube: everything is local
+  cfg1.governor.mode = OffloadMode::kAlways;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg1).run(*wl);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.cube_link_bytes, 0u);  // no inter-stack links exist
+}
+
+TEST(SimulatorFacade, EnergyCountersAreConsistent) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kDynamicCache;
+  auto wl = make_workload("BICG", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  EXPECT_EQ(r.counters.offchip_bytes, r.gpu_link_bytes + r.cube_link_bytes);
+  EXPECT_GT(r.counters.sm_lane_ops, 0u);
+  EXPECT_GT(r.counters.dram_read_bytes, 0u);
+  EXPECT_GT(r.counters.sm_active_seconds, 0.0);
+  EXPECT_GT(r.energy.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace sndp

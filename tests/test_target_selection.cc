@@ -1,0 +1,65 @@
+// Tests for the Fig. 5 target-NSU selection model.
+#include <gtest/gtest.h>
+
+#include "offload/target_selection.h"
+
+namespace sndp {
+namespace {
+
+TEST(TargetSelection, SingleAccessAlwaysLocal) {
+  Rng rng(1);
+  const auto s = simulate_target_selection(8, 1, TargetPolicy::kFirstAccess, 1000, rng);
+  EXPECT_DOUBLE_EQ(s.mean_traffic, 0.0);
+}
+
+TEST(TargetSelection, PoliciesIdenticalForTwoAccesses) {
+  // With two accesses, the first-touched HMC is always among the maxima.
+  Rng a(2), b(2);
+  const auto first = simulate_target_selection(8, 2, TargetPolicy::kFirstAccess, 20000, a);
+  const auto opt = simulate_target_selection(8, 2, TargetPolicy::kOptimal, 20000, b);
+  EXPECT_NEAR(first.mean_traffic, opt.mean_traffic, 1e-9);
+}
+
+TEST(TargetSelection, OptimalNeverWorse) {
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    Rng a(3), b(3);
+    const auto first = simulate_target_selection(8, n, TargetPolicy::kFirstAccess, 20000, a);
+    const auto opt = simulate_target_selection(8, n, TargetPolicy::kOptimal, 20000, b);
+    EXPECT_LE(opt.mean_traffic, first.mean_traffic + 1e-9) << n;
+  }
+}
+
+TEST(TargetSelection, OverheadBoundedAsInPaper) {
+  // Fig. 5: the first-HMC policy costs at most ~15% extra traffic.
+  double max_overhead = 0.0;
+  for (unsigned n : {4u, 8u, 16u, 32u, 64u}) {
+    Rng a(4), b(4);
+    const auto first = simulate_target_selection(8, n, TargetPolicy::kFirstAccess, 50000, a);
+    const auto opt = simulate_target_selection(8, n, TargetPolicy::kOptimal, 50000, b);
+    if (opt.mean_traffic > 0) {
+      max_overhead = std::max(max_overhead, first.mean_traffic / opt.mean_traffic - 1.0);
+    }
+  }
+  EXPECT_LT(max_overhead, 0.16);
+  EXPECT_GT(max_overhead, 0.05);  // the difference is real, not noise
+}
+
+TEST(TargetSelection, ConvergesTowardUniformRemainder) {
+  // As accesses grow, traffic approaches (H-1)/H for both policies.
+  Rng rng(5);
+  const auto s = simulate_target_selection(8, 512, TargetPolicy::kFirstAccess, 5000, rng);
+  EXPECT_NEAR(s.mean_traffic, 7.0 / 8.0, 0.02);
+}
+
+TEST(TargetSelection, RejectsZeroInputs) {
+  Rng rng(6);
+  EXPECT_THROW(simulate_target_selection(0, 4, TargetPolicy::kOptimal, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_target_selection(8, 0, TargetPolicy::kOptimal, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_target_selection(8, 4, TargetPolicy::kOptimal, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sndp

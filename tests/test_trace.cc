@@ -1,0 +1,76 @@
+// Tests for the Chrome-trace writer and its simulator integration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sndp.h"
+
+namespace sndp {
+namespace {
+
+TEST(Trace, EmitsWellFormedJson) {
+  TraceWriter t;
+  t.name_row(0, "HMC 0");
+  t.complete("RDF", "packet", 0, 1000, 500);
+  t.instant("spawn", "nsu", 1, 2000);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"RDF\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural check).
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Trace, EscapesQuotes) {
+  TraceWriter t;
+  t.complete("a\"b", "c\\d", 0, 0, 1);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+  EXPECT_NE(json.find("c\\\\d"), std::string::npos);
+}
+
+TEST(Trace, CapacityDropsExcess) {
+  TraceWriter t;
+  t.set_capacity(2);
+  t.complete("a", "x", 0, 0, 1);
+  t.complete("b", "x", 0, 0, 1);
+  t.complete("c", "x", 0, 0, 1);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(Trace, TimestampsInMicroseconds) {
+  TraceWriter t;
+  t.complete("a", "x", 0, 2'000'000, 1'000'000);  // 2 us start, 1 us duration
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1"), std::string::npos);
+}
+
+TEST(Trace, SimulatorWritesTraceFile) {
+  const std::string path = ::testing::TempDir() + "/sndp_trace_test.json";
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kAlways;
+  cfg.trace_path = path;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  EXPECT_GT(r.stats.get("trace.events"), 0.0);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 100);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sndp
