@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_target_selection.dir/fig05_target_selection.cc.o"
+  "CMakeFiles/fig05_target_selection.dir/fig05_target_selection.cc.o.d"
+  "fig05_target_selection"
+  "fig05_target_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_target_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_naive_ndp.dir/fig07_naive_ndp.cc.o"
+  "CMakeFiles/fig07_naive_ndp.dir/fig07_naive_ndp.cc.o.d"
+  "fig07_naive_ndp"
+  "fig07_naive_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_naive_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nsu_utilization.dir/fig11_nsu_utilization.cc.o"
+  "CMakeFiles/fig11_nsu_utilization.dir/fig11_nsu_utilization.cc.o.d"
+  "fig11_nsu_utilization"
+  "fig11_nsu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nsu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

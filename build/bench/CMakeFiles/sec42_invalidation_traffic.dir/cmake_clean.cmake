@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_invalidation_traffic.dir/sec42_invalidation_traffic.cc.o"
+  "CMakeFiles/sec42_invalidation_traffic.dir/sec42_invalidation_traffic.cc.o.d"
+  "sec42_invalidation_traffic"
+  "sec42_invalidation_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_invalidation_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

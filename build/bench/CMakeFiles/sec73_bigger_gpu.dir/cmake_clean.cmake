@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_bigger_gpu.dir/sec73_bigger_gpu.cc.o"
+  "CMakeFiles/sec73_bigger_gpu.dir/sec73_bigger_gpu.cc.o.d"
+  "sec73_bigger_gpu"
+  "sec73_bigger_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_bigger_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

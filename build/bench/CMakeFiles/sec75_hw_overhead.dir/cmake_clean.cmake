@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec75_hw_overhead.dir/sec75_hw_overhead.cc.o"
+  "CMakeFiles/sec75_hw_overhead.dir/sec75_hw_overhead.cc.o.d"
+  "sec75_hw_overhead"
+  "sec75_hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec75_hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec76_nsu_frequency.dir/sec76_nsu_frequency.cc.o"
+  "CMakeFiles/sec76_nsu_frequency.dir/sec76_nsu_frequency.cc.o.d"
+  "sec76_nsu_frequency"
+  "sec76_nsu_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec76_nsu_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_offload_blocks.dir/tab01_offload_blocks.cc.o"
+  "CMakeFiles/tab01_offload_blocks.dir/tab01_offload_blocks.cc.o.d"
+  "tab01_offload_blocks"
+  "tab01_offload_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_offload_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_configuration.dir/tab02_configuration.cc.o"
+  "CMakeFiles/tab02_configuration.dir/tab02_configuration.cc.o.d"
+  "tab02_configuration"
+  "tab02_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sndpsim.dir/sndpsim.cpp.o"
+  "CMakeFiles/sndpsim.dir/sndpsim.cpp.o.d"
+  "sndpsim"
+  "sndpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sndpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

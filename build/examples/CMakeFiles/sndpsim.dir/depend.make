@@ -1,0 +1,2 @@
+# Empty dependencies file for sndpsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/sndp.dir/common/config.cc.o" "gcc" "src/CMakeFiles/sndp.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/sndp.dir/common/log.cc.o" "gcc" "src/CMakeFiles/sndp.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/sndp.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/sndp.dir/common/stats.cc.o.d"
+  "/root/repo/src/ctrl/cache_aware.cc" "src/CMakeFiles/sndp.dir/ctrl/cache_aware.cc.o" "gcc" "src/CMakeFiles/sndp.dir/ctrl/cache_aware.cc.o.d"
+  "/root/repo/src/ctrl/governor.cc" "src/CMakeFiles/sndp.dir/ctrl/governor.cc.o" "gcc" "src/CMakeFiles/sndp.dir/ctrl/governor.cc.o.d"
+  "/root/repo/src/ctrl/hill_climb.cc" "src/CMakeFiles/sndp.dir/ctrl/hill_climb.cc.o" "gcc" "src/CMakeFiles/sndp.dir/ctrl/hill_climb.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/sndp.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/sndp.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/gpu/buffer_manager.cc" "src/CMakeFiles/sndp.dir/gpu/buffer_manager.cc.o" "gcc" "src/CMakeFiles/sndp.dir/gpu/buffer_manager.cc.o.d"
+  "/root/repo/src/gpu/coalescer.cc" "src/CMakeFiles/sndp.dir/gpu/coalescer.cc.o" "gcc" "src/CMakeFiles/sndp.dir/gpu/coalescer.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/sndp.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/sndp.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/scoreboard.cc" "src/CMakeFiles/sndp.dir/gpu/scoreboard.cc.o" "gcc" "src/CMakeFiles/sndp.dir/gpu/scoreboard.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/CMakeFiles/sndp.dir/gpu/sm.cc.o" "gcc" "src/CMakeFiles/sndp.dir/gpu/sm.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/sndp.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/sndp.dir/gpu/warp.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/sndp.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/sndp.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/sndp.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/sndp.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/sndp.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/sndp.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/sndp.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/sndp.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/sndp.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/sndp.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/sndp.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/sndp.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hmc.cc" "src/CMakeFiles/sndp.dir/mem/hmc.cc.o" "gcc" "src/CMakeFiles/sndp.dir/mem/hmc.cc.o.d"
+  "/root/repo/src/mem/vault.cc" "src/CMakeFiles/sndp.dir/mem/vault.cc.o" "gcc" "src/CMakeFiles/sndp.dir/mem/vault.cc.o.d"
+  "/root/repo/src/memfunc/global_memory.cc" "src/CMakeFiles/sndp.dir/memfunc/global_memory.cc.o" "gcc" "src/CMakeFiles/sndp.dir/memfunc/global_memory.cc.o.d"
+  "/root/repo/src/ndp/ndp_buffers.cc" "src/CMakeFiles/sndp.dir/ndp/ndp_buffers.cc.o" "gcc" "src/CMakeFiles/sndp.dir/ndp/ndp_buffers.cc.o.d"
+  "/root/repo/src/ndp/nsu.cc" "src/CMakeFiles/sndp.dir/ndp/nsu.cc.o" "gcc" "src/CMakeFiles/sndp.dir/ndp/nsu.cc.o.d"
+  "/root/repo/src/noc/link.cc" "src/CMakeFiles/sndp.dir/noc/link.cc.o" "gcc" "src/CMakeFiles/sndp.dir/noc/link.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/CMakeFiles/sndp.dir/noc/network.cc.o" "gcc" "src/CMakeFiles/sndp.dir/noc/network.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/CMakeFiles/sndp.dir/noc/packet.cc.o" "gcc" "src/CMakeFiles/sndp.dir/noc/packet.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/sndp.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/sndp.dir/noc/router.cc.o.d"
+  "/root/repo/src/offload/analyzer.cc" "src/CMakeFiles/sndp.dir/offload/analyzer.cc.o" "gcc" "src/CMakeFiles/sndp.dir/offload/analyzer.cc.o.d"
+  "/root/repo/src/offload/codegen.cc" "src/CMakeFiles/sndp.dir/offload/codegen.cc.o" "gcc" "src/CMakeFiles/sndp.dir/offload/codegen.cc.o.d"
+  "/root/repo/src/offload/dataflow.cc" "src/CMakeFiles/sndp.dir/offload/dataflow.cc.o" "gcc" "src/CMakeFiles/sndp.dir/offload/dataflow.cc.o.d"
+  "/root/repo/src/offload/target_selection.cc" "src/CMakeFiles/sndp.dir/offload/target_selection.cc.o" "gcc" "src/CMakeFiles/sndp.dir/offload/target_selection.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/sndp.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/sndp.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/sndp.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/sndp.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/sndp.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/sndp.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/sndp.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bicg.cc" "src/CMakeFiles/sndp.dir/workloads/bicg.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/bicg.cc.o.d"
+  "/root/repo/src/workloads/bprop.cc" "src/CMakeFiles/sndp.dir/workloads/bprop.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/bprop.cc.o.d"
+  "/root/repo/src/workloads/fwt.cc" "src/CMakeFiles/sndp.dir/workloads/fwt.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/fwt.cc.o.d"
+  "/root/repo/src/workloads/kmn.cc" "src/CMakeFiles/sndp.dir/workloads/kmn.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/kmn.cc.o.d"
+  "/root/repo/src/workloads/minife.cc" "src/CMakeFiles/sndp.dir/workloads/minife.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/minife.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/sndp.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/sp.cc" "src/CMakeFiles/sndp.dir/workloads/sp.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/sp.cc.o.d"
+  "/root/repo/src/workloads/stcl.cc" "src/CMakeFiles/sndp.dir/workloads/stcl.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/stcl.cc.o.d"
+  "/root/repo/src/workloads/stn.cc" "src/CMakeFiles/sndp.dir/workloads/stn.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/stn.cc.o.d"
+  "/root/repo/src/workloads/vadd.cc" "src/CMakeFiles/sndp.dir/workloads/vadd.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/vadd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/sndp.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/sndp.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cc" "tests/CMakeFiles/sndp_tests.dir/test_address_map.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_address_map.cc.o.d"
+  "/root/repo/tests/test_analyzer.cc" "tests/CMakeFiles/sndp_tests.dir/test_analyzer.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_analyzer.cc.o.d"
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/sndp_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_buffer_manager.cc" "tests/CMakeFiles/sndp_tests.dir/test_buffer_manager.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_buffer_manager.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/sndp_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_aware.cc" "tests/CMakeFiles/sndp_tests.dir/test_cache_aware.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_cache_aware.cc.o.d"
+  "/root/repo/tests/test_clock.cc" "tests/CMakeFiles/sndp_tests.dir/test_clock.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_clock.cc.o.d"
+  "/root/repo/tests/test_coalescer.cc" "tests/CMakeFiles/sndp_tests.dir/test_coalescer.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_coalescer.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/sndp_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/sndp_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_dataflow.cc" "tests/CMakeFiles/sndp_tests.dir/test_dataflow.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_dataflow.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/sndp_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/sndp_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_hill_climb.cc" "tests/CMakeFiles/sndp_tests.dir/test_hill_climb.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_hill_climb.cc.o.d"
+  "/root/repo/tests/test_hmc.cc" "tests/CMakeFiles/sndp_tests.dir/test_hmc.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_hmc.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/sndp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/sndp_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memfunc.cc" "tests/CMakeFiles/sndp_tests.dir/test_memfunc.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_memfunc.cc.o.d"
+  "/root/repo/tests/test_ndp_buffers.cc" "tests/CMakeFiles/sndp_tests.dir/test_ndp_buffers.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_ndp_buffers.cc.o.d"
+  "/root/repo/tests/test_ndp_extensions.cc" "tests/CMakeFiles/sndp_tests.dir/test_ndp_extensions.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_ndp_extensions.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/sndp_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_nsu.cc" "tests/CMakeFiles/sndp_tests.dir/test_nsu.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_nsu.cc.o.d"
+  "/root/repo/tests/test_scoreboard.cc" "tests/CMakeFiles/sndp_tests.dir/test_scoreboard.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_scoreboard.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/sndp_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_sm.cc" "tests/CMakeFiles/sndp_tests.dir/test_sm.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_sm.cc.o.d"
+  "/root/repo/tests/test_target_selection.cc" "tests/CMakeFiles/sndp_tests.dir/test_target_selection.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_target_selection.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/sndp_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/sndp_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/sndp_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sndp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
