@@ -10,21 +10,36 @@
 using namespace sndp;
 using namespace sndp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_header("Figure 7: naive NDP vs baselines (speedup over Baseline)", "Fig. 7");
   std::printf("%-8s %12s %16s %12s %12s %12s\n", "workload", "Baseline", "Base_MoreCore",
               "NaiveNDP", "more-core x", "naive x");
 
-  std::vector<double> more_core_x, naive_x;
+  BenchSweep sweep(opts, "fig07");
+  struct Row {
+    std::size_t base, more, naive;
+  };
+  std::vector<Row> rows;
   for (const std::string& name : workload_names()) {
-    const RunResult base = run_workload(name, paper_config(OffloadMode::kOff));
-
     SystemConfig mc_cfg = SystemConfig::paper_more_core();
     mc_cfg.governor.mode = OffloadMode::kOff;
     mc_cfg.governor.epoch_cycles = kScaledEpoch;
-    const RunResult more = run_workload(name, mc_cfg);
+    rows.push_back(Row{
+        sweep.add(name + "/baseline", paper_config(OffloadMode::kOff), name),
+        sweep.add(name + "/more-core", mc_cfg, name),
+        sweep.add(name + "/naive", paper_config(OffloadMode::kAlways), name),
+    });
+  }
+  sweep.run();
 
-    const RunResult naive = run_workload(name, paper_config(OffloadMode::kAlways));
+  std::vector<double> more_core_x, naive_x;
+  std::size_t row = 0;
+  for (const std::string& name : workload_names()) {
+    const RunResult& base = sweep.result(rows[row].base);
+    const RunResult& more = sweep.result(rows[row].more);
+    const RunResult& naive = sweep.result(rows[row].naive);
+    ++row;
 
     more_core_x.push_back(more.speedup_vs(base));
     naive_x.push_back(naive.speedup_vs(base));

@@ -26,19 +26,36 @@ Breakdown breakdown_of(const RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_header("Figure 8: no-issue cycle breakdown (normalized to baseline total)",
                "Fig. 8");
   std::printf("%-8s %-14s %10s %10s %10s %10s\n", "workload", "config", "ExecBusy",
               "WarpIdle", "DepStall", "total");
 
+  BenchSweep sweep(opts, "fig08");
+  struct Row {
+    std::size_t base, more, naive;
+  };
+  std::vector<Row> rows;
   for (const std::string& name : workload_names()) {
-    const RunResult base = run_workload(name, paper_config(OffloadMode::kOff));
     SystemConfig mc_cfg = SystemConfig::paper_more_core();
     mc_cfg.governor.mode = OffloadMode::kOff;
     mc_cfg.governor.epoch_cycles = kScaledEpoch;
-    const RunResult more = run_workload(name, mc_cfg);
-    const RunResult naive = run_workload(name, paper_config(OffloadMode::kAlways));
+    rows.push_back(Row{
+        sweep.add(name + "/baseline", paper_config(OffloadMode::kOff), name),
+        sweep.add(name + "/more-core", mc_cfg, name),
+        sweep.add(name + "/naive", paper_config(OffloadMode::kAlways), name),
+    });
+  }
+  sweep.run();
+
+  std::size_t row_idx = 0;
+  for (const std::string& name : workload_names()) {
+    const RunResult& base = sweep.result(rows[row_idx].base);
+    const RunResult& more = sweep.result(rows[row_idx].more);
+    const RunResult& naive = sweep.result(rows[row_idx].naive);
+    ++row_idx;
 
     const double norm = breakdown_of(base).total();
     auto row = [&](const char* cfg, const RunResult& r) {

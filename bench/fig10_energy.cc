@@ -10,20 +10,38 @@
 using namespace sndp;
 using namespace sndp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_header("Figure 10: normalized energy breakdown", "Fig. 10");
   std::printf("%-8s %-14s %8s %8s %8s %8s %8s %8s\n", "workload", "config", "GPU", "NSU",
               "HMC-NoC", "OffChip", "DRAM", "Total");
 
-  std::vector<double> dyn_ratio, cache_ratio, more_ratio;
+  BenchSweep sweep(opts, "fig10");
+  struct Row {
+    std::size_t base, more, dyn, dyn_cache;
+  };
+  std::vector<Row> rows;
   for (const std::string& name : workload_names()) {
-    const RunResult base = run_workload(name, paper_config(OffloadMode::kOff));
     SystemConfig mc_cfg = SystemConfig::paper_more_core();
     mc_cfg.governor.mode = OffloadMode::kOff;
     mc_cfg.governor.epoch_cycles = kScaledEpoch;
-    const RunResult more = run_workload(name, mc_cfg);
-    const RunResult dyn = run_workload(name, paper_config(OffloadMode::kDynamic));
-    const RunResult dyn_cache = run_workload(name, paper_config(OffloadMode::kDynamicCache));
+    rows.push_back(Row{
+        sweep.add(name + "/baseline", paper_config(OffloadMode::kOff), name),
+        sweep.add(name + "/more-core", mc_cfg, name),
+        sweep.add(name + "/dyn", paper_config(OffloadMode::kDynamic), name),
+        sweep.add(name + "/dyn-cache", paper_config(OffloadMode::kDynamicCache), name),
+    });
+  }
+  sweep.run();
+
+  std::vector<double> dyn_ratio, cache_ratio, more_ratio;
+  std::size_t row_idx = 0;
+  for (const std::string& name : workload_names()) {
+    const RunResult& base = sweep.result(rows[row_idx].base);
+    const RunResult& more = sweep.result(rows[row_idx].more);
+    const RunResult& dyn = sweep.result(rows[row_idx].dyn);
+    const RunResult& dyn_cache = sweep.result(rows[row_idx].dyn_cache);
+    ++row_idx;
 
     const double norm = base.energy.total();
     auto row = [&](const char* cfg, const RunResult& r) {

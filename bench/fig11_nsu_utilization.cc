@@ -10,13 +10,23 @@
 using namespace sndp;
 using namespace sndp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_header("Figure 11: NSU I-cache utilization and warp occupancy", "Fig. 11");
   std::printf("%-8s %18s %18s\n", "workload", "icache util", "warp occupancy");
 
-  std::vector<double> icache, occ;
+  BenchSweep sweep(opts, "fig11");
+  std::vector<std::size_t> points;
   for (const std::string& name : workload_names()) {
-    const RunResult r = run_workload(name, paper_config(OffloadMode::kDynamicCache));
+    points.push_back(sweep.add(name + "/dyn-cache",
+                               paper_config(OffloadMode::kDynamicCache), name));
+  }
+  sweep.run();
+
+  std::vector<double> icache, occ;
+  std::size_t point_idx = 0;
+  for (const std::string& name : workload_names()) {
+    const RunResult& r = sweep.result(points[point_idx++]);
     // Aggregate over the 8 NSUs.
     double iu = 0.0, oc = 0.0;
     unsigned n = 0;

@@ -9,13 +9,23 @@
 using namespace sndp;
 using namespace sndp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_header("Section 4.2: cache-invalidation traffic overhead", "§4.2");
   std::printf("%-8s %14s %14s %10s\n", "workload", "inval bytes", "offchip bytes",
               "overhead");
-  std::vector<double> overheads;
+  BenchSweep sweep(opts, "sec42");
+  std::vector<std::size_t> points;
   for (const std::string& name : workload_names()) {
-    const RunResult r = run_workload(name, paper_config(OffloadMode::kDynamicCache));
+    points.push_back(sweep.add(name + "/dyn-cache",
+                               paper_config(OffloadMode::kDynamicCache), name));
+  }
+  sweep.run();
+
+  std::vector<double> overheads;
+  std::size_t point_idx = 0;
+  for (const std::string& name : workload_names()) {
+    const RunResult& r = sweep.result(points[point_idx++]);
     const double total = static_cast<double>(r.counters.offchip_bytes);
     const double inval = static_cast<double>(r.inval_bytes);
     const double pct = total > 0 ? 100.0 * inval / total : 0.0;

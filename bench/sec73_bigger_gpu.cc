@@ -10,21 +10,36 @@
 using namespace sndp;
 using namespace sndp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   print_header("Section 7.3: doubled GPU compute units", "§7.3");
   std::printf("%-8s %14s %14s %10s\n", "workload", "2x-SM base", "2x-SM NDP$", "speedup");
 
-  std::vector<double> xs;
+  BenchSweep sweep(opts, "sec73");
+  struct Row {
+    std::size_t base, ndp;
+  };
+  std::vector<Row> rows;
   for (const std::string& name : workload_names()) {
     SystemConfig base_cfg = SystemConfig::paper_2x();
     base_cfg.governor.mode = OffloadMode::kOff;
     base_cfg.governor.epoch_cycles = kScaledEpoch;
-    const RunResult base = run_workload(name, base_cfg);
 
     SystemConfig ndp_cfg = SystemConfig::paper_2x();
     ndp_cfg.governor.mode = OffloadMode::kDynamicCache;
     ndp_cfg.governor.epoch_cycles = kScaledEpoch;
-    const RunResult ndp = run_workload(name, ndp_cfg);
+
+    rows.push_back(Row{sweep.add(name + "/2x-off", base_cfg, name),
+                       sweep.add(name + "/2x-dyn-cache", ndp_cfg, name)});
+  }
+  sweep.run();
+
+  std::vector<double> xs;
+  std::size_t row_idx = 0;
+  for (const std::string& name : workload_names()) {
+    const RunResult& base = sweep.result(rows[row_idx].base);
+    const RunResult& ndp = sweep.result(rows[row_idx].ndp);
+    ++row_idx;
 
     xs.push_back(ndp.speedup_vs(base));
     std::printf("%-8s %14llu %14llu %9.3fx\n", name.c_str(),

@@ -7,7 +7,8 @@
 
 using namespace sndp;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
   bench::print_header("Section 7.5: hardware overhead", "§7.5");
   const SystemConfig c = SystemConfig::paper();
 
@@ -41,5 +42,18 @@ int main() {
                            static_cast<double>(c.nsu.const_cache_bytes);
   std::printf("per-NSU storage           : %.1f KB (no MMU, no TLB, no data cache)\n",
               nsu_bytes / 1024);
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("sndp-bench-v1");
+  json.key("bench").value("sec75");
+  json.key("per_sm_ndp_bytes").value(per_sm_ndp);
+  json.key("per_sm_existing_bytes").value(per_sm_existing);
+  json.key("gpu_existing_bytes").value(gpu_existing);
+  json.key("gpu_ndp_bytes").value(gpu_ndp);
+  json.key("ndp_storage_overhead").value(gpu_ndp / gpu_existing);
+  json.key("per_nsu_bytes").value(nsu_bytes);
+  json.end_object();
+  bench::write_bench_json(opts, json);
   return 0;
 }

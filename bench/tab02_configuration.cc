@@ -6,9 +6,77 @@
 
 using namespace sndp;
 
-int main() {
+int main(int argc, char** argv) {
+  // Pure configuration dump; --stats-json exports the machine-readable
+  // Table 2 so downstream tooling can diff configurations between runs.
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
   bench::print_header("Table 2: system configuration", "Table 2");
   const SystemConfig c = SystemConfig::paper();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("sndp-bench-v1");
+  json.key("bench").value("tab02");
+  json.key("config").begin_object();
+  json.key("num_sms").value(c.num_sms);
+  json.key("num_hmcs").value(c.num_hmcs);
+  json.key("clocks_khz").begin_object();
+  json.key("sm").value(static_cast<std::uint64_t>(c.clocks.sm_khz));
+  json.key("xbar").value(static_cast<std::uint64_t>(c.clocks.xbar_khz));
+  json.key("l2").value(static_cast<std::uint64_t>(c.clocks.l2_khz));
+  json.key("dram").value(static_cast<std::uint64_t>(c.clocks.dram_khz));
+  json.key("nsu").value(static_cast<std::uint64_t>(c.clocks.nsu_khz));
+  json.end_object();
+  json.key("sm").begin_object();
+  json.key("max_threads").value(c.sm.max_threads);
+  json.key("max_ctas").value(c.sm.max_ctas);
+  json.key("max_registers").value(c.sm.max_registers);
+  json.key("scratchpad_bytes").value(static_cast<std::uint64_t>(c.sm.scratchpad_bytes));
+  json.key("l1d_bytes").value(static_cast<std::uint64_t>(c.sm.l1d.size_bytes));
+  json.key("l1d_ways").value(c.sm.l1d.ways);
+  json.key("l1d_mshr").value(c.sm.l1d.mshr_entries);
+  json.end_object();
+  json.key("l2").begin_object();
+  json.key("size_bytes").value(static_cast<std::uint64_t>(c.l2.size_bytes));
+  json.key("ways").value(c.l2.ways);
+  json.key("line_bytes").value(c.l2.line_bytes);
+  json.key("mshr").value(c.l2.mshr_entries);
+  json.end_object();
+  json.key("hmc").begin_object();
+  json.key("num_vaults").value(c.hmc.num_vaults);
+  json.key("banks_per_vault").value(c.hmc.banks_per_vault);
+  json.key("memory_bytes").value(static_cast<std::uint64_t>(c.hmc.memory_bytes));
+  json.key("vault_queue_size").value(c.hmc.vault_queue_size);
+  json.key("timing_tck").begin_object();
+  json.key("tRP").value(c.hmc.timing.tRP);
+  json.key("tCCD").value(c.hmc.timing.tCCD);
+  json.key("tRCD").value(c.hmc.timing.tRCD);
+  json.key("tCL").value(c.hmc.timing.tCL);
+  json.key("tWR").value(c.hmc.timing.tWR);
+  json.key("tRAS").value(c.hmc.timing.tRAS);
+  json.end_object();
+  json.end_object();
+  json.key("link").begin_object();
+  json.key("gb_per_s").value(c.link.gb_per_s);
+  json.key("header_bytes").value(c.link.header_bytes);
+  json.end_object();
+  json.key("nsu").begin_object();
+  json.key("max_warps").value(c.nsu.max_warps);
+  json.key("warp_width").value(c.nsu.warp_width);
+  json.key("simd_lanes").value(c.nsu.simd_lanes);
+  json.key("icache_bytes").value(static_cast<std::uint64_t>(c.nsu.icache_bytes));
+  json.key("const_cache_bytes").value(static_cast<std::uint64_t>(c.nsu.const_cache_bytes));
+  json.end_object();
+  json.key("ndp_buffers").begin_object();
+  json.key("sm_pending_entries").value(c.ndp_buffers.sm_pending_entries);
+  json.key("sm_ready_entries").value(c.ndp_buffers.sm_ready_entries);
+  json.key("nsu_read_data_entries").value(c.ndp_buffers.nsu_read_data_entries);
+  json.key("nsu_write_addr_entries").value(c.ndp_buffers.nsu_write_addr_entries);
+  json.key("nsu_cmd_entries").value(c.ndp_buffers.nsu_cmd_entries);
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  bench::write_bench_json(opts, json);
   std::printf("GPU\n");
   std::printf("  # of SMs                : %u\n", c.num_sms);
   std::printf("  # of HMCs               : %u\n", c.num_hmcs);

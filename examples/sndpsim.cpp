@@ -18,6 +18,11 @@
 //       --optimal-target    all-access target selection ablation
 //       --stats             dump the full statistics set
 //       --csv FILE          append one CSV row per run to FILE
+//   -j, --jobs N            run independent simulations on N threads
+//                           (0 = all hardware threads; output is identical
+//                           to a serial run — determinism is tested)
+//       --stats-json FILE   write full per-run stats as sndp-sweep-v1 JSON
+//       --timeout SECONDS   abort any single run past this wall-clock budget
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +49,9 @@ struct Options {
   bool optimal_target = false;
   bool dump_stats = false;
   std::string csv;
+  unsigned jobs = 1;
+  std::string stats_json;
+  double timeout_s = 0.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -51,7 +59,8 @@ struct Options {
                "usage: %s [-w WORKLOAD|all] [-s tiny|small|large] "
                "[-m off|always|static|dyn|dyn-cache] [-r RATIO] [-e EPOCH]\n"
                "          [--sms N] [--hmcs N] [--nsu-mhz N] [--seed N] "
-               "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n",
+               "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n"
+               "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS]\n",
                argv0);
   std::exit(2);
 }
@@ -111,6 +120,12 @@ Options parse(int argc, char** argv) {
       o.dump_stats = true;
     } else if (a == "--csv") {
       o.csv = need_value(i);
+    } else if (a == "-j" || a == "--jobs") {
+      o.jobs = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a == "--stats-json") {
+      o.stats_json = need_value(i);
+    } else if (a == "--timeout") {
+      o.timeout_s = std::stod(need_value(i));
     } else {
       usage(argv[0]);
     }
@@ -118,7 +133,7 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-int run_one(const Options& o, const std::string& name) {
+SystemConfig config_of(const Options& o) {
   SystemConfig cfg = SystemConfig::paper();
   cfg.num_sms = o.sms;
   cfg.num_hmcs = o.hmcs;
@@ -129,10 +144,10 @@ int run_one(const Options& o, const std::string& name) {
   cfg.placement_seed = o.seed;
   cfg.nsu.read_only_cache = o.ro_cache;
   cfg.optimal_target_selection = o.optimal_target;
+  return cfg;
+}
 
-  auto wl = make_workload(name, o.scale);
-  const RunResult r = Simulator(cfg).run(*wl);
-
+int report_one(const Options& o, const std::string& name, const RunResult& r) {
   std::printf("%-8s mode=%-9s cycles=%-10llu ipc=%-6.2f verified=%-3s "
               "gpu-link=%.2fMB network=%.2fMB energy=%.4fJ\n",
               name.c_str(), mode_name(o.mode),
@@ -153,11 +168,46 @@ int run_one(const Options& o, const std::string& name) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  int rc = 0;
+
+  // All runs — one or many — go through the sweep runner, so -j parallelism,
+  // per-run wall-clock timeouts, and the JSON export behave identically for
+  // a single workload and for `-w all`.
+  std::vector<std::string> names;
   if (o.workload == "all") {
-    for (const std::string& name : workload_names()) rc |= run_one(o, name);
+    names = workload_names();
   } else {
-    rc = run_one(o, o.workload);
+    names.push_back(o.workload);
+  }
+
+  SweepRunner runner({.jobs = o.jobs, .point_timeout_s = o.timeout_s, .progress = false});
+  for (const std::string& name : names) {
+    SweepPoint p;
+    p.id = name + "/" + mode_name(o.mode);
+    p.workload = name;
+    p.scale = o.scale;
+    p.cfg = config_of(o);
+    runner.add(std::move(p));
+  }
+  runner.run();
+
+  int rc = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const SweepOutcome& out = runner.outcome(i);
+    if (!out.ran) {
+      std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
+                   out.error.empty() ? "did not run" : out.error.c_str());
+      rc = 1;
+      continue;
+    }
+    if (out.timed_out) {
+      std::fprintf(stderr, "%s: aborted after wall-clock timeout (%.1fs)\n",
+                   names[i].c_str(), out.wall_seconds);
+    }
+    rc |= report_one(o, names[i], out.result);
+  }
+  if (!o.stats_json.empty() && !write_sweep_json(o.stats_json, runner.outcomes(), o.jobs)) {
+    std::fprintf(stderr, "failed to write stats JSON to '%s'\n", o.stats_json.c_str());
+    rc = 1;
   }
   return rc;
 }

@@ -1,0 +1,162 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sndp {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  // Counters are doubles holding exact integers; print them without the
+  // exponent/decimal noise %.17g would add.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::comma_for_value() {
+  if (!scopes_.empty() && !pending_key_) {
+    if (scopes_.back() == Scope::kObject) {
+      throw std::logic_error("JsonWriter: value inside object without key()");
+    }
+    if (scope_has_items_.back()) out_.push_back(',');
+    scope_has_items_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject || pending_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  out_.push_back('}');
+  scopes_.pop_back();
+  scope_has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (scopes_.empty() || scopes_.back() != Scope::kArray || pending_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  out_.push_back(']');
+  scopes_.pop_back();
+  scope_has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject || pending_key_) {
+    throw std::logic_error("JsonWriter: key() outside object");
+  }
+  if (scope_has_items_.back()) out_.push_back(',');
+  scope_has_items_.back() = true;
+  out_.push_back('"');
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  out_ += number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_for_value();
+  out_.push_back('"');
+  out_ += json_escape(v);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!scopes_.empty() || pending_key_) {
+    throw std::logic_error("JsonWriter: str() with unterminated scopes");
+  }
+  return out_;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace sndp

@@ -1,0 +1,75 @@
+// Minimal deterministic JSON writer.
+//
+// The sweep runner, the Chrome-trace writer, and the bench harnesses all
+// emit JSON; this is the one escaping/formatting implementation they share.
+// Determinism is a hard requirement (serial and parallel sweeps must produce
+// byte-identical documents), so numbers are formatted with a fixed,
+// locale-independent rule: integral doubles up to 2^53 print as integers,
+// everything else as shortest-round-trip %.17g, NaN/Inf as null.
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("cycles").value(1234.0);
+//   w.key("stats").begin_object();
+//   ...
+//   w.end_object();
+//   w.end_object();
+//   std::string doc = w.str();
+//
+// The writer inserts commas automatically; mismatched begin/end pairs throw
+// std::logic_error from str().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sndp {
+
+// Escapes `s` for inclusion inside a JSON string literal: quote, backslash,
+// \b \f \n \r \t by name, all other chars < 0x20 as \u00XX.
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Emits the key for the next value (only valid inside an object).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& null();
+
+  // Formats a double exactly like value(double) does (exposed for callers
+  // that build JSON fragments by hand, e.g. the trace writer's timestamps).
+  static std::string number(double v);
+
+  // The finished document.  Throws std::logic_error if begin/end calls are
+  // unbalanced.
+  std::string str() const;
+
+  // Writes str() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void comma_for_value();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> scope_has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace sndp

@@ -21,14 +21,20 @@ std::vector<LineAccess> Coalescer::coalesce(const std::array<Addr, kWarpWidth>& 
     }
     entry->lanes |= LaneMask{1} << lane;
   }
-  // Alignment check (§4.1.1): lane i must sit at word slot i of the line.
+  // Alignment check (§4.1.1): within each line, the k-th active lane that
+  // falls in the line must sit at word slot k of that line.  The slot index
+  // is counted per line — a warp whose accesses span multiple lines (e.g.
+  // 8 B loads covering two 128 B lines) is still fully coalesced, because
+  // the lanes of each later line start again at that line's base.
   for (LineAccess& la : lines) {
+    Addr slot = 0;
     for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
       if (!(la.lanes & (LaneMask{1} << lane))) continue;
-      if (addrs[lane] != la.line_addr + static_cast<Addr>(lane) * width) {
+      if (addrs[lane] != la.line_addr + slot * width) {
         la.misaligned = true;
         break;
       }
+      ++slot;
     }
   }
   return lines;

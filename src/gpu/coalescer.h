@@ -1,10 +1,13 @@
 // Memory-access coalescer: groups a warp's per-lane addresses into cache
 // line transactions and classifies each as aligned or misaligned.
 //
-// Paper §4.1.1: an access is aligned iff every active lane i reads exactly
-//   CacheLineBaseAddr + i * WordSize
-// — the canonical fully-coalesced pattern whose per-lane offsets need not
-// be carried in RDF/WTA packets.  Anything else ships explicit offsets.
+// Paper §4.1.1: a line access is aligned iff the k-th active lane falling
+// in the line reads exactly
+//   CacheLineBaseAddr + k * WordSize
+// (slots counted per line, so a unit-stride warp spanning several lines is
+// aligned in every line) — the canonical fully-coalesced pattern whose
+// per-lane offsets need not be carried in RDF/WTA packets.  Anything else
+// ships explicit offsets.
 #pragma once
 
 #include <array>

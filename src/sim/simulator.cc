@@ -97,17 +97,29 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   };
 
   // Main loop: poll idle every few edges (the check scans every component).
+  // The safety valve is checked inside the burst so simulated time cannot
+  // overshoot max_time_ps by more than a single clock edge.
   bool completed = false;
+  bool aborted = false;
   while (true) {
-    for (unsigned i = 0; i < 64; ++i) sched.step();
+    bool valve = false;
+    for (unsigned i = 0; i < 64 && !valve; ++i) {
+      sched.step();
+      valve = sched.now() >= cfg_.max_time_ps;
+    }
     if (system_idle()) {
       completed = true;
       break;
     }
-    if (sched.now() >= cfg_.max_time_ps) break;
+    if (valve) break;
+    if (abort_poll_ && abort_poll_()) {
+      aborted = true;
+      break;
+    }
   }
 
   result.completed = completed;
+  result.aborted = aborted;
   result.sm_cycles = sm_domain.now_cycle();
   result.runtime_ps = sched.now();
   result.stall_dependency = gpu.total_stall_dependency();
@@ -167,8 +179,17 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   result.stats.set("sim.runtime_ps", static_cast<double>(result.runtime_ps));
   result.stats.set("sim.ipc", result.ipc);
   result.stats.set("sim.completed", completed ? 1.0 : 0.0);
+  result.stats.set("sim.aborted", aborted ? 1.0 : 0.0);
+  // How far past the valve the run's reported time landed (at most one
+  // clock edge with the in-burst check) — nonzero only for valve-stopped
+  // runs, so incomplete runs are diagnosable from the stats alone.
+  const TimePs overshoot =
+      (!completed && !aborted && result.runtime_ps > cfg_.max_time_ps)
+          ? result.runtime_ps - cfg_.max_time_ps
+          : 0;
+  result.stats.set("sim.valve_overshoot_ps", static_cast<double>(overshoot));
 
-  if (!completed) {
+  if (!completed && !aborted) {
     SNDP_WARN("sim", "run '%s' hit the simulated-time safety valve", name.c_str());
   }
   if (!cfg_.trace_path.empty()) {

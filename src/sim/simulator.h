@@ -11,6 +11,7 @@
 //   std::cout << r.sm_cycles << " cycles, verified=" << r.verified << "\n";
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -28,6 +29,7 @@ class Workload;
 struct RunResult {
   std::string workload;
   bool completed = false;  // false: hit the simulated-time safety valve
+  bool aborted = false;    // an external abort poll stopped the run early
   bool verified = false;   // workload oracle check on final memory contents
   Cycle sm_cycles = 0;
   TimePs runtime_ps = 0;
@@ -67,9 +69,16 @@ class Simulator {
   const AnalyzerOptions& analyzer_options() const { return analyzer_opts_; }
   void set_analyzer_options(const AnalyzerOptions& opts) { analyzer_opts_ = opts; }
 
+  // Optional external abort hook, polled between tick bursts.  Returning
+  // true stops the run early with result.aborted set (used by SweepRunner
+  // for per-point wall-clock timeouts).  The callback must be cheap.
+  using AbortPoll = std::function<bool()>;
+  void set_abort_poll(AbortPoll poll) { abort_poll_ = std::move(poll); }
+
  private:
   SystemConfig cfg_;
   AnalyzerOptions analyzer_opts_{};
+  AbortPoll abort_poll_;
 };
 
 }  // namespace sndp

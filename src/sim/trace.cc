@@ -3,21 +3,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.h"
+
 namespace sndp {
 namespace {
 
-// JSON string escaping for the small set of names we emit.
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-    }
-    out.push_back(c);
-  }
-  return out;
-}
+// Full JSON string escaping (shared with the sweep/stats writers): control
+// characters in event or row names must not leak into the document raw, or
+// Perfetto/chrome://tracing rejects the whole trace.
+std::string escape(const std::string& s) { return json_escape(s); }
 
 double us(TimePs ps) { return static_cast<double>(ps) * 1e-6; }
 
@@ -64,7 +58,11 @@ std::string TraceWriter::to_json() const {
     if (e.phase == 'i') os << ",\"s\":\"t\"";
     os << '}';
   }
-  os << "]}";
+  // Chrome-trace allows arbitrary top-level keys next to traceEvents; use
+  // one to surface capacity drops so a truncated trace is diagnosable from
+  // the file itself.
+  os << "],\"metadata\":{\"emitted_events\":" << events_.size()
+     << ",\"dropped_events\":" << dropped_ << "}}";
   return os.str();
 }
 

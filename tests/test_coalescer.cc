@@ -26,8 +26,51 @@ TEST(Coalescer, FullyCoalescedUnitStride8B) {
   EXPECT_EQ(popcount_mask(lines[0].lanes), 16u);
   // Lane i sits at line_base + i*8 in the first line: aligned.
   EXPECT_FALSE(lines[0].misaligned);
-  // Second line: lane 16 sits at its base + 0, but alignment demands
-  // base + 16*8 — misaligned per the paper's strict formula.
+  // Second line: lanes 16..31 sit at slots 0..15 of THAT line — the slot
+  // index restarts per line, so a unit-stride 8 B warp is fully coalesced.
+  // (Regression: the slot used to be the absolute lane id, falsely marking
+  // every multi-line access misaligned.)
+  EXPECT_FALSE(lines[1].misaligned);
+}
+
+TEST(Coalescer, MultiLine4ByteHalfWarpsAligned) {
+  Coalescer c(64);
+  // 64 B lines, 4 B words: lanes 0..15 fill line 0, lanes 16..31 line 1.
+  const auto lines = c.coalesce(lane_addrs(0x4000, 4), kFullMask, 4);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& la : lines) EXPECT_FALSE(la.misaligned);
+}
+
+TEST(Coalescer, UnitStrideNotLineAlignedIsMisaligned) {
+  Coalescer c(128);
+  // Same unit stride but starting one word into the line: the first active
+  // lane of each line is not at slot 0, so both lines ship offsets.
+  const auto lines = c.coalesce(lane_addrs(0x1008, 8), kFullMask, 8);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(lines[0].misaligned);
+}
+
+TEST(Coalescer, FourLine8ByteQuarterWarpsAligned) {
+  Coalescer c(64);
+  // 64 B lines, 8 B words: each group of 8 lanes fills one line exactly.
+  const auto lines = c.coalesce(lane_addrs(0x8000, 8), kFullMask, 8);
+  ASSERT_EQ(lines.size(), 4u);
+  for (unsigned i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].line_addr, 0x8000u + i * 64);
+    EXPECT_EQ(popcount_mask(lines[i].lanes), 8u);
+    EXPECT_FALSE(lines[i].misaligned) << "line " << i;
+  }
+}
+
+TEST(Coalescer, GapInSecondLineIsMisaligned) {
+  Coalescer c(128);
+  // Lanes 16..31 cover the second line but lane 17 skips a word: slot 1
+  // expects base+8, lane 17 reads base+16.
+  auto addrs = lane_addrs(0x1000, 8);
+  for (unsigned i = 17; i < kWarpWidth; ++i) addrs[i] += 8;
+  const auto lines = c.coalesce(addrs, kFullMask, 8);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_FALSE(lines[0].misaligned);
   EXPECT_TRUE(lines[1].misaligned);
 }
 

@@ -16,6 +16,43 @@ TEST(SimulatorFacade, SafetyValveStopsRunaway) {
   EXPECT_GE(r.runtime_ps, 50'000u);
 }
 
+TEST(SimulatorFacade, SafetyValveRuntimeTightlyBounded) {
+  // Regression: the main loop used to step 64 edges between valve checks,
+  // so runtime_ps could overshoot max_time_ps by a whole burst.  With the
+  // in-burst check the overshoot is at most one clock edge — bounded by
+  // the slowest domain's period (NSU @ 350 MHz ~ 2858 ps).
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.max_time_ps = 50'000;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  ASSERT_FALSE(r.completed);
+  const auto overshoot = r.runtime_ps - cfg.max_time_ps;
+  EXPECT_LE(overshoot, 3000u);
+  // ... and the overshoot is exported so incomplete runs are diagnosable.
+  EXPECT_DOUBLE_EQ(r.stats.get("sim.valve_overshoot_ps"), static_cast<double>(overshoot));
+  EXPECT_DOUBLE_EQ(r.stats.get("sim.completed"), 0.0);
+  EXPECT_DOUBLE_EQ(r.stats.get("sim.aborted"), 0.0);
+}
+
+TEST(SimulatorFacade, CompletedRunReportsZeroOvershoot) {
+  SystemConfig cfg = SystemConfig::small_test();
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  ASSERT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.stats.get("sim.valve_overshoot_ps"), 0.0);
+}
+
+TEST(SimulatorFacade, AbortPollStopsRun) {
+  SystemConfig cfg = SystemConfig::small_test();
+  Simulator sim(cfg);
+  sim.set_abort_poll([] { return true; });  // abort at the first burst
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = sim.run(*wl);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.stats.get("sim.aborted"), 1.0);
+}
+
 TEST(SimulatorFacade, RejectsInvalidConfig) {
   SystemConfig cfg = SystemConfig::small_test();
   cfg.num_hmcs = 3;

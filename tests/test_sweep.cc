@@ -1,0 +1,196 @@
+// Tests for the JSON writer and the parallel sweep runner: serial and
+// parallel executions of the same sweep must be indistinguishable (modulo
+// wall-clock metadata), per-point failures must be contained, and the JSON
+// export must be deterministic and structurally sound.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sndp.h"
+
+namespace sndp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f")), "\\u0001\\u001f");
+}
+
+TEST(Json, NumbersAreDeterministicAndIntegerFriendly) {
+  EXPECT_EQ(JsonWriter::number(0.0), "0");
+  EXPECT_EQ(JsonWriter::number(123456789.0), "123456789");
+  EXPECT_EQ(JsonWriter::number(-42.0), "-42");
+  EXPECT_EQ(JsonWriter::number(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::number(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonWriter::number(0.0 / 0.0), "null");
+  // Round-trippable precision for non-integral values.
+  EXPECT_EQ(JsonWriter::number(0.1), "0.10000000000000001");
+}
+
+TEST(Json, WriterBuildsNestedDocuments) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x\ny");
+  w.key("count").value(std::uint64_t{3});
+  w.key("ok").value(true);
+  w.key("list").begin_array().value(1).value(2.5).null().end_array();
+  w.key("inner").begin_object().key("d").value(0.25).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"x\\ny\",\"count\":3,\"ok\":true,"
+            "\"list\":[1,2.5,null],\"inner\":{\"d\":0.25}}");
+}
+
+TEST(Json, WriterRejectsMalformedSequences) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), std::logic_error);   // value without key
+  EXPECT_THROW(w.end_array(), std::logic_error);  // wrong closer
+  EXPECT_THROW(w.str(), std::logic_error);        // unterminated scope
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------------
+
+SweepPoint test_point(const std::string& workload, OffloadMode mode) {
+  SweepPoint p;
+  p.id = workload + "/" + std::to_string(static_cast<int>(mode));
+  p.workload = workload;
+  p.scale = ProblemScale::kTiny;
+  p.cfg = SystemConfig::small_test();
+  p.cfg.governor.mode = mode;
+  p.cfg.governor.epoch_cycles = 500;
+  return p;
+}
+
+std::vector<SweepOutcome> run_sweep(unsigned jobs) {
+  SweepRunner runner({.jobs = jobs});
+  for (const char* wl : {"VADD", "BFS", "STN"}) {
+    runner.add(test_point(wl, OffloadMode::kOff));
+    runner.add(test_point(wl, OffloadMode::kAlways));
+    runner.add(test_point(wl, OffloadMode::kDynamicCache));
+  }
+  return runner.run();
+}
+
+TEST(Sweep, ParallelMatchesSerialExactly) {
+  const auto serial = run_sweep(1);
+  const auto parallel = run_sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].point.id);
+    ASSERT_TRUE(serial[i].ran);
+    ASSERT_TRUE(parallel[i].ran);
+    EXPECT_EQ(serial[i].point.id, parallel[i].point.id);
+    const RunResult& a = serial[i].result;
+    const RunResult& b = parallel[i].result;
+    EXPECT_EQ(a.sm_cycles, b.sm_cycles);
+    EXPECT_EQ(a.runtime_ps, b.runtime_ps);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.gpu_link_bytes, b.gpu_link_bytes);
+    EXPECT_EQ(a.cube_link_bytes, b.cube_link_bytes);
+    // The full counter map — every stat, not just headline metrics.
+    EXPECT_EQ(a.stats.values(), b.stats.values());
+  }
+}
+
+TEST(Sweep, JsonExportIsIdenticalModuloTiming) {
+  // Byte-identical documents once the (explicitly segregated) wall-clock
+  // metadata is neutralized.
+  auto neutralize = [](std::vector<SweepOutcome> outcomes) {
+    for (auto& o : outcomes) {
+      o.wall_seconds = 0.0;
+      o.timed_out = false;
+    }
+    return sweep_to_json(outcomes, 0);
+  };
+  EXPECT_EQ(neutralize(run_sweep(1)), neutralize(run_sweep(4)));
+}
+
+TEST(Sweep, OutcomesKeepSubmissionOrder) {
+  SweepRunner runner({.jobs = 3});
+  const auto i0 = runner.add(test_point("VADD", OffloadMode::kOff));
+  const auto i1 = runner.add(test_point("BFS", OffloadMode::kOff));
+  const auto i2 = runner.add(test_point("VADD", OffloadMode::kAlways));
+  runner.run();
+  EXPECT_EQ(runner.outcome(i0).point.workload, "VADD");
+  EXPECT_EQ(runner.outcome(i1).point.workload, "BFS");
+  EXPECT_EQ(runner.outcome(i2).point.id, "VADD/1");
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(i2, 2u);
+}
+
+TEST(Sweep, BadPointIsContainedAndReported) {
+  SweepRunner runner({.jobs = 2});
+  SweepPoint bad = test_point("VADD", OffloadMode::kOff);
+  bad.id = "bad";
+  bad.cfg.num_hmcs = 3;  // fails SystemConfig::validate()
+  const auto good_idx = runner.add(test_point("VADD", OffloadMode::kOff));
+  const auto bad_idx = runner.add(bad);
+  runner.run();
+  EXPECT_TRUE(runner.outcome(good_idx).ran);
+  EXPECT_NO_THROW(runner.result(good_idx));
+  EXPECT_FALSE(runner.outcome(bad_idx).ran);
+  EXPECT_NE(runner.outcome(bad_idx).error.find("hypercube"), std::string::npos);
+  EXPECT_THROW(runner.result(bad_idx), std::runtime_error);
+}
+
+TEST(Sweep, WallClockTimeoutAbortsPoint) {
+  SweepRunner runner({.jobs = 1, .point_timeout_s = 1e-9});
+  SweepPoint p = test_point("KMN", OffloadMode::kOff);
+  p.scale = ProblemScale::kSmall;  // long enough to hit the first poll
+  const auto idx = runner.add(p);
+  runner.run();
+  const SweepOutcome& o = runner.outcome(idx);
+  ASSERT_TRUE(o.ran);
+  EXPECT_TRUE(o.timed_out);
+  EXPECT_TRUE(o.result.aborted);
+  EXPECT_FALSE(o.result.completed);
+}
+
+TEST(Sweep, DerivedSeedsAreStableAndPointSpecific) {
+  const auto a = SweepRunner::derived_seed(0x5EED, "fig09/VADD/0.4");
+  EXPECT_EQ(a, SweepRunner::derived_seed(0x5EED, "fig09/VADD/0.4"));
+  EXPECT_NE(a, SweepRunner::derived_seed(0x5EED, "fig09/VADD/0.6"));
+  EXPECT_NE(a, SweepRunner::derived_seed(0x5EEE, "fig09/VADD/0.4"));
+}
+
+TEST(Sweep, JsonExportIsStructurallySound) {
+  SweepRunner runner({.jobs = 2});
+  runner.add(test_point("VADD", OffloadMode::kOff));
+  runner.add(test_point("VADD", OffloadMode::kDynamicCache));
+  runner.run();
+  const std::string json = sweep_to_json(runner.outcomes(), 2);
+  EXPECT_NE(json.find("\"schema\":\"sndp-sweep-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"VADD/0\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.sm_cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  const std::string path = ::testing::TempDir() + "/sndp_sweep_test.json";
+  ASSERT_TRUE(write_sweep_json(path, runner.outcomes(), 2));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_EQ(static_cast<std::size_t>(std::ftell(f)), json.size() + 1);  // + newline
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sndp

@@ -37,6 +37,31 @@ TEST(Trace, EscapesQuotes) {
   EXPECT_NE(json.find("c\\\\d"), std::string::npos);
 }
 
+TEST(Trace, EscapesControlCharacters) {
+  TraceWriter t;
+  // Regression: newline/tab/raw control bytes in names used to be copied
+  // through verbatim, producing invalid Chrome-trace JSON.
+  t.complete("line1\nline2", "tab\there", 0, 0, 1);
+  t.instant(std::string("nul-ish\x01\x1f"), "bell\x07", 0, 5);
+  t.name_row(0, "row\r\nname");
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  EXPECT_NE(json.find("row\\r\\nname"), std::string::npos);
+  // No raw control characters may survive anywhere in the document.
+  for (char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Trace, BackspaceAndFormFeedUseShortEscapes) {
+  TraceWriter t;
+  t.complete("a\bb\fc", "x", 0, 0, 1);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("a\\bb\\fc"), std::string::npos);
+}
+
 TEST(Trace, CapacityDropsExcess) {
   TraceWriter t;
   t.set_capacity(2);
@@ -45,6 +70,17 @@ TEST(Trace, CapacityDropsExcess) {
   t.complete("c", "x", 0, 0, 1);
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.dropped(), 1u);
+  // The drop counter is surfaced in the document's metadata block so a
+  // truncated trace file is self-describing.
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"metadata\":{\"emitted_events\":2,\"dropped_events\":1}"),
+            std::string::npos);
+}
+
+TEST(Trace, MetadataReportsZeroDropsByDefault) {
+  TraceWriter t;
+  t.complete("a", "x", 0, 0, 1);
+  EXPECT_NE(t.to_json().find("\"dropped_events\":0"), std::string::npos);
 }
 
 TEST(Trace, TimestampsInMicroseconds) {
