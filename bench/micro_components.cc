@@ -50,6 +50,19 @@ void BM_HypercubeRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_HypercubeRoute);
 
+void BM_HypercubeRouteFixedBuffer(benchmark::State& state) {
+  // The allocation-free overload used on the Network::send fast path.
+  Rng rng(3);
+  unsigned buf[kMaxRouteNodes];
+  for (auto _ : state) {
+    const unsigned a = static_cast<unsigned>(rng.next_below(8));
+    const unsigned b = static_cast<unsigned>(rng.next_below(8));
+    benchmark::DoNotOptimize(hypercube_route(a, b, buf));
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_HypercubeRouteFixedBuffer);
+
 void BM_GlobalMemoryReadWrite(benchmark::State& state) {
   GlobalMemory mem;
   Rng rng(4);

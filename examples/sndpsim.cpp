@@ -23,6 +23,8 @@
 //                           to a serial run — determinism is tested)
 //       --stats-json FILE   write full per-run stats as sndp-sweep-v1 JSON
 //       --timeout SECONDS   abort any single run past this wall-clock budget
+//       --no-ff             disable idle fast-forward (naive edge-by-edge
+//                           stepping; results are bit-identical, only slower)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -52,6 +54,7 @@ struct Options {
   unsigned jobs = 1;
   std::string stats_json;
   double timeout_s = 0.0;
+  bool fast_forward = true;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +63,7 @@ struct Options {
                "[-m off|always|static|dyn|dyn-cache] [-r RATIO] [-e EPOCH]\n"
                "          [--sms N] [--hmcs N] [--nsu-mhz N] [--seed N] "
                "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n"
-               "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS]\n",
+               "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n",
                argv0);
   std::exit(2);
 }
@@ -126,6 +129,8 @@ Options parse(int argc, char** argv) {
       o.stats_json = need_value(i);
     } else if (a == "--timeout") {
       o.timeout_s = std::stod(need_value(i));
+    } else if (a == "--no-ff") {
+      o.fast_forward = false;
     } else {
       usage(argv[0]);
     }
@@ -144,6 +149,7 @@ SystemConfig config_of(const Options& o) {
   cfg.placement_seed = o.seed;
   cfg.nsu.read_only_cache = o.ro_cache;
   cfg.optimal_target_selection = o.optimal_target;
+  cfg.fast_forward = o.fast_forward;
   return cfg;
 }
 

@@ -235,6 +235,13 @@ struct SystemConfig {
   // Simulation safety valve: abort if simulated time exceeds this.
   TimePs max_time_ps = 500ull * 1000 * 1000 * 1000;  // 500 ms simulated
 
+  // Idle-aware scheduler fast-forward (`sim.fast_forward`): skip clock
+  // edges at which no component has pending work.  Results — every stat,
+  // tick index, and ps timestamp — are bit-identical with the flag on or
+  // off (a tested invariant); off exists as the naive reference for that
+  // test and for perf comparisons (bench/perf_throughput).
+  bool fast_forward = true;
+
   // When non-empty, write a Chrome-trace JSON of packet flights and
   // offload lifecycles here at the end of the run (view in Perfetto).
   std::string trace_path;

@@ -47,9 +47,7 @@ bool OffloadGovernor::decide(const OffloadBlockInfo& info, unsigned active_threa
   return offload;
 }
 
-void OffloadGovernor::on_sm_cycle() {
-  if (cfg_.mode != OffloadMode::kDynamic && cfg_.mode != OffloadMode::kDynamicCache) return;
-  if (++cycle_in_epoch_ < cfg_.epoch_cycles) return;
+void OffloadGovernor::roll_epoch() {
   const double ipc =
       static_cast<double>(epoch_instrs_) / static_cast<double>(cfg_.epoch_cycles);
   hill_.end_epoch(ipc);
@@ -57,6 +55,25 @@ void OffloadGovernor::on_sm_cycle() {
   ++epochs_;
   cycle_in_epoch_ = 0;
   epoch_instrs_ = 0;
+}
+
+void OffloadGovernor::on_sm_cycle() {
+  if (cfg_.mode != OffloadMode::kDynamic && cfg_.mode != OffloadMode::kDynamicCache) return;
+  if (++cycle_in_epoch_ < cfg_.epoch_cycles) return;
+  roll_epoch();
+}
+
+void OffloadGovernor::advance_cycles(Cycle n) {
+  if (cfg_.mode != OffloadMode::kDynamic && cfg_.mode != OffloadMode::kDynamicCache) return;
+  while (n > 0) {
+    const Cycle room = cfg_.epoch_cycles - cycle_in_epoch_;
+    if (n < room) {
+      cycle_in_epoch_ += n;
+      return;
+    }
+    n -= room;
+    roll_epoch();  // the room-th cycle hits the epoch boundary
+  }
 }
 
 void OffloadGovernor::export_stats(StatSet& out) const {

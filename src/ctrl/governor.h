@@ -30,6 +30,12 @@ class OffloadGovernor {
   // Advance the epoch clock (call once per SM cycle, from one place).
   void on_sm_cycle();
 
+  // Replay `n` consecutive on_sm_cycle() calls with no interleaved
+  // completions — exact epoch-clock catch-up for fast-forwarded SM cycles
+  // (no SM is awake during a skipped cycle, so no on_block_complete() could
+  // have landed inside the gap).
+  void advance_cycles(Cycle n);
+
   CacheAwareTable& cache_table() { return cache_table_; }
   const CacheAwareTable& cache_table() const { return cache_table_; }
 
@@ -39,6 +45,8 @@ class OffloadGovernor {
   void export_stats(StatSet& out) const;
 
  private:
+  void roll_epoch();
+
   GovernorConfig cfg_;
   Rng rng_;
   HillClimbController hill_;

@@ -1,5 +1,6 @@
 #include "gpu/gpu.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "ctrl/governor.h"
@@ -12,11 +13,15 @@
 
 namespace sndp {
 
-Gpu::Gpu(const SystemContext& ctx) : ctx_(ctx), core_tick_(*this), l2_tick_(*this) {
+Gpu::Gpu(const SystemContext& ctx)
+    : ctx_(ctx), epoch_tick_member_(*this), core_tick_(*this), l2_tick_(*this) {
   const SystemConfig& cfg = *ctx_.cfg;
+  fast_forward_ = cfg.fast_forward;
   sms_.reserve(cfg.num_sms);
   for (unsigned i = 0; i < cfg.num_sms; ++i) {
     sms_.push_back(std::make_unique<Sm>(i, ctx_));
+    sms_.back()->set_l2_wake(&l2_wake_);
+    sms_.back()->set_dispatch_wake(&dispatch_wake_);
   }
   // One L2 slice per HMC link; each slice gets an equal share of the 2 MB.
   CacheConfig slice_cfg = cfg.l2;
@@ -60,18 +65,57 @@ std::uint64_t Gpu::total_issued() const {
   return n;
 }
 
+void Gpu::epoch_tick(Cycle cycle) {
+  // Replay the governor's epoch clock for fast-forwarded SM cycles.  Runs
+  // before the SMs tick, so gap-cycle epoch rollovers land ahead of this
+  // edge's issue decisions — exactly the naive interleaving, where each dead
+  // cycle's core_tick() preceded the wake edge.  The current edge's own
+  // on_sm_cycle() stays in core_tick() (after the SMs, matching naive
+  // registration order).
+  if (cycle > epoch_next_expected_) {
+    ctx_.governor->advance_cycles(cycle - epoch_next_expected_);
+  }
+  epoch_next_expected_ = cycle + 1;
+}
+
 void Gpu::core_tick(Cycle /*cycle*/, TimePs /*now*/) {
   ctx_.governor->on_sm_cycle();
   // CTA dispatcher: at most one new CTA per SM per cycle, round-robin.
   if (next_cta_ >= total_ctas_) return;
+  if (dispatch_wake_) {
+    dispatch_wake_ = false;
+    dispatch_blocked_ = false;
+  }
+  // A scan that assigns nothing has no side effects (dispatch_rr_ only moves
+  // on assignment), and can_accept_cta() can only flip true when a CTA
+  // retires — which raises dispatch_wake_.  So skipping scans while blocked
+  // is exact in both stepping modes.
+  if (dispatch_blocked_) return;
   const unsigned n = static_cast<unsigned>(sms_.size());
+  bool assigned = false;
   for (unsigned i = 0; i < n && next_cta_ < total_ctas_; ++i) {
     Sm& sm = *sms_[(dispatch_rr_ + i) % n];
     if (sm.can_accept_cta()) {
       sm.assign_cta(next_cta_++);
       dispatch_rr_ = (dispatch_rr_ + i + 1) % n;
+      assigned = true;
     }
   }
+  if (!assigned) dispatch_blocked_ = true;
+}
+
+TimePs Gpu::core_next_work_ps() const {
+  if (next_cta_ >= total_ctas_) return kTimeNever;   // dispatcher drained
+  if (dispatch_blocked_ && !dispatch_wake_) return kTimeNever;
+  return 0;  // CTAs remain and a slot may be free: dispatch this edge
+}
+
+void Gpu::finalize(Cycle end_cycle) {
+  if (end_cycle > epoch_next_expected_) {
+    ctx_.governor->advance_cycles(end_cycle - epoch_next_expected_);
+    epoch_next_expected_ = end_cycle;
+  }
+  for (auto& sm : sms_) sm->finalize(end_cycle);
 }
 
 void Gpu::send_to_network(Packet&& p, TimePs now) {
@@ -79,13 +123,29 @@ void Gpu::send_to_network(Packet&& p, TimePs now) {
   ctx_.net->send(std::move(p), now);
 }
 
+TimePs Gpu::l2_next_work_ps() const {
+  // Cached earliest delivery among SM egress + slice queues, plus the live
+  // network RX front (lowered by remote HMC ticks between our edges).
+  TimePs w = l2_wake_;
+  const auto& rx = ctx_.net->rx(ctx_.net->gpu_node());
+  if (!rx.empty() && rx.front_ready_ps() < w) w = rx.front_ready_ps();
+  return w;
+}
+
 void Gpu::l2_tick(Cycle cycle, TimePs now) {
+  // With nothing deliverable at this edge the whole tick is a no-op (every
+  // stage below only pops ready channel heads), so it can be skipped.
+  if (fast_forward_ && l2_next_work_ps() > now) return;
+
   // 1. Move SM egress packets into the right slice queue (the on-die
   //    crossbar; its latency was already added by the SM).
   for (auto& smp : sms_) {
     for (unsigned moved = 0; moved < 2; ++moved) {
       auto p = smp->out().pop_ready(now);
       if (!p) break;
+      // The drain may unblock an egress-full warp; wake the SM so it can
+      // retry at its next edge.
+      smp->on_egress_pop(now);
       unsigned slice;
       switch (p->type) {
         case PacketType::kMemRead:
@@ -112,6 +172,20 @@ void Gpu::l2_tick(Cycle cycle, TimePs now) {
   // 3. Network RX.
   auto& rx = ctx_.net->rx(ctx_.net->gpu_node());
   while (auto p = rx.pop_ready(now)) handle_rx(std::move(*p), now);
+
+  // Recompute the cached wake over everything this tick drains.  SM pushes
+  // between L2 edges lower it directly through the Sm::set_l2_wake pointer.
+  if (fast_forward_) {
+    TimePs w = kTimeNever;
+    for (auto& smp : sms_) {
+      if (!smp->out().empty()) w = std::min(w, smp->out().front_ready_ps());
+    }
+    for (const L2Slice& s : slices_) {
+      if (!s.in.empty()) w = std::min(w, s.in.front_ready_ps());
+      if (!s.urgent.empty()) w = std::min(w, s.urgent.front_ready_ps());
+    }
+    l2_wake_ = w;
+  }
 }
 
 void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {

@@ -2,8 +2,10 @@
 // dispatcher, the NDP buffer manager, and the chip-level packet plumbing
 // between SMs, L2 slices, the off-chip links, and the NSUs.
 //
-// Two tick surfaces, registered in different clock domains by the
+// Three tick surfaces, registered in different clock domains by the
 // Simulator:
+//   * epoch_tick() (SM clock, registered first): governor epoch-clock
+//                  catch-up for fast-forwarded cycles.
 //   * core_tick()  (SM clock): CTA dispatch + governor epoch clock.
 //   * l2_tick()    (L2 clock): SM egress -> slice queues, slice processing,
 //                              network RX handling.
@@ -25,11 +27,26 @@ class Gpu {
  public:
   explicit Gpu(const SystemContext& ctx);
 
-  // Tick adapters (see Simulator for domain registration).
+  // Tick adapters (see Simulator for domain registration).  EpochTick must
+  // be registered BEFORE the SMs: when the SM domain wakes from a
+  // fast-forward gap it replays the governor's epoch-clock advancement for
+  // the skipped cycles, which in naive stepping happened before the wake
+  // edge's SM completions.  It never has work of its own (CoreTick keeps
+  // the current edge's on_sm_cycle()).
+  class EpochTick final : public Tickable {
+   public:
+    explicit EpochTick(Gpu& gpu) : gpu_(gpu) {}
+    void tick(Cycle cycle, TimePs /*now*/) override { gpu_.epoch_tick(cycle); }
+    TimePs next_work_ps(TimePs) override { return kTimeNever; }
+
+   private:
+    Gpu& gpu_;
+  };
   class CoreTick final : public Tickable {
    public:
     explicit CoreTick(Gpu& gpu) : gpu_(gpu) {}
     void tick(Cycle cycle, TimePs now) override { gpu_.core_tick(cycle, now); }
+    TimePs next_work_ps(TimePs) override { return gpu_.core_next_work_ps(); }
 
    private:
     Gpu& gpu_;
@@ -38,14 +55,21 @@ class Gpu {
    public:
     explicit L2Tick(Gpu& gpu) : gpu_(gpu) {}
     void tick(Cycle cycle, TimePs now) override { gpu_.l2_tick(cycle, now); }
+    TimePs next_work_ps(TimePs) override { return gpu_.l2_next_work_ps(); }
 
    private:
     Gpu& gpu_;
   };
 
   std::vector<std::unique_ptr<Sm>>& sms() { return sms_; }
+  EpochTick& epoch_tickable() { return epoch_tick_member_; }
   CoreTick& core_tickable() { return core_tick_; }
   L2Tick& l2_tickable() { return l2_tick_; }
+
+  // Flush fast-forward-deferred per-cycle accounting (governor epoch clock,
+  // per-SM stall/active counters) up to the SM domain's consumed-edge count;
+  // called by the Simulator before stats are read.
+  void finalize(Cycle end_cycle);
 
   bool idle() const;
   unsigned ctas_remaining() const { return total_ctas_ - next_cta_; }
@@ -60,11 +84,14 @@ class Gpu {
   void export_stats(StatSet& out) const;
 
  private:
+  void epoch_tick(Cycle cycle);
   void core_tick(Cycle cycle, TimePs now);
   void l2_tick(Cycle cycle, TimePs now);
   void process_slice(unsigned slice, Cycle cycle, TimePs now);
   void handle_rx(Packet&& p, TimePs now);
   void send_to_network(Packet&& p, TimePs now);
+  TimePs core_next_work_ps() const;
+  TimePs l2_next_work_ps() const;
 
   const SystemContext& ctx_;
   std::vector<std::unique_ptr<Sm>> sms_;
@@ -76,12 +103,24 @@ class Gpu {
   };
   std::vector<L2Slice> slices_;
 
+  EpochTick epoch_tick_member_;
   CoreTick core_tick_;
   L2Tick l2_tick_;
 
   unsigned total_ctas_ = 0;
   unsigned next_cta_ = 0;
   unsigned dispatch_rr_ = 0;
+
+  // Fast-forward state.  `dispatch_blocked_` latches "a full dispatcher scan
+  // assigned nothing" (such scans are side-effect-free, so skipping them is
+  // exact); any SM completing a CTA raises `dispatch_wake_` to force a
+  // rescan.  `l2_wake_` caches the earliest pending delivery among SM egress
+  // and slice queues; SM pushes lower it directly (see Sm::set_l2_wake).
+  bool fast_forward_ = false;
+  bool dispatch_blocked_ = false;
+  bool dispatch_wake_ = false;
+  TimePs l2_wake_ = 0;
+  Cycle epoch_next_expected_ = 0;
 
   std::uint64_t invals_received_ = 0;
   std::uint64_t rdf_l2_probes_ = 0;

@@ -37,6 +37,32 @@ class Scoreboard {
     return ok;
   }
 
+  // True if `instr` reads or writes a register still waiting on a memory
+  // fill.  Such an instruction cannot issue at any future cycle until the
+  // fill arrives (kPendingLoad never self-resolves), which is what lets a
+  // fully load-blocked SM sleep between clock edges.
+  bool blocked_on_pending_load(const Instr& instr) const {
+    bool pending = false;
+    for_each_src_reg(instr, [&](std::uint8_t r) {
+      pending = pending || reg_ready_[r] == kPendingLoad;
+    });
+    if (instr.writes_reg() && reg_ready_[instr.dst] == kPendingLoad) pending = true;
+    return pending;
+  }
+
+  // Earliest cycle at which can_issue(instr) becomes true assuming no
+  // further scoreboard updates; kPendingLoad if a needed register awaits a
+  // memory fill (the wake must then come from the fill delivery instead).
+  Cycle ready_cycle(const Instr& instr) const {
+    Cycle c = 0;
+    const auto fold = [&](Cycle when) { c = when > c ? when : c; };
+    for_each_src_reg(instr, [&](std::uint8_t r) { fold(reg_ready_[r]); });
+    if (instr.writes_reg()) fold(reg_ready_[instr.dst]);
+    if (instr.guard_pred != kNoPred) fold(pred_ready_[static_cast<unsigned>(instr.guard_pred)]);
+    if (instr.writes_pred()) fold(pred_ready_[instr.pred_dst]);
+    return c;
+  }
+
   void set_reg_ready_at(unsigned r, Cycle when) { reg_ready_[r] = when; }
   void set_pred_ready_at(unsigned p, Cycle when) { pred_ready_[p] = when; }
   void mark_load_pending(unsigned r) { reg_ready_[r] = kPendingLoad; }

@@ -28,6 +28,7 @@ Sm::Sm(SmId id, const SystemContext& ctx)
   trackers_.resize(cfg_.max_warps() * 2);
   free_warps_ = cfg_.max_warps();
   free_cta_slots_ = cfg_.max_ctas;
+  fast_forward_ = ctx.cfg->fast_forward;
 }
 
 bool Sm::can_accept_cta() const {
@@ -77,21 +78,25 @@ void Sm::assign_cta(unsigned cta_id) {
   if (created != cta.num_warps) throw std::logic_error("Sm: not enough free warp slots");
   free_warps_ -= created;
   --free_cta_slots_;
+  wake_ps_ = 0;  // new warps: the issue stage has work next edge
 }
 
 bool Sm::busy() const {
-  for (const Warp& w : warps_) {
-    if (w.valid()) return true;
-  }
-  for (const LoadTracker& t : trackers_) {
-    if (t.valid) return true;
-  }
-  return !out_.empty() || !line_fills_.empty() || !acks_in_.empty() || pending_count_ != 0;
+  return free_warps_ < static_cast<unsigned>(warps_.size()) || active_trackers_ != 0 ||
+         !out_.empty() || !line_fills_.empty() || !acks_in_.empty() || pending_count_ != 0;
 }
 
-void Sm::deliver_line(Addr line_addr, TimePs ready_ps) { line_fills_.push(line_addr, ready_ps); }
+void Sm::deliver_line(Addr line_addr, TimePs ready_ps) {
+  line_fills_.push(line_addr, ready_ps);
+  const TimePs t = line_fills_.back_ready_ps();
+  if (t < wake_ps_) wake_ps_ = t;
+}
 
-void Sm::deliver_ofld_ack(Packet p, TimePs ready_ps) { acks_in_.push(std::move(p), ready_ps); }
+void Sm::deliver_ofld_ack(Packet p, TimePs ready_ps) {
+  acks_in_.push(std::move(p), ready_ps);
+  const TimePs t = acks_in_.back_ready_ps();
+  if (t < wake_ps_) wake_ps_ = t;
+}
 
 unsigned Sm::alloc_tracker() {
   for (unsigned i = 0; i < trackers_.size(); ++i) {
@@ -115,6 +120,7 @@ void Sm::complete_tracker(unsigned idx, Cycle cycle) {
   if (w.outstanding_loads == 0) throw std::logic_error("Sm: load count underflow");
   --w.outstanding_loads;
   t.valid = false;
+  --active_trackers_;
 }
 
 const CoalesceCache& Sm::coalesced(Warp& w, const Instr& in, LaneMask lanes) {
@@ -131,10 +137,18 @@ const CoalesceCache& Sm::coalesced(Warp& w, const Instr& in, LaneMask lanes) {
   return cc;
 }
 
+void Sm::push_out(Packet&& p, TimePs ready_ps) {
+  out_.push(std::move(p), ready_ps);
+  if (l2_wake_ != nullptr) {
+    const TimePs t = out_.back_ready_ps();
+    if (t < *l2_wake_) *l2_wake_ = t;
+  }
+}
+
 void Sm::emit_or_hold(Warp& warp, Packet&& p, TimePs now) {
   GpuOffloadCtx& ctx = *warp.ofld;
   if (ctx.credits_granted) {
-    out_.push(std::move(p), now);
+    push_out(std::move(p), now);
   } else {
     ctx.held.push_back(std::move(p));
     ++pending_count_;
@@ -159,14 +173,44 @@ void Sm::retry_credit_grants(TimePs now) {
           p.type == PacketType::kRdfResp) {
         p.dst_node = static_cast<std::uint16_t>(ctx.target);
       }
-      out_.push(std::move(p), now);
+      push_out(std::move(p), now);
     }
     pending_count_ -= static_cast<unsigned>(ctx.held.size());
     ctx.held.clear();
   }
 }
 
+void Sm::apply_gap(Cycle gap) {
+  // Replay what each skipped cycle would have counted under naive stepping.
+  switch (gap_class_) {
+    case GapClass::kDependency:
+      active_cycles += gap;
+      stall_dependency += gap;
+      break;
+    case GapClass::kExecBusy:
+      active_cycles += gap;
+      stall_exec_busy += gap;
+      break;
+    case GapClass::kWarpIdle:
+      active_cycles += gap;
+      stall_warp_idle += gap;
+      break;
+    case GapClass::kNone:
+      break;
+  }
+}
+
+void Sm::finalize(Cycle end_cycle) {
+  if (end_cycle > next_expected_cycle_) {
+    apply_gap(end_cycle - next_expected_cycle_);
+    next_expected_cycle_ = end_cycle;
+  }
+}
+
 void Sm::tick(Cycle cycle, TimePs now) {
+  if (fast_forward_ && wake_ps_ > now) return;  // asleep; counters deferred
+  if (cycle > next_expected_cycle_) apply_gap(cycle - next_expected_cycle_);
+  next_expected_cycle_ = cycle + 1;
   now_cycle_ = cycle;
 
   // Line fills (L2 hits and DRAM fills) wake trackers through the L1 MSHRs.
@@ -210,6 +254,11 @@ void Sm::tick(Cycle cycle, TimePs now) {
   bool saw_busy = false;
   bool any_ready = false;
   bool issued = false;
+  // Earliest cycle at which any blocked ready warp could unblock on its own
+  // (timed scoreboard entry, exec unit freeing up); kCycleNever when every
+  // blocker needs an external event.  Complete only when nothing issued —
+  // which is the only case the sleep decision reads it.
+  Cycle self_wake = kCycleNever;
 
   auto consider = [&](Warp& w) -> bool {
     if (w.state != WarpState::kReady) return false;
@@ -222,9 +271,11 @@ void Sm::tick(Cycle cycle, TimePs now) {
         return true;
       case IssueOutcome::kDependency:
         saw_dep = true;
+        self_wake = std::min(self_wake, w.scoreboard.ready_cycle(ctx_.image->gpu.at(w.pc)));
         return false;
       case IssueOutcome::kExecBusy:
         saw_busy = true;
+        self_wake = std::min(self_wake, retry_cycle_);
         return false;
     }
     return false;
@@ -250,6 +301,37 @@ void Sm::tick(Cycle cycle, TimePs now) {
       (void)any_ready;
     }
   }
+
+  if (!fast_forward_) return;
+
+  // Decide whether the SM can sleep.  It can whenever nothing issued and no
+  // credit grant is being polled: every blocked ready warp then stays
+  // blocked — and its retry stays side-effect-free — until either a known
+  // future cycle (self_wake: exec unit frees, timed scoreboard entry
+  // resolves) or an external event that lowers wake_ps_ (line fill, ACK,
+  // egress drain).  The gap class records what each slept cycle counts as
+  // in Fig. 8, mirroring the dependency-before-busy priority above.
+  gap_class_ = GapClass::kNone;
+  if (!busy()) {
+    // Fully drained (the last warp may have exited this very cycle): only a
+    // new CTA re-arms the SM, and assign_cta lowers the hint directly.
+    wake_ps_ = kTimeNever;
+    return;
+  }
+  wake_ps_ = now;  // default: busy at the next edge
+  if (issued || awaiting_grant_ != 0) return;
+  if (any_ready) {
+    gap_class_ = saw_dep ? GapClass::kDependency : GapClass::kExecBusy;
+  } else if (any_warp) {
+    gap_class_ = GapClass::kWarpIdle;
+  }
+  TimePs wake = kTimeNever;
+  if (!line_fills_.empty()) wake = std::min(wake, line_fills_.front_ready_ps());
+  if (!acks_in_.empty()) wake = std::min(wake, acks_in_.front_ready_ps());
+  if (self_wake != kCycleNever) {
+    wake = std::min(wake, tick_time_ps(self_wake, ctx_.cfg->clocks.sm_khz));
+  }
+  wake_ps_ = wake;
 }
 
 Sm::IssueOutcome Sm::try_issue(Warp& w, Cycle cycle, TimePs now) {
@@ -304,7 +386,10 @@ Sm::IssueOutcome Sm::try_issue(Warp& w, Cycle cycle, TimePs now) {
       // ALU / SFU.
       const bool sfu = in.exec_class() == ExecClass::kSfu;
       Cycle& busy = sfu ? sfu_busy_until_ : alu_busy_until_;
-      if (busy > cycle) return IssueOutcome::kExecBusy;
+      if (busy > cycle) {
+        retry_cycle_ = busy;  // unit frees at a known cycle
+        return IssueOutcome::kExecBusy;
+      }
       busy = cycle + (sfu ? cfg_.sfu_ii : cfg_.alu_ii);
       execute_alu_warp(w, in, cycle);
       ++w.pc;
@@ -366,6 +451,7 @@ void Sm::handle_exit(Warp& w) {
   }
   cta.valid = false;
   ++free_cta_slots_;
+  if (dispatch_wake_ != nullptr) *dispatch_wake_ = true;
 }
 
 void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs /*now*/) {
@@ -444,7 +530,10 @@ void Sm::end_offload_or_inline(Warp& w, Cycle /*cycle*/, TimePs now) {
 }
 
 Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, TimePs now) {
-  if (lsu_busy_until_ > cycle) return IssueOutcome::kExecBusy;
+  if (lsu_busy_until_ > cycle) {
+    retry_cycle_ = lsu_busy_until_;
+    return IssueOutcome::kExecBusy;
+  }
   const LaneMask lanes = w.exec_mask(in);
   if (lanes == 0) {
     ++w.pc;
@@ -486,15 +575,24 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
   }
 
   // Cheap structural pre-checks before paying for address generation —
-  // stalled warps retry every cycle, so this path must stay light.
+  // stalled warps retry every cycle, so this path must stay light.  All of
+  // these resolve only on external events: an egress drain (on_egress_pop)
+  // or a line fill freeing MSHRs/trackers (deliver_line).
   if (out_.size() >= ctx_.cfg->ndp_buffers.sm_ready_entries) {
+    retry_cycle_ = kCycleNever;
     return IssueOutcome::kExecBusy;  // egress queue full
   }
   unsigned tracker_idx = kInvalidId;
   if (in.op == Opcode::kLd) {
-    if (l1_.mshr_free() == 0) return IssueOutcome::kExecBusy;
+    if (l1_.mshr_free() == 0) {
+      retry_cycle_ = kCycleNever;
+      return IssueOutcome::kExecBusy;
+    }
     tracker_idx = alloc_tracker();
-    if (tracker_idx == kInvalidId) return IssueOutcome::kExecBusy;
+    if (tracker_idx == kInvalidId) {
+      retry_cycle_ = kCycleNever;
+      return IssueOutcome::kExecBusy;
+    }
   }
 
   // Global loads/stores: coalesce (memoized across stalled retries).
@@ -504,14 +602,19 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
   const auto n_lines = static_cast<unsigned>(lines.size());
 
   if (out_.size() + n_lines > ctx_.cfg->ndp_buffers.sm_ready_entries) {
+    retry_cycle_ = kCycleNever;
     return IssueOutcome::kExecBusy;  // egress queue full
   }
 
   if (in.op == Opcode::kLd) {
-    if (l1_.mshr_free() < n_lines) return IssueOutcome::kExecBusy;
+    if (l1_.mshr_free() < n_lines) {
+      retry_cycle_ = kCycleNever;
+      return IssueOutcome::kExecBusy;
+    }
 
     LoadTracker& tracker = trackers_[tracker_idx];
     tracker = LoadTracker{true, w.id, in.dst, 0};
+    ++active_trackers_;
     for (const LineAccess& la : lines) {
       ++ctx_.energy->l1_accesses;
       switch (l1_.access_read(la.line_addr, tracker_idx)) {
@@ -535,7 +638,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
           p.mask = la.lanes;
           p.mem_width = in.mem_width;
           p.size_bytes = mem_read_req_bytes();
-          out_.push(std::move(p), now + ctx_.cfg->xbar_latency_ps);
+          push_out(std::move(p), now + ctx_.cfg->xbar_latency_ps);
           break;
         }
         case CacheAccessResult::kMissMerged:
@@ -554,6 +657,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
     if (tracker.lines_pending == 0) {
       // All lines hit in the L1.
       tracker.valid = false;
+      --active_trackers_;
       w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.l1d.latency_cycles);
     } else {
       w.scoreboard.mark_load_pending(in.dst);
@@ -578,7 +682,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
       p.oid.block = w.cur_block;
       const unsigned touched = popcount_mask(la.lanes) * in.mem_width;
       p.size_bytes = mem_write_req_bytes(touched);
-      out_.push(std::move(p), now + ctx_.cfg->xbar_latency_ps);
+      push_out(std::move(p), now + ctx_.cfg->xbar_latency_ps);
     }
     if (w.cur_block != kNoBlock) {
       ctx_.governor->cache_table().record_store_bytes(
@@ -593,7 +697,10 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
 }
 
 Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, TimePs now) {
-  if (lsu_busy_until_ > cycle) return IssueOutcome::kExecBusy;
+  if (lsu_busy_until_ > cycle) {
+    retry_cycle_ = lsu_busy_until_;
+    return IssueOutcome::kExecBusy;
+  }
   GpuOffloadCtx& ofld = *w.ofld;
   const LaneMask lanes = w.exec_mask(in);
   if (lanes == 0) {
@@ -612,9 +719,13 @@ Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, Ti
   if (!ofld.credits_granted) {
     if (pending_count_ + n_lines > ctx_.cfg->ndp_buffers.sm_pending_entries) {
       ++pending_full_stalls_;
+      // Mutating retry (the stall counter advances every cycle): the SM must
+      // NOT sleep through this state, so demand a retry at the very next edge.
+      retry_cycle_ = cycle + 1;
       return IssueOutcome::kExecBusy;
     }
   } else if (out_.size() + n_lines > ctx_.cfg->ndp_buffers.sm_ready_entries) {
+    retry_cycle_ = kCycleNever;  // unblocked only by an egress drain
     return IssueOutcome::kExecBusy;
   }
 

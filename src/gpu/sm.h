@@ -34,6 +34,31 @@ class Sm final : public Tickable {
 
   void tick(Cycle cycle, TimePs now) override;
 
+  // Fast-forward wake hint: 0/now while the SM can make progress on its
+  // own; otherwise the earliest of (a) an ingress-channel delivery, (b) a
+  // known self-resolve cycle (ALU/SFU/LSU frees up, a timed scoreboard
+  // entry becomes readable); never while fully drained.  Maintained at the
+  // end of tick() and lowered by deliver_line / deliver_ofld_ack /
+  // assign_cta / on_egress_pop.
+  TimePs next_work_ps(TimePs) override { return wake_ps_; }
+
+  // The GPU drained a packet from out(): an egress-full warp may now be
+  // issuable, so a sleeping SM must retry at its next edge.
+  void on_egress_pop(TimePs now) {
+    if (now < wake_ps_) wake_ps_ = now;
+  }
+
+  // Flush skipped-cycle stall/active counters up to the end of the run;
+  // called by the Simulator with the SM domain's consumed-edge count before
+  // stats are read.  Idempotent.
+  void finalize(Cycle end_cycle);
+
+  // Wiring for cross-component wake hints (set by the Gpu at construction):
+  // egress pushes lower the L2 drain hint; CTA completions re-arm the
+  // dispatcher.
+  void set_l2_wake(TimePs* wake) { l2_wake_ = wake; }
+  void set_dispatch_wake(bool* wake) { dispatch_wake_ = wake; }
+
   // --- CTA management (driven by the Gpu's dispatcher) --------------------
   bool can_accept_cta() const;
   void assign_cta(unsigned cta_id);
@@ -78,6 +103,13 @@ class Sm final : public Tickable {
 
   enum class IssueOutcome { kIssued, kDependency, kExecBusy };
 
+  // What each skipped (slept) cycle would have counted in naive stepping.
+  enum class GapClass { kNone, kDependency, kExecBusy, kWarpIdle };
+
+  // "No self-resolve cycle": the blocked warp can only be unblocked by an
+  // external event (memory fill, ACK, egress drain).
+  static constexpr Cycle kCycleNever = ~Cycle{0};
+
   // One scheduling attempt for `warp` at this cycle.
   IssueOutcome try_issue(Warp& warp, Cycle cycle, TimePs now);
   void execute_alu_warp(Warp& warp, const Instr& in, Cycle cycle);
@@ -92,6 +124,8 @@ class Sm final : public Tickable {
   void retry_credit_grants(TimePs now);
   const CoalesceCache& coalesced(Warp& w, const Instr& in, LaneMask lanes);
   void emit_or_hold(Warp& warp, Packet&& p, TimePs now);
+  void push_out(Packet&& p, TimePs ready_ps);
+  void apply_gap(Cycle gap);
   unsigned alloc_tracker();
   unsigned free_trackers() const;
   unsigned pending_total() const { return pending_count_; }
@@ -119,6 +153,19 @@ class Sm final : public Tickable {
   unsigned free_warps_ = 0;      // incrementally tracked (dispatch fast path)
   unsigned free_cta_slots_ = 0;
   unsigned awaiting_grant_ = 0;  // warps with an ungranted credit reservation
+  unsigned active_trackers_ = 0; // valid LoadTrackers (incremental, for busy())
+
+  // Fast-forward state (see next_work_ps / finalize).
+  bool fast_forward_ = false;
+  TimePs wake_ps_ = 0;
+  GapClass gap_class_ = GapClass::kNone;
+  Cycle next_expected_cycle_ = 0;
+  // Set by every kExecBusy return in try_issue: the cycle at which a retry
+  // could succeed (unit-busy cases), or kCycleNever when only an external
+  // event unblocks (egress/MSHR/tracker exhaustion).
+  Cycle retry_cycle_ = 0;
+  TimePs* l2_wake_ = nullptr;
+  bool* dispatch_wake_ = nullptr;
 
   TimedChannel<Packet> out_;       // "ready packet buffer" toward the GPU core
   TimedChannel<Addr> line_fills_;  // lines arriving from L2/DRAM

@@ -11,6 +11,7 @@ namespace sndp {
 
 Hmc::Hmc(HmcId id, const SystemContext& ctx) : id_(id), ctx_(ctx) {
   const SystemConfig& cfg = *ctx_.cfg;
+  fast_forward_ = cfg.fast_forward;
   noc_latency_ps_ = 2 * tick_time_ps(1, cfg.clocks.dram_khz);  // ~3 ns switch traversal
 
   vaults_.reserve(cfg.hmc.num_vaults);
@@ -64,7 +65,27 @@ void Hmc::send_from_stack(Packet&& p, TimePs now) {
   ctx_.net->send(std::move(p), now);
 }
 
+TimePs Hmc::compute_internal_wake() const {
+  TimePs w = kTimeNever;
+  for (const auto& b : vault_backlog_) {
+    if (!b.empty() && b.front_ready_ps() < w) w = b.front_ready_ps();
+  }
+  for (const auto& v : vaults_) {
+    const TimePs t = v->next_work_ps(0);
+    if (t < w) w = t;
+  }
+  return w;
+}
+
+TimePs Hmc::next_work_ps(TimePs) {
+  TimePs w = wake_internal_;
+  const auto& rx = ctx_.net->rx(id_);
+  if (!rx.empty() && rx.front_ready_ps() < w) w = rx.front_ready_ps();
+  return w;
+}
+
 void Hmc::tick(Cycle cycle, TimePs now) {
+  if (fast_forward_ && next_work_ps(now) > now) return;  // still asleep
   // Drain the network RX into vaults / the NSU.
   auto& rx = ctx_.net->rx(id_);
   while (rx.ready(now)) {
@@ -87,6 +108,8 @@ void Hmc::tick(Cycle cycle, TimePs now) {
   }
 
   for (auto& v : vaults_) v->tick(cycle, now);
+
+  if (fast_forward_) wake_internal_ = compute_internal_wake();
 }
 
 void Hmc::route_packet(Packet&& p, TimePs now) {
@@ -115,7 +138,12 @@ void Hmc::route_packet(Packet&& p, TimePs now) {
 void Hmc::enqueue_vault(Packet&& p, TimePs now) {
   const DramCoord coord = ctx_.amap->decode(p.line_addr);
   if (coord.hmc != id_) throw std::logic_error("Hmc: packet for another stack");
-  vault_backlog_.at(coord.vault).push(std::move(p), now);
+  auto& backlog = vault_backlog_.at(coord.vault);
+  backlog.push(std::move(p), now);
+  // The NSU's local-vault fast path lands here from another clock domain;
+  // make sure a sleeping stack wakes for it.
+  const TimePs ready = backlog.back_ready_ps();
+  if (ready < wake_internal_) wake_internal_ = ready;
 }
 
 void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {

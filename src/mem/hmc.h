@@ -27,6 +27,12 @@ class Hmc final : public Tickable {
   // NSU domain by the Simulator.
   void tick(Cycle cycle, TimePs now) override;
 
+  // Earliest pending work: the network RX head, plus a cached minimum over
+  // vault backlogs and vault controllers (recomputed after each real tick,
+  // lowered eagerly by cross-domain pushes from the NSU).  Dead ticks here
+  // are exact no-ops, so no skipped-cycle compensation is needed.
+  TimePs next_work_ps(TimePs now) override;
+
   Nsu& nsu() { return *nsu_; }
   const Nsu& nsu() const { return *nsu_; }
 
@@ -42,6 +48,7 @@ class Hmc final : public Tickable {
  private:
   void route_packet(Packet&& p, TimePs now);
   void enqueue_vault(Packet&& p, TimePs now);
+  TimePs compute_internal_wake() const;
   void on_vault_complete(const DramRequest& req, TimePs done_ps);
   void send_from_stack(Packet&& p, TimePs now);
 
@@ -58,6 +65,10 @@ class Hmc final : public Tickable {
 
   // The intra-stack NoC latency between logic layer and a vault / the NSU.
   TimePs noc_latency_ps_ = 0;
+
+  // Fast-forward wake hint over backlogs + vaults (see next_work_ps).
+  TimePs wake_internal_ = 0;
+  bool fast_forward_ = false;
 
   std::uint64_t packets_routed_ = 0;
 };

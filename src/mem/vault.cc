@@ -27,20 +27,45 @@ void VaultController::tick(Cycle cycle, TimePs now) {
 
   const DramTiming& t = cfg_.timing;
 
-  // FR-FCFS pass 1: oldest request whose bank has its row open and can CAS.
+  // Single FR-FCFS scan.  Look for the oldest request whose bank has its
+  // row open and can CAS (the old "pass 1"); while scanning, remember the
+  // oldest request that could make *state* progress instead — activate a
+  // closed bank or precharge a conflicting row (the old "pass 2") — so the
+  // queue is walked at most once per cycle.  One command per cycle per
+  // vault; pick order is identical to the two-pass version.
+  const bool bus_ready = cycle >= bus_free_;
   std::size_t pick = queue_.size();
+  enum class StateOp { kNone, kActivate, kPrecharge };
+  StateOp fallback = StateOp::kNone;
+  std::size_t fb = 0;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     DramBank& bank = banks_[queue_[i].coord.bank];
-    if (bank.row_open(queue_[i].coord.row) && bank.can_cas(cycle) && cycle >= bus_free_) {
-      pick = i;
-      break;
+    if (bank.row_open(queue_[i].coord.row)) {
+      if (bus_ready && bank.can_cas(cycle)) {
+        pick = i;
+        break;
+      }
+      // Row open and matching but CAS-blocked: wait.
+    } else if (fallback == StateOp::kNone) {
+      if (bank.closed()) {
+        if (bank.can_activate(cycle)) {
+          fallback = StateOp::kActivate;
+          fb = i;
+        }
+      } else if (bank.can_precharge(cycle)) {
+        fallback = StateOp::kPrecharge;
+        fb = i;
+      }
     }
   }
 
   if (pick < queue_.size()) {
-    // Issue the CAS and retire the request.
+    // Issue the CAS and retire the request with an order-preserving
+    // compaction (shift the tail left) instead of a vector middle-erase.
     DramRequest req = queue_[pick];
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    std::move(queue_.begin() + static_cast<std::ptrdiff_t>(pick) + 1, queue_.end(),
+              queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    queue_.pop_back();
     DramBank& bank = banks_[req.coord.bank];
     bank.cas(cycle, req.is_write, t);
     bus_free_ = cycle + t.tCCD;
@@ -52,26 +77,13 @@ void VaultController::tick(Cycle cycle, TimePs now) {
     return;
   }
 
-  // FR-FCFS pass 2: oldest request that can make *state* progress
-  // (precharge a conflicting row or activate its own).  One command per
-  // cycle per vault.
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    DramBank& bank = banks_[queue_[i].coord.bank];
-    if (bank.closed()) {
-      if (bank.can_activate(cycle)) {
-        bank.activate(cycle, queue_[i].coord.row, t);
-        ++activates;
-        ++row_misses;
-        return;
-      }
-    } else if (!bank.row_open(queue_[i].coord.row)) {
-      if (bank.can_precharge(cycle)) {
-        bank.precharge(cycle, t);
-        ++precharges;
-        return;
-      }
-    }
-    // Row already open and matching but CAS-blocked: wait (handled in pass 1).
+  if (fallback == StateOp::kActivate) {
+    banks_[queue_[fb].coord.bank].activate(cycle, queue_[fb].coord.row, t);
+    ++activates;
+    ++row_misses;
+  } else if (fallback == StateOp::kPrecharge) {
+    banks_[queue_[fb].coord.bank].precharge(cycle, t);
+    ++precharges;
   }
 }
 

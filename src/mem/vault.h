@@ -42,6 +42,15 @@ class VaultController final : public Tickable {
 
   void tick(Cycle cycle, TimePs now) override;
 
+  // Queued requests need command scheduling every DRAM edge; an empty
+  // queue only wakes for pending completion bursts.  Skipped ticks are
+  // exact no-ops here (no per-cycle counters).
+  TimePs next_work_ps(TimePs) override {
+    if (!queue_.empty()) return 0;
+    if (!completed_.empty()) return completed_.front_ready_ps();
+    return kTimeNever;
+  }
+
   // Stats.
   std::uint64_t activates = 0;
   std::uint64_t reads = 0;

@@ -17,22 +17,22 @@ Nsu::Nsu(HmcId hmc_id, const SystemContext& ctx, SendFn send_network, SendFn sen
       write_addr_(ctx.cfg->ndp_buffers.nsu_write_addr_entries),
       cmds_(ctx.cfg->ndp_buffers.nsu_cmd_entries) {
   warps_.resize(cfg_.max_warps);
+  fast_forward_ = ctx.cfg->fast_forward;
 }
 
 void Nsu::receive(Packet&& p, TimePs now) { in_.push(std::move(p), now); }
 
 bool Nsu::idle() const {
-  if (!in_.empty() || !cmds_.empty()) return false;
-  for (const NsuWarp& w : warps_) {
-    if (w.valid) return false;
-  }
-  return true;
+  return in_.empty() && cmds_.empty() && valid_warps_ == 0;
 }
 
-unsigned Nsu::active_warps() const {
-  unsigned n = 0;
-  for (const NsuWarp& w : warps_) n += w.valid ? 1 : 0;
-  return n;
+unsigned Nsu::active_warps() const { return valid_warps_; }
+
+void Nsu::finalize(Cycle end_cycle) {
+  if (end_cycle > next_expected_cycle_) {
+    tick_count_ += end_cycle - next_expected_cycle_;
+    next_expected_cycle_ = end_cycle;
+  }
 }
 
 double Nsu::avg_occupancy() const {
@@ -60,8 +60,11 @@ LaneMask Nsu::exec_mask(const NsuWarp& warp, const Instr& instr) const {
 }
 
 void Nsu::tick(Cycle cycle, TimePs now) {
-  ++tick_count_;
-  occupancy_accum_ += active_warps();
+  if (fast_forward_ && next_work_ps(now) > now) return;  // still asleep
+  // Skipped/slept edges each counted one naive tick with zero occupancy.
+  tick_count_ += cycle - next_expected_cycle_ + 1;
+  next_expected_cycle_ = cycle + 1;
+  occupancy_accum_ += valid_warps_;
 
   // Ingress.
   while (auto p = in_.pop_ready(now)) {
@@ -138,6 +141,7 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
     const Packet cmd = cmds_.pop();
     *slot = NsuWarp{};
     slot->valid = true;
+    ++valid_warps_;
     slot->oid = cmd.oid;
     slot->pc = static_cast<unsigned>(cmd.line_addr);  // start PC field
     slot->active = cmd.mask;
@@ -337,6 +341,7 @@ void Nsu::finish_warp(NsuWarp& warp, TimePs now) {
 
   ++blocks_completed_;
   warp = NsuWarp{};  // slot free; next command can spawn on a later tick
+  --valid_warps_;
 }
 
 void Nsu::export_stats(StatSet& out, const std::string& prefix) const {

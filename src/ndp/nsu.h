@@ -36,6 +36,21 @@ class Nsu final : public Tickable {
 
   void tick(Cycle cycle, TimePs now) override;
 
+  // Live warps and buffered commands need the issue pipeline every cycle;
+  // otherwise the NSU only wakes for its ingress channel.  tick_count_ is
+  // the one per-cycle stat, compensated for skipped edges (see tick() and
+  // finalize()).
+  TimePs next_work_ps(TimePs) override {
+    if (valid_warps_ > 0 || !cmds_.empty()) return 0;
+    if (!in_.empty()) return in_.front_ready_ps();
+    return kTimeNever;
+  }
+
+  // Flush the skipped-tick compensation up to the end of the run; called by
+  // the Simulator with the NSU domain's consumed-edge count before stats
+  // are read.  Idempotent.
+  void finalize(Cycle end_cycle);
+
   // Packet ingress (offload commands, RDF responses, WTA, write acks).
   void receive(Packet&& p, TimePs now);
 
@@ -77,6 +92,9 @@ class Nsu final : public Tickable {
   const NsuConfig& cfg_;
 
   std::vector<NsuWarp> warps_;
+  unsigned valid_warps_ = 0;    // live slots in warps_ (incremental)
+  bool fast_forward_ = false;
+  Cycle next_expected_cycle_ = 0;  // skipped-tick compensation watermark
   unsigned rr_next_ = 0;        // round-robin issue pointer
   Cycle issue_busy_until_ = 0;  // temporal-SIMT occupancy of the issue port
   ReadDataBuffer read_data_;

@@ -68,9 +68,11 @@ TimePs Network::send(Packet pkt, TimePs now) {
     t = gpu_link(pkt.src_node, /*toward_hmc=*/false).transmit(t, pkt.size_bytes, ctrl);
     gpu_down_bytes_ += pkt.size_bytes;
   } else {
-    // HMC -> HMC over the hypercube, dimension-order.
-    const auto path = hypercube_route(pkt.src_node, pkt.dst_node);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    // HMC -> HMC over the hypercube, dimension-order.  Fixed-size route
+    // buffer: this runs once per packet, so no heap traffic here.
+    unsigned path[kMaxRouteNodes];
+    const unsigned hops = hypercube_route(pkt.src_node, pkt.dst_node, path);
+    for (unsigned i = 0; i + 1 < hops; ++i) {
       if (i > 0) t += router_latency_ps_;  // per-hop router pipeline
       t = cube_link(path[i], path[i + 1]).transmit(t, pkt.size_bytes, ctrl);
       cube_bytes_ += pkt.size_bytes;

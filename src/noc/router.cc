@@ -8,17 +8,23 @@ unsigned hypercube_distance(unsigned a, unsigned b) {
   return static_cast<unsigned>(std::popcount(a ^ b));
 }
 
-std::vector<unsigned> hypercube_route(unsigned a, unsigned b) {
-  std::vector<unsigned> path;
-  path.push_back(a);
+unsigned hypercube_route(unsigned a, unsigned b, unsigned* out) {
+  unsigned n = 0;
+  out[n++] = a;
   unsigned cur = a;
   while (cur != b) {
     const unsigned diff = cur ^ b;
     const unsigned bit = diff & (~diff + 1u);  // lowest set bit
     cur ^= bit;
-    path.push_back(cur);
+    out[n++] = cur;
   }
-  return path;
+  return n;
+}
+
+std::vector<unsigned> hypercube_route(unsigned a, unsigned b) {
+  unsigned buf[kMaxRouteNodes];
+  const unsigned n = hypercube_route(a, b, buf);
+  return std::vector<unsigned>(buf, buf + n);
 }
 
 unsigned hypercube_dimensions(unsigned num_nodes) {

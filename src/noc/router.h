@@ -17,7 +17,17 @@ namespace sndp {
 // Hop count between two hypercube nodes.
 unsigned hypercube_distance(unsigned a, unsigned b);
 
-// Node sequence a -> ... -> b (inclusive of both endpoints).
+// Upper bound on a route's node count: the endpoints differ in at most 32
+// address bits (unsigned), giving popcount(a ^ b) <= 32 intermediate steps.
+inline constexpr unsigned kMaxRouteNodes = 33;
+
+// Node sequence a -> ... -> b (inclusive of both endpoints) written into a
+// caller-provided buffer of at least hypercube_distance(a, b) + 1 (bounded
+// by kMaxRouteNodes) entries; returns the node count.  Allocation-free —
+// this sits on the per-packet fast path of Network::send.
+unsigned hypercube_route(unsigned a, unsigned b, unsigned* out);
+
+// Convenience wrapper for tests and tools (allocates).
 std::vector<unsigned> hypercube_route(unsigned a, unsigned b);
 
 // Number of network dimensions for `num_nodes` (power of two).

@@ -76,13 +76,18 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   ClockDomain l2_domain("l2", cfg_.clocks.l2_khz);
   ClockDomain dram_domain("dram", cfg_.clocks.dram_khz);
   ClockDomain nsu_domain("nsu", cfg_.clocks.nsu_khz);
+  // EpochTick must precede the SMs (it replays the governor epoch clock for
+  // fast-forwarded cycles, which in naive order ran before the wake edge);
+  // CoreTick stays after them, matching the naive per-cycle sequence.
+  sm_domain.add(&gpu.epoch_tickable());
   for (auto& sm : gpu.sms()) sm_domain.add(sm.get());
   sm_domain.add(&gpu.core_tickable());
   l2_domain.add(&gpu.l2_tickable());
   for (auto& hmc : hmcs) dram_domain.add(hmc.get());
   for (auto& hmc : hmcs) nsu_domain.add(&hmc->nsu());
 
-  Scheduler sched;
+  Scheduler sched(cfg_.fast_forward);
+  sched.set_time_limit(cfg_.max_time_ps);
   sched.add(&sm_domain);
   sched.add(&l2_domain);
   sched.add(&dram_domain);
@@ -96,27 +101,42 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     return true;
   };
 
-  // Main loop: poll idle every few edges (the check scans every component).
-  // The safety valve is checked inside the burst so simulated time cannot
-  // overshoot max_time_ps by more than a single clock edge.
+  // Main loop.  The full idle scan is cheap now that per-component busy
+  // checks are O(1), so it runs between single steps and the run stops on
+  // the exact edge where the system drains — identically in both stepping
+  // modes.  In fast-forward mode the scan is further gated on the
+  // scheduler's quiescent flag (one flag read in the common case); a
+  // quiescent-but-not-idle system (in-flight state no hint covers — a
+  // modeling bug) dead-marches to the valve instead of spinning.
   bool completed = false;
   bool aborted = false;
+  unsigned poll_countdown = 64;
   while (true) {
-    bool valve = false;
-    for (unsigned i = 0; i < 64 && !valve; ++i) {
-      sched.step();
-      valve = sched.now() >= cfg_.max_time_ps;
-    }
-    if (system_idle()) {
+    const bool maybe_idle = cfg_.fast_forward ? sched.quiescent() : true;
+    if (maybe_idle && system_idle()) {
       completed = true;
       break;
     }
-    if (valve) break;
-    if (abort_poll_ && abort_poll_()) {
-      aborted = true;
-      break;
+    if (sched.now() >= cfg_.max_time_ps) break;
+    if (cfg_.fast_forward && sched.quiescent()) {
+      sched.advance_to_limit();
+      continue;
+    }
+    sched.step();
+    if (--poll_countdown == 0) {
+      poll_countdown = 64;
+      if (abort_poll_ && abort_poll_()) {
+        aborted = true;
+        break;
+      }
     }
   }
+
+  // Flush fast-forward-deferred per-cycle accounting (stall/active
+  // counters, governor epoch clock, NSU tick counts) up to each domain's
+  // consumed-edge count.  No-ops in naive mode.
+  gpu.finalize(sm_domain.next_cycle());
+  for (auto& hmc : hmcs) hmc->nsu().finalize(nsu_domain.next_cycle());
 
   result.completed = completed;
   result.aborted = aborted;

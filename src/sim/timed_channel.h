@@ -33,6 +33,9 @@ class TimedChannel {
   // Peek at the head message (must be non-empty).
   const T& front() const { return queue_.front().msg; }
   TimePs front_ready_ps() const { return queue_.front().ready_ps; }
+  // Delivery time of the most recently pushed message (after the monotonic
+  // clamp) — what a fast-forward wake hint should be lowered to on push.
+  TimePs back_ready_ps() const { return queue_.back().ready_ps; }
 
   // Pop the head if deliverable at `now`.
   std::optional<T> pop_ready(TimePs now) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/rng.h"
 #include "mem/address_map.h"
 #include "mem/dram.h"
 #include "mem/vault.h"
@@ -204,6 +205,111 @@ TEST(Vault, BankParallelismOverlapsActivates) {
   h2.run(2000);
   ASSERT_EQ(h2.completions.size(), 8u);
   EXPECT_LT(parallel_done, h2.completions.back().second);
+}
+
+// The pre-compaction two-pass FR-FCFS scheduler, kept as a reference model
+// for the production single-pass version: pass 1 finds the oldest CAS-ready
+// row hit, pass 2 the oldest request that can advance its bank's state, and
+// retirement middle-erases the queue vector.  Built only from the public
+// DramBank API.
+class TwoPassReferenceVault {
+ public:
+  TwoPassReferenceVault(const HmcConfig& cfg, std::uint64_t khz) : cfg_(cfg), khz_(khz) {
+    banks_.resize(cfg_.banks_per_vault);
+  }
+
+  bool can_accept() const { return queue_.size() < cfg_.vault_queue_size; }
+  bool idle() const { return queue_.empty(); }
+  void enqueue(const DramRequest& r) { queue_.push_back(r); }
+
+  void tick(Cycle cycle) {
+    if (queue_.empty()) return;
+    const DramTiming& t = cfg_.timing;
+    const bool bus_ready = cycle >= bus_free_;
+
+    // Pass 1: oldest request whose row is open and can CAS.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      DramBank& bank = banks_[queue_[i].coord.bank];
+      if (!bank.row_open(queue_[i].coord.row)) continue;
+      if (!(bus_ready && bank.can_cas(cycle))) continue;
+      const DramRequest req = queue_[i];
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      bank.cas(cycle, req.is_write, t);
+      bus_free_ = cycle + t.tCCD;
+      const Cycle done = req.is_write ? cycle + t.tBURST : cycle + t.tCL + t.tBURST;
+      const TimePs done_ps = tick_time_ps(done, khz_);
+      latency.record(static_cast<double>(done_ps - req.enqueue_ps));
+      cas_order.push_back(req.token);
+      return;
+    }
+
+    // Pass 2: oldest request that can advance its bank's state.
+    for (const DramRequest& r : queue_) {
+      DramBank& bank = banks_[r.coord.bank];
+      if (bank.row_open(r.coord.row)) continue;
+      if (bank.closed()) {
+        if (bank.can_activate(cycle)) {
+          bank.activate(cycle, r.coord.row, t);
+          return;
+        }
+      } else if (bank.can_precharge(cycle)) {
+        bank.precharge(cycle, t);
+        return;
+      }
+    }
+  }
+
+  Distribution latency;
+  std::vector<std::uint64_t> cas_order;
+
+ private:
+  HmcConfig cfg_;
+  std::uint64_t khz_;
+  std::vector<DramBank> banks_;
+  std::vector<DramRequest> queue_;
+  Cycle bus_free_ = 0;
+};
+
+TEST(Vault, SinglePassMatchesTwoPassReferenceOnSeededStream) {
+  // Drive the production controller and the reference model with an
+  // identical seeded random request stream (mixed reads/writes, random
+  // banks/rows, bursty arrivals) and require the exact same CAS order and
+  // a bit-identical queue_latency_ps distribution.
+  VaultHarness h;
+  TwoPassReferenceVault ref(h.config.hmc, h.config.clocks.dram_khz);
+  Rng rng(0xD12A);
+  const unsigned stride = h.config.hmc.num_vaults * 128;  // stay in vault 0
+
+  std::uint64_t token = 0;
+  for (Cycle c = 0; c < 20'000; ++c) {
+    if (rng.next_below(4) == 0 && h.vault.can_accept()) {
+      DramRequest req;
+      req.line_addr = rng.next_below(4096) * stride;
+      req.is_write = rng.next_below(3) == 0;
+      req.token = token++;
+      req.coord = h.amap.decode(req.line_addr);
+      req.enqueue_ps = tick_time_ps(c, h.config.clocks.dram_khz);
+      h.vault.enqueue(req);
+      ref.enqueue(req);
+    }
+    h.vault.tick(c, tick_time_ps(c, h.config.clocks.dram_khz));
+    ref.tick(c);
+    h.cycle = c + 1;
+  }
+  const Cycle drain_start = h.cycle;
+  h.run(5'000);  // drain
+  for (Cycle c = drain_start; c < drain_start + 5'000; ++c) ref.tick(c);
+  ASSERT_TRUE(h.vault.idle());
+  ASSERT_TRUE(ref.idle());
+
+  EXPECT_GT(token, 1000u);  // the stream actually exercised the queue
+  std::vector<std::uint64_t> got_order;
+  for (const auto& [req, done] : h.completions) got_order.push_back(req.token);
+  EXPECT_EQ(got_order, ref.cas_order);
+  EXPECT_EQ(h.vault.queue_latency_ps.count(), ref.latency.count());
+  EXPECT_EQ(h.vault.queue_latency_ps.sum(), ref.latency.sum());
+  EXPECT_EQ(h.vault.queue_latency_ps.min(), ref.latency.min());
+  EXPECT_EQ(h.vault.queue_latency_ps.max(), ref.latency.max());
 }
 
 }  // namespace

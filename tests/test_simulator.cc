@@ -106,6 +106,39 @@ TEST(SimulatorFacade, HmcCountChangesPlacementSpread) {
   EXPECT_EQ(r.cube_link_bytes, 0u);  // no inter-stack links exist
 }
 
+// Fast-forward determinism (the ISSUE's acceptance bar): idle fast-forward
+// must be a pure wall-clock optimisation.  Every workload, run with
+// sim.fast_forward on and off, must produce byte-identical stat maps and
+// the exact same final runtime_ps / sm_cycles.
+class FastForwardDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FastForwardDeterminism, StatsAreByteIdenticalToNaiveStepping) {
+  const std::string name = GetParam();
+  for (OffloadMode mode : {OffloadMode::kOff, OffloadMode::kDynamicCache}) {
+    SystemConfig cfg = SystemConfig::small_test();
+    cfg.governor.mode = mode;
+
+    cfg.fast_forward = true;
+    auto wl_ff = make_workload(name, ProblemScale::kTiny);
+    const RunResult ff = Simulator(cfg).run(*wl_ff);
+
+    cfg.fast_forward = false;
+    auto wl_nv = make_workload(name, ProblemScale::kTiny);
+    const RunResult naive = Simulator(cfg).run(*wl_nv);
+
+    EXPECT_TRUE(ff.completed);
+    EXPECT_EQ(ff.runtime_ps, naive.runtime_ps) << name;
+    EXPECT_EQ(ff.sm_cycles, naive.sm_cycles) << name;
+    // The full exported stat maps (every counter in the system) must match
+    // key-for-key and bit-for-bit.
+    EXPECT_EQ(ff.stats.values(), naive.stats.values()) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FastForwardDeterminism,
+                         ::testing::Values("BPROP", "BFS", "BICG", "FWT", "KMN", "MiniFE",
+                                           "SP", "STN", "STCL", "VADD"));
+
 TEST(SimulatorFacade, EnergyCountersAreConsistent) {
   SystemConfig cfg = SystemConfig::small_test();
   cfg.governor.mode = OffloadMode::kDynamicCache;
