@@ -1,5 +1,6 @@
 #include "memfunc/global_memory.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -85,6 +86,56 @@ void GlobalMemory::store_reg(Addr a, RegValue v, unsigned width, bool f32) {
   } else {
     write(a, v, width);
   }
+}
+
+bool GlobalMemory::equal_range(const GlobalMemory& other, Addr base, std::uint64_t bytes,
+                               Addr* first_diff) const {
+  Addr a = base;
+  std::uint64_t left = bytes;
+  while (left > 0) {
+    const std::uint64_t frame_id = a / kFrameBytes;
+    const std::uint64_t off = a % kFrameBytes;
+    const std::uint64_t chunk = std::min<std::uint64_t>(left, kFrameBytes - off);
+    const std::uint8_t* mine = frame_for_read(frame_id) + off;
+    const std::uint8_t* theirs = other.frame_for_read(frame_id) + off;
+    if (std::memcmp(mine, theirs, chunk) != 0) {
+      for (std::uint64_t i = 0; i < chunk; ++i) {
+        if (mine[i] != theirs[i]) {
+          if (first_diff != nullptr) *first_diff = a + i;
+          return false;
+        }
+      }
+    }
+    a += chunk;
+    left -= chunk;
+  }
+  return true;
+}
+
+bool GlobalMemory::equal_contents(const GlobalMemory& other, Addr* first_diff) const {
+  // Visit the union of allocated frames; compare each against the other
+  // image's frame (or zeros).  Pick the lowest differing address within a
+  // frame so diagnostics are stable regardless of hash order.
+  bool equal = true;
+  Addr lowest = ~Addr{0};
+  auto visit = [&](std::uint64_t frame_id) {
+    const std::uint8_t* mine = frame_for_read(frame_id);
+    const std::uint8_t* theirs = other.frame_for_read(frame_id);
+    if (mine == theirs || std::memcmp(mine, theirs, kFrameBytes) == 0) return;
+    for (std::uint64_t i = 0; i < kFrameBytes; ++i) {
+      if (mine[i] != theirs[i]) {
+        equal = false;
+        lowest = std::min(lowest, frame_id * kFrameBytes + i);
+        return;
+      }
+    }
+  };
+  for (const auto& [id, frame] : frames_) visit(id);
+  for (const auto& [id, frame] : other.frames_) {
+    if (frames_.find(id) == frames_.end()) visit(id);
+  }
+  if (!equal && first_diff != nullptr) *first_diff = lowest;
+  return equal;
 }
 
 Addr MemoryAllocator::alloc(std::uint64_t bytes) { return alloc(bytes, alignment_); }

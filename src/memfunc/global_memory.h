@@ -52,6 +52,16 @@ class GlobalMemory {
   std::size_t frames_allocated() const { return frames_.size(); }
   std::uint64_t bytes_allocated() const { return frames_.size() * kFrameBytes; }
 
+  // Byte-exact comparison of an address range against another image.
+  // Returns true when every byte matches; otherwise writes the first
+  // differing address to `first_diff` (if non-null) and returns false.
+  bool equal_range(const GlobalMemory& other, Addr base, std::uint64_t bytes,
+                   Addr* first_diff = nullptr) const;
+
+  // Byte-exact comparison of the whole address space (the union of both
+  // images' allocated frames; an absent frame compares as zeros).
+  bool equal_contents(const GlobalMemory& other, Addr* first_diff = nullptr) const;
+
  private:
   const std::uint8_t* frame_for_read(std::uint64_t frame_id) const;
   std::uint8_t* frame_for_write(std::uint64_t frame_id);

@@ -165,11 +165,34 @@ std::optional<BlockCandidate> classify(const Program& prog, unsigned begin, unsi
   // GPU-only instructions, but the entry point moved).
   regs_in = backward_needs(c.begin, c.end, c.on_nsu);
 
-  // Live-outs: NSU-produced registers read outside the span.
+  // NSU-pulled *clean* producers (backward-closure instructions that do not
+  // consume in-region load data, e.g. a MOV feeding store data) are
+  // duplicated on the GPU like address-slice instructions: later GPU-side
+  // instructions in the block may read their results, and only a GPU-side
+  // copy keeps the register file coherent while the block is offloaded.
+  // (Load-data consumers cannot be duplicated — their operands exist only
+  // on the NSU — but no GPU-side instruction reads those: the conflict
+  // splitter already cut the region at any such flow.)
+  {
+    const auto span_consumers = load_data_consumers(prog, c.begin, c.end);
+    for (unsigned i = 0; i < m; ++i) {
+      if (c.on_nsu[i] && !span_consumers[i]) c.addr_calc[i] = true;
+    }
+  }
+
+  // Live-outs: registers whose value at block exit was produced only on the
+  // NSU (a load, or a non-duplicated NSU ALU) and is read after the span.
+  // An unguarded later write by a GPU-side or duplicated instruction means
+  // the GPU already holds the final value — writing the NSU's copy back
+  // would clobber it with a stale one.
   RegSet produced;
   for (unsigned i = 0; i < m; ++i) {
     const Instr& in = prog.at(c.begin + i);
-    if (in.op == Opcode::kLd || (c.on_nsu[i] && in.writes_reg())) produced.set(in.dst);
+    if (in.op == Opcode::kLd || (c.on_nsu[i] && !c.addr_calc[i] && in.writes_reg())) {
+      produced.set(in.dst);
+    } else if (in.writes_reg() && in.guard_pred == kNoPred) {
+      produced.reset(in.dst);
+    }
     if (in.is_global_mem()) {
       if (in.op == Opcode::kLd) ++c.num_loads;
       else ++c.num_stores;

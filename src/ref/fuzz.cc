@@ -1,0 +1,382 @@
+#include "ref/fuzz.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "offload/codegen.h"
+#include "ref/ref_interp.h"
+#include "sim/simulator.h"
+#include "workloads/wl_util.h"
+
+namespace sndp {
+
+namespace {
+
+// Fixed memory layout: power-of-two input arrays, write-only output arrays.
+constexpr Addr kBaseA = 0x10000;    // f64[kFuzzElems]
+constexpr Addr kBaseB = 0x20000;    // f64[kFuzzElems]
+constexpr Addr kBaseI = 0x30000;    // u64[kFuzzElems], values in [0, kFuzzElems)
+constexpr Addr kBaseOut = 0x40000;  // accumulators: 2 * total_threads * 8
+constexpr Addr kBaseOut2 = 0x60000; // per-store-op slots: n_stores * total * 8
+
+// Register conventions (R0-R3 are the launch registers).
+constexpr unsigned kLoopReg = 4;
+constexpr unsigned kFaccReg = 5;
+constexpr unsigned kIaccReg = 6;
+constexpr unsigned kBaseRegA = 16, kBaseRegB = 17, kBaseRegI = 18;
+constexpr unsigned kBaseRegOut = 19, kBaseRegOut2 = 20;
+constexpr unsigned kScratchFirst = 21, kScratchCount = 7;
+constexpr unsigned kLoopPred = 0, kLoadPred = 1, kStorePred = 2;
+
+constexpr std::uint64_t kIdxMask = kFuzzElems - 1;
+
+}  // namespace
+
+FuzzSpec generate_spec(std::uint64_t seed) {
+  Rng rng(seed ^ 0xF022DEC0DEull);
+  FuzzSpec spec;
+  spec.seed = seed;
+
+  const unsigned threads[] = {32, 48, 64, 96, 128};
+  spec.launch.cta_threads = threads[rng.next_below(5)];
+  spec.launch.num_ctas = 1 + static_cast<unsigned>(rng.next_below(4));
+  spec.loop_trips = rng.bernoulli(0.5) ? 1 + static_cast<unsigned>(rng.next_below(4)) : 0;
+
+  switch (rng.next_below(6)) {
+    case 0: spec.mode = OffloadMode::kOff; break;
+    case 1: spec.mode = OffloadMode::kDynamic; break;
+    case 2: spec.mode = OffloadMode::kDynamicCache; break;
+    case 3:
+      spec.mode = OffloadMode::kStaticRatio;
+      spec.static_ratio = 0.25 + 0.25 * static_cast<double>(rng.next_below(3));
+      break;
+    default: spec.mode = OffloadMode::kAlways; break;
+  }
+  const unsigned hmcs[] = {1, 2, 4};
+  spec.num_hmcs = hmcs[rng.next_below(3)];
+
+  const unsigned n_ops = 3 + static_cast<unsigned>(rng.next_below(14));
+  for (unsigned i = 0; i < n_ops; ++i) {
+    FuzzOp op;
+    const std::uint64_t k = rng.next_below(100);
+    if (k < 25) {
+      op.kind = FuzzOp::Kind::kStridedLoad;
+    } else if (k < 40) {
+      op.kind = FuzzOp::Kind::kIndirectLoad;
+    } else if (k < 50) {
+      op.kind = FuzzOp::Kind::kGuardedLoad;
+    } else if (k < 70) {
+      op.kind = FuzzOp::Kind::kFloatAlu;
+    } else if (k < 85) {
+      op.kind = FuzzOp::Kind::kIntAlu;
+    } else if (k < 95) {
+      op.kind = FuzzOp::Kind::kStore;
+    } else {
+      op.kind = FuzzOp::Kind::kGuardedStore;
+    }
+    op.a = rng.next_u32();
+    op.b = rng.next_u32();
+    op.c = 1 + static_cast<std::uint32_t>(rng.next_below(kWarpWidth - 1));
+    spec.ops.push_back(op);
+  }
+  return spec;
+}
+
+Program build_fuzz_program(const FuzzSpec& spec) {
+  ProgramBuilder pb;
+  const unsigned total = spec.launch.total_threads();
+
+  pb.movi(kBaseRegA, static_cast<std::int64_t>(kBaseA))
+      .movi(kBaseRegB, static_cast<std::int64_t>(kBaseB))
+      .movi(kBaseRegI, static_cast<std::int64_t>(kBaseI))
+      .movi(kBaseRegOut, static_cast<std::int64_t>(kBaseOut))
+      .movi(kBaseRegOut2, static_cast<std::int64_t>(kBaseOut2))
+      .movi(kFaccReg, 0)      // facc = +0.0
+      .mov(kIaccReg, 0)       // iacc starts as the thread id
+      .movi(kLoopReg, 0)
+      .label("body");
+
+  unsigned scratch = 0;
+  auto next_scratch = [&]() {
+    const unsigned r = kScratchFirst + scratch;
+    scratch = (scratch + 1) % kScratchCount;
+    return r;
+  };
+  unsigned store_slot = 0;
+
+  for (const FuzzOp& op : spec.ops) {
+    const unsigned r = next_scratch();
+    switch (op.kind) {
+      case FuzzOp::Kind::kStridedLoad: {
+        const auto stride = static_cast<std::int64_t>(1 + (op.a & 63));
+        const bool f32 = (op.a & 0x100) != 0;
+        // idx = (gtid * stride + loop + offset) & mask; addr = A + idx * w.
+        pb.madi(r, 0, stride, kLoopReg)
+            .alui(Opcode::kIAdd, r, r, static_cast<std::int64_t>(op.b & kIdxMask))
+            .alui(Opcode::kAnd, r, r, static_cast<std::int64_t>(kIdxMask))
+            .madi(r, r, f32 ? 4 : 8, kBaseRegA)
+            .ld(r, r, 0, f32 ? 4 : 8, f32)
+            .alu(Opcode::kFAdd, kFaccReg, kFaccReg, r);
+        break;
+      }
+      case FuzzOp::Kind::kIndirectLoad: {
+        // idx = (gtid + loop + offset) & mask; v = I[idx]; r = B[v].
+        pb.alu(Opcode::kIAdd, r, 0, kLoopReg)
+            .alui(Opcode::kIAdd, r, r, static_cast<std::int64_t>(op.b & kIdxMask))
+            .alui(Opcode::kAnd, r, r, static_cast<std::int64_t>(kIdxMask))
+            .madi(r, r, 8, kBaseRegI)
+            .ld(r, r)
+            .madi(r, r, 8, kBaseRegB)
+            .ld(r, r)
+            .alu(Opcode::kFAdd, kFaccReg, kFaccReg, r);
+        break;
+      }
+      case FuzzOp::Kind::kGuardedLoad: {
+        const auto stride = static_cast<std::int64_t>(1 + (op.a & 31));
+        // Divergent: only lanes with tid-in-CTA % warp < c load and fold.
+        pb.alui(Opcode::kAnd, r, 3, kWarpWidth - 1)
+            .isetpi(kLoadPred, CmpOp::kLt, r, static_cast<std::int64_t>(op.c))
+            .madi(r, 0, stride, kLoopReg)
+            .alui(Opcode::kAnd, r, r, static_cast<std::int64_t>(kIdxMask))
+            .madi(r, r, 8, kBaseRegA)
+            .pred(kLoadPred)
+            .ld(r, r)
+            .pred(kLoadPred)
+            .alu(Opcode::kFAdd, kFaccReg, kFaccReg, r);
+        break;
+      }
+      case FuzzOp::Kind::kFloatAlu: {
+        static constexpr Opcode kOps[] = {Opcode::kFAdd, Opcode::kFSub, Opcode::kFMul,
+                                          Opcode::kFMin, Opcode::kFMax};
+        pb.movi(r, static_cast<std::int64_t>(1 + (op.b & 31)))
+            .unary(Opcode::kI2F, r, r);
+        if ((op.a & 7) == 5) {
+          pb.fma(kFaccReg, kFaccReg, r, kFaccReg);
+        } else {
+          pb.alu(kOps[op.a % 5], kFaccReg, kFaccReg, r);
+        }
+        break;
+      }
+      case FuzzOp::Kind::kIntAlu: {
+        static constexpr Opcode kOps[] = {Opcode::kIAdd, Opcode::kISub, Opcode::kIMul,
+                                          Opcode::kAnd,  Opcode::kOr,   Opcode::kXor,
+                                          Opcode::kIMin, Opcode::kIMax};
+        pb.alui(kOps[op.a % 8], kIaccReg, kIaccReg,
+                static_cast<std::int64_t>(op.b & 0xFFFF))
+            .alui(Opcode::kAnd, kIaccReg, kIaccReg, 0xFFFFF);
+        break;
+      }
+      case FuzzOp::Kind::kStore: {
+        const auto off = static_cast<std::int64_t>(store_slot++ * total * 8);
+        pb.madi(r, 0, 8, kBaseRegOut2)
+            .st(r, (op.a & 1) ? kIaccReg : kFaccReg, off);
+        break;
+      }
+      case FuzzOp::Kind::kGuardedStore: {
+        const auto off = static_cast<std::int64_t>(store_slot++ * total * 8);
+        pb.alui(Opcode::kAnd, r, 3, kWarpWidth - 1)
+            .isetpi(kStorePred, CmpOp::kGe, r, static_cast<std::int64_t>(op.c))
+            .madi(r, 0, 8, kBaseRegOut2)
+            .pred(kStorePred)
+            .st(r, (op.a & 1) ? kIaccReg : kFaccReg, off);
+        break;
+      }
+    }
+  }
+
+  if (spec.loop_trips > 0) {
+    pb.alui(Opcode::kIAdd, kLoopReg, kLoopReg, 1)
+        .isetpi(kLoopPred, CmpOp::kLt, kLoopReg,
+                static_cast<std::int64_t>(spec.loop_trips))
+        .pred(kLoopPred)
+        .bra("body");
+  }
+
+  // Epilogue (never shrunk away): persist both accumulators.
+  const unsigned r = next_scratch();
+  pb.madi(r, 0, 8, kBaseRegOut)
+      .st(r, kFaccReg)
+      .st(r, kIaccReg, static_cast<std::int64_t>(spec.launch.total_threads()) * 8)
+      .exit();
+  return pb.build();
+}
+
+void init_fuzz_memory(const FuzzSpec& spec, GlobalMemory& mem) {
+  for (std::uint64_t i = 0; i < kFuzzElems; ++i) {
+    mem.write_f64(kBaseA + 8 * i, wl::value(i, spec.seed ^ 0xA));
+    mem.write_f64(kBaseB + 8 * i, wl::value(i, spec.seed ^ 0xB) * 2.0);
+    mem.write_u64(kBaseI + 8 * i, wl::index(i, kFuzzElems, spec.seed ^ 0x1));
+  }
+}
+
+SystemConfig fuzz_config(const FuzzSpec& spec) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = spec.mode;
+  cfg.governor.static_ratio = spec.static_ratio;
+  cfg.governor.epoch_cycles = 500;  // several epochs even in short runs
+  cfg.num_hmcs = spec.num_hmcs;
+  cfg.placement_seed = 0x5EED ^ spec.seed;
+  return cfg;
+}
+
+std::optional<std::string> run_fuzz_case(const FuzzSpec& spec) {
+  Program prog;
+  try {
+    prog = build_fuzz_program(spec);
+  } catch (const std::exception& e) {
+    return std::string("program build failed: ") + e.what();
+  }
+
+  GlobalMemory initial;
+  init_fuzz_memory(spec, initial);
+
+  GlobalMemory ref_mem = initial;
+  const RefResult ref = ref_run(prog, spec.launch, ref_mem);
+  if (!ref.completed) {
+    return "reference failed: " + (ref.error.empty() ? "budget exhausted" : ref.error);
+  }
+
+  GlobalMemory sim_mem = initial;
+  try {
+    const KernelImage image = analyze_and_generate(prog);
+    Simulator sim(fuzz_config(spec));
+    const RunResult r = sim.run_image(image, spec.launch, sim_mem, "fuzz");
+    if (!r.completed) {
+      return std::string("simulator did not complete: ") +
+             (r.aborted ? "aborted" : "hit the simulated-time safety valve");
+    }
+  } catch (const std::exception& e) {
+    return std::string("simulator threw: ") + e.what();
+  }
+
+  Addr where = 0;
+  if (!sim_mem.equal_contents(ref_mem, &where)) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "memory mismatch at 0x%llx: ref byte %02x, sim byte %02x",
+                  static_cast<unsigned long long>(where),
+                  static_cast<unsigned>(ref_mem.read(where, 1)),
+                  static_cast<unsigned>(sim_mem.read(where, 1)));
+    return std::string(buf);
+  }
+  return std::nullopt;
+}
+
+FuzzSpec shrink_fuzz_case(const FuzzSpec& spec) {
+  FuzzSpec cur = spec;
+  unsigned budget = 200;  // bound on differential re-runs during shrinking
+  auto still_fails = [&](const FuzzSpec& candidate) {
+    if (budget == 0) return false;
+    --budget;
+    return run_fuzz_case(candidate).has_value();
+  };
+
+  // Greedy delta debugging over the op list: halves first, then singles.
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(cur.ops.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (std::size_t start = 0; start + chunk <= cur.ops.size();) {
+        FuzzSpec candidate = cur;
+        candidate.ops.erase(candidate.ops.begin() + static_cast<std::ptrdiff_t>(start),
+                            candidate.ops.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+        if (still_fails(candidate)) {
+          cur = std::move(candidate);
+          changed = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  // Structural simplifications, kept only if the failure persists.
+  if (cur.loop_trips > 0) {
+    FuzzSpec candidate = cur;
+    candidate.loop_trips = 0;
+    if (still_fails(candidate)) cur = std::move(candidate);
+  }
+  if (cur.launch.num_ctas > 1) {
+    FuzzSpec candidate = cur;
+    candidate.launch.num_ctas = 1;
+    if (still_fails(candidate)) cur = std::move(candidate);
+  }
+  if (cur.launch.cta_threads > kWarpWidth) {
+    FuzzSpec candidate = cur;
+    candidate.launch.cta_threads = kWarpWidth;
+    if (still_fails(candidate)) cur = std::move(candidate);
+  }
+  return cur;
+}
+
+std::string FuzzSpec::to_text() const {
+  std::ostringstream os;
+  os << "sndp-fuzz-repro-v1\n";
+  os << "seed " << seed << "\n";
+  os << "launch " << launch.cta_threads << " " << launch.num_ctas << "\n";
+  os << "loop " << loop_trips << "\n";
+  os << "mode " << static_cast<int>(mode) << " " << static_ratio << "\n";
+  os << "hmcs " << num_hmcs << "\n";
+  for (const FuzzOp& op : ops) {
+    os << "op " << static_cast<int>(op.kind) << " " << op.a << " " << op.b << " " << op.c
+       << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<FuzzSpec> FuzzSpec::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "sndp-fuzz-repro-v1") return std::nullopt;
+  FuzzSpec spec;
+  spec.ops.clear();
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") return spec;
+    if (key == "seed") {
+      ls >> spec.seed;
+    } else if (key == "launch") {
+      ls >> spec.launch.cta_threads >> spec.launch.num_ctas;
+    } else if (key == "loop") {
+      ls >> spec.loop_trips;
+    } else if (key == "mode") {
+      int m = 0;
+      ls >> m >> spec.static_ratio;
+      spec.mode = static_cast<OffloadMode>(m);
+    } else if (key == "hmcs") {
+      ls >> spec.num_hmcs;
+    } else if (key == "op") {
+      int kind = 0;
+      FuzzOp op;
+      ls >> kind >> op.a >> op.b >> op.c;
+      op.kind = static_cast<FuzzOp::Kind>(kind);
+      spec.ops.push_back(op);
+    } else if (!key.empty() && key[0] != '#') {
+      return std::nullopt;  // unknown directive: refuse to guess
+    }
+    if (ls.fail()) return std::nullopt;
+  }
+  return std::nullopt;  // no `end` marker
+}
+
+bool write_fuzz_reproducer(const std::string& path, const FuzzSpec& spec,
+                           const std::string& detail) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << spec.to_text();
+  out << "# detail: " << detail << "\n";
+  out << "# replay: SNDP_FUZZ_REPRO=<this file> ./sndp_fuzz_tests\n";
+  out << "# disassembly:\n";
+  std::istringstream dis(build_fuzz_program(spec).disassemble());
+  std::string line;
+  while (std::getline(dis, line)) out << "#   " << line << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace sndp

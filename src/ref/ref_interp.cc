@@ -1,0 +1,209 @@
+#include "ref/ref_interp.h"
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+namespace sndp {
+
+namespace {
+
+enum class RefWarpState : std::uint8_t { kReady, kAtBarrier, kFinished };
+
+struct RefWarp {
+  unsigned pc = 0;
+  LaneMask active = 0;
+  RefWarpState state = RefWarpState::kReady;
+  std::array<ThreadCtx, kWarpWidth> lanes{};
+
+  LaneMask exec_mask(const Instr& in) const {
+    if (in.guard_pred == kNoPred) return active;
+    LaneMask m = 0;
+    for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+      if (!(active & (LaneMask{1} << lane))) continue;
+      if (lanes[lane].preds[static_cast<unsigned>(in.guard_pred)] == in.guard_sense) {
+        m |= LaneMask{1} << lane;
+      }
+    }
+    return m;
+  }
+};
+
+// One CTA's interpreter state: its warps plus the private scratchpad.
+struct RefCta {
+  std::vector<RefWarp> warps;
+  std::unordered_map<Addr, RegValue> shm;
+  unsigned at_barrier = 0;
+};
+
+// Runs `warp` until it blocks (barrier), finishes, or exhausts `budget`.
+// Returns false on a structural error (recorded in `err`).
+bool run_warp(const Program& prog, RefCta& cta, RefWarp& w, GlobalMemory& mem,
+              std::uint64_t budget_left, std::uint64_t& instrs, std::string& err) {
+  const std::vector<Instr>& code = prog.code();
+  while (w.state == RefWarpState::kReady) {
+    if (instrs >= budget_left) return true;  // budget exhausted; caller decides
+    if (w.pc >= code.size()) {
+      err = "pc ran off the end of the program";
+      return false;
+    }
+    const Instr& in = code[w.pc];
+    ++instrs;
+    switch (in.op) {
+      case Opcode::kNop:
+      case Opcode::kOfldBeg:
+      case Opcode::kOfldEnd:
+        ++w.pc;
+        break;
+
+      case Opcode::kBra: {
+        const LaneMask lanes = w.exec_mask(in);
+        if (lanes != 0 && lanes != w.active) {
+          err = "divergent branch at pc " + std::to_string(w.pc);
+          return false;
+        }
+        w.pc = lanes == 0 ? w.pc + 1 : static_cast<unsigned>(in.target);
+        break;
+      }
+
+      case Opcode::kBar:
+        w.state = RefWarpState::kAtBarrier;
+        ++cta.at_barrier;
+        break;
+
+      case Opcode::kExit:
+        w.state = RefWarpState::kFinished;
+        break;
+
+      case Opcode::kLd:
+      case Opcode::kLdc: {
+        const LaneMask lanes = w.exec_mask(in);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (!(lanes & (LaneMask{1} << lane))) continue;
+          ThreadCtx& t = w.lanes[lane];
+          t.regs[in.dst] = mem.load_reg(effective_address(in, t), in.mem_width, in.mem_f32);
+        }
+        ++w.pc;
+        break;
+      }
+
+      case Opcode::kSt: {
+        const LaneMask lanes = w.exec_mask(in);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (!(lanes & (LaneMask{1} << lane))) continue;
+          ThreadCtx& t = w.lanes[lane];
+          mem.store_reg(effective_address(in, t), t.regs[in.src[1]], in.mem_width,
+                        in.mem_f32);
+        }
+        ++w.pc;
+        break;
+      }
+
+      case Opcode::kShmLd: {
+        const LaneMask lanes = w.exec_mask(in);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (!(lanes & (LaneMask{1} << lane))) continue;
+          ThreadCtx& t = w.lanes[lane];
+          auto it = cta.shm.find(effective_address(in, t));
+          t.regs[in.dst] = it == cta.shm.end() ? 0 : it->second;
+        }
+        ++w.pc;
+        break;
+      }
+
+      case Opcode::kShmSt: {
+        const LaneMask lanes = w.exec_mask(in);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (!(lanes & (LaneMask{1} << lane))) continue;
+          ThreadCtx& t = w.lanes[lane];
+          cta.shm[effective_address(in, t)] = t.regs[in.src[1]];
+        }
+        ++w.pc;
+        break;
+      }
+
+      default: {
+        // ALU / SFU: per-lane architectural update.
+        const LaneMask lanes = w.exec_mask(in);
+        for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+          if (lanes & (LaneMask{1} << lane)) execute_alu(in, w.lanes[lane]);
+        }
+        ++w.pc;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RefResult ref_run(const Program& prog, const LaunchParams& launch, GlobalMemory& mem,
+                  const RefOptions& opts) {
+  RefResult result;
+  prog.validate();
+
+  for (unsigned cta_id = 0; cta_id < launch.num_ctas; ++cta_id) {
+    RefCta cta;
+    cta.warps.resize(launch.warps_per_cta());
+    for (unsigned wi = 0; wi < cta.warps.size(); ++wi) {
+      RefWarp& w = cta.warps[wi];
+      for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
+        const unsigned tid_in_cta = wi * kWarpWidth + lane;
+        if (tid_in_cta >= launch.cta_threads) break;
+        w.active |= LaneMask{1} << lane;
+        ThreadCtx& t = w.lanes[lane];
+        t.regs[0] = static_cast<RegValue>(cta_id) * launch.cta_threads + tid_in_cta;
+        t.regs[1] = launch.total_threads();
+        t.regs[2] = cta_id;
+        t.regs[3] = tid_in_cta;
+      }
+    }
+
+    // Round-robin warps until every one finishes.  A full pass with no
+    // progress and no barrier release is a deadlock.
+    while (true) {
+      bool all_finished = true;
+      bool progressed = false;
+      for (RefWarp& w : cta.warps) {
+        if (w.state != RefWarpState::kReady) {
+          all_finished = all_finished && w.state == RefWarpState::kFinished;
+          continue;
+        }
+        all_finished = false;
+        const std::uint64_t before = result.instrs;
+        if (!run_warp(prog, cta, w, mem, opts.max_instrs, result.instrs, result.error)) {
+          return result;
+        }
+        progressed = progressed || result.instrs != before;
+        if (result.instrs >= opts.max_instrs) {
+          result.error = "instruction budget exhausted";
+          return result;
+        }
+      }
+      if (all_finished) break;
+
+      // Barrier convergence (mirrors Sm::handle_barrier: all warps of the
+      // CTA must arrive, finished warps never can).
+      if (cta.at_barrier == cta.warps.size()) {
+        cta.at_barrier = 0;
+        for (RefWarp& w : cta.warps) {
+          if (w.state == RefWarpState::kAtBarrier) {
+            w.state = RefWarpState::kReady;
+            ++w.pc;  // past BAR
+          }
+        }
+        continue;
+      }
+      if (!progressed) {
+        result.error = "barrier deadlock: a warp exited while siblings wait at BAR";
+        return result;
+      }
+    }
+  }
+
+  result.completed = true;
+  return result;
+}
+
+}  // namespace sndp

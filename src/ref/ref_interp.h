@@ -1,0 +1,62 @@
+// Functional reference interpreter for the sndp mini-ISA.
+//
+// A scalar, serial, architecture-free executor: no caches, no coalescing,
+// no NoC, no NDP, no clocks — just the ISA's architectural semantics
+// applied to a flat memory image.  It is the *oracle* side of the
+// differential correctness harness (src/ref/diff_oracle.*): the paper's
+// partitioned-execution mechanism is semantics-preserving, so the timing
+// simulator must produce a byte-identical memory image at any offload
+// ratio and any data placement.
+//
+// Semantics mirrored from the timing simulator (gpu/sm.cc):
+//  * launch registers R0 = global tid, R1 = total threads, R2 = CTA id,
+//    R3 = tid within the CTA;
+//  * branches must be warp-uniform across live lanes (guard mask all-or-
+//    nothing) — a divergent branch is reported as an error, exactly where
+//    the SM throws;
+//  * BAR is CTA-wide and releases only when every warp of the CTA (counting
+//    finished warps as absent) reaches it; a warp that EXITs while siblings
+//    wait at a barrier deadlocks the timing simulator, so the reference
+//    reports it as an error instead of hanging;
+//  * the scratchpad is a per-CTA word map keyed by byte address holding
+//    whole register values (matching the SM's shm_ model: SHM.ST stores
+//    the full 64-bit register, SHM.LD returns it or 0 when untouched);
+//  * LDC reads global memory (small read-only tables);
+//  * OFLD.BEG / OFLD.END are no-ops, so both original workload programs
+//    and codegen-produced GPU images execute.
+//
+// Execution order: CTAs run serially in id order; within a CTA, warps run
+// round-robin, each to its next barrier (or exit).  For the data-race-free
+// kernels this project evaluates — and the fuzzer generates — the result
+// is independent of any interleaving, which is what makes a serial
+// reference a valid oracle for the massively-interleaved timing simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.h"
+#include "memfunc/global_memory.h"
+#include "sim/context.h"
+
+namespace sndp {
+
+struct RefOptions {
+  // Total dynamic instruction budget across all threads; exceeded means
+  // "did not terminate" (completed == false), the reference's equivalent
+  // of the simulator's simulated-time safety valve.
+  std::uint64_t max_instrs = 200'000'000;
+};
+
+struct RefResult {
+  bool completed = false;           // ran every CTA to EXIT within budget
+  std::uint64_t instrs = 0;         // dynamic warp-instructions executed
+  std::string error;                // non-empty: structural failure (divergent
+                                    // branch, barrier deadlock, bad opcode)
+};
+
+// Executes `prog` for the whole grid against `mem`, mutating it in place.
+RefResult ref_run(const Program& prog, const LaunchParams& launch, GlobalMemory& mem,
+                  const RefOptions& opts = {});
+
+}  // namespace sndp

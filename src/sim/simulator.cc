@@ -29,6 +29,7 @@ RunResult Simulator::run(Workload& workload) {
   const KernelImage image = analyze_and_generate(workload.program(), analyzer_opts_);
   RunResult result = run_image(image, workload.launch(), gmem, workload.name());
   result.verified = workload.verify(gmem);
+  if (final_memory_sink_ != nullptr) *final_memory_sink_ = gmem;
   return result;
 }
 

@@ -75,10 +75,18 @@ class Simulator {
   using AbortPoll = std::function<bool()>;
   void set_abort_poll(AbortPoll poll) { abort_poll_ = std::move(poll); }
 
+  // Final-memory snapshot hook: when set, run(Workload&) deep-copies the
+  // functional memory image into `sink` after the run (post-verify), so
+  // callers that go through the workload path — the differential oracle,
+  // image-dumping tools — can inspect or compare the final memory without
+  // re-running setup themselves.
+  void set_final_memory_sink(class GlobalMemory* sink) { final_memory_sink_ = sink; }
+
  private:
   SystemConfig cfg_;
   AnalyzerOptions analyzer_opts_{};
   AbortPoll abort_poll_;
+  class GlobalMemory* final_memory_sink_ = nullptr;
 };
 
 }  // namespace sndp

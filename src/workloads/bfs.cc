@@ -68,4 +68,8 @@ bool BfsWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> BfsWorkload::output_regions() const {
+  return {{"RES", res_, nodes_ * 8}};
+}
+
 }  // namespace sndp

@@ -68,4 +68,8 @@ bool BicgWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> BicgWorkload::output_regions() const {
+  return {{"Q", q_, n_ * 8}, {"S", s_, n_ * 8}};
+}
+
 }  // namespace sndp

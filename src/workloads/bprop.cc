@@ -60,4 +60,8 @@ bool BpropWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> BpropWorkload::output_regions() const {
+  return {{"OUT", out_, neurons_ * 8}};
+}
+
 }  // namespace sndp

@@ -47,4 +47,8 @@ bool FwtWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> FwtWorkload::output_regions() const {
+  return {{"OUT", out_, 2 * n_ * 8}};
+}
+
 }  // namespace sndp

@@ -44,4 +44,8 @@ bool KmnWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> KmnWorkload::output_regions() const {
+  return {{"D", d_, n_ * 8}};
+}
+
 }  // namespace sndp

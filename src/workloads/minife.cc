@@ -56,4 +56,8 @@ bool MinifeWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> MinifeWorkload::output_regions() const {
+  return {{"P", p_, nnz_ * 8}};
+}
+
 }  // namespace sndp

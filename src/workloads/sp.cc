@@ -45,4 +45,8 @@ bool SpWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> SpWorkload::output_regions() const {
+  return {{"P", p_, n_ * 8}};
+}
+
 }  // namespace sndp

@@ -71,4 +71,8 @@ bool StclWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> StclWorkload::output_regions() const {
+  return {{"OUT", out_, points_ * 8}};
+}
+
 }  // namespace sndp

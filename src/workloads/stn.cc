@@ -111,4 +111,8 @@ bool StnWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> StnWorkload::output_regions() const {
+  return {{"OUT", out_, nx_ * ny_ * nz_ * 4}};
+}
+
 }  // namespace sndp

@@ -50,4 +50,8 @@ bool VaddWorkload::verify(const GlobalMemory& mem) const {
   return true;
 }
 
+std::vector<OutputRegion> VaddWorkload::output_regions() const {
+  return {{"C", c_, n_ * 8}};
+}
+
 }  // namespace sndp

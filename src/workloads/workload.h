@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "isa/program.h"
@@ -14,6 +15,16 @@
 #include "sim/context.h"
 
 namespace sndp {
+
+// One result-bearing address range of a workload: the kernel writes it and
+// the host oracle reads it.  The manifest lets tools that compare or dump
+// final memory images (the differential oracle, future checkpointing) know
+// which ranges carry the answer — everything else is input or scratch.
+struct OutputRegion {
+  std::string name;          // e.g. "C" for VADD's result vector
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+};
 
 // Input sizes are scaled from the paper so a simulation finishes in
 // seconds; kTiny additionally shrinks for unit tests.
@@ -35,6 +46,10 @@ class Workload {
 
   // Check the simulated output against a host oracle.
   virtual bool verify(const GlobalMemory& mem) const = 0;
+
+  // Result-bearing address ranges (valid after setup()).  Every workload
+  // must name each buffer its verify() reads.
+  virtual std::vector<OutputRegion> output_regions() const = 0;
 
   const Program& program() const { return program_; }
   const LaunchParams& launch() const { return launch_; }

@@ -21,6 +21,7 @@ class VaddWorkload final : public Workload {
   std::string description() const override { return "Vector addition (streaming)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t n_ = 0;
@@ -35,6 +36,7 @@ class SpWorkload final : public Workload {
   std::string description() const override { return "Scalar-product partials (streaming)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t n_ = 0;
@@ -51,6 +53,7 @@ class KmnWorkload final : public Workload {
   std::string description() const override { return "K-means distance map (streaming)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t n_ = 0;
@@ -69,6 +72,7 @@ class BpropWorkload final : public Workload {
   }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
   static constexpr unsigned kInputs = 16;  // 16 x 8 B > the paper's 68 B structure
 
@@ -87,6 +91,7 @@ class BfsWorkload final : public Workload {
   std::string description() const override { return "BFS gather (divergent indirect loads)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
   static constexpr unsigned kDegree = 2;
 
@@ -104,6 +109,7 @@ class BicgWorkload final : public Workload {
   std::string description() const override { return "BiCG partial products (two streams)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t n_ = 0;
@@ -119,6 +125,7 @@ class FwtWorkload final : public Workload {
   std::string description() const override { return "Fast Walsh transform butterfly"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t n_ = 0;  // butterflies (pairs)
@@ -134,6 +141,7 @@ class MinifeWorkload final : public Workload {
   std::string description() const override { return "FEM sparse matvec gather"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t nnz_ = 0;
@@ -151,6 +159,7 @@ class StnWorkload final : public Workload {
   std::string description() const override { return "7-point stencil (cache-friendly)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
  private:
   std::uint64_t nx_ = 0, ny_ = 0, nz_ = 0;
@@ -166,6 +175,7 @@ class StclWorkload final : public Workload {
   std::string description() const override { return "Streamcluster distances (cache-friendly)"; }
   void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
   bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
 
   static constexpr unsigned kDims = 4;
   static constexpr unsigned kCenters = 2;

@@ -1,0 +1,120 @@
+// NDP-equivalence fuzzing (ctest label: fuzz).
+//
+// Seeds 1..N (default 100; override with SNDP_FUZZ_SEEDS=N) each generate a
+// random well-formed kernel plus a random configuration and cross-check the
+// timing simulator against the reference interpreter byte-for-byte.  A
+// divergence is shrunk to a minimal op list and dumped as a reproducer file
+// (directory: SNDP_FUZZ_ARTIFACT_DIR, default the test temp dir); replay a
+// dump with SNDP_FUZZ_REPRO=<file>.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sndp.h"
+
+namespace sndp {
+namespace {
+
+TEST(FuzzDiff, GenerationIsAPureFunctionOfTheSeed) {
+  for (std::uint64_t seed : {1ull, 7ull, 123456789ull}) {
+    const FuzzSpec a = generate_spec(seed);
+    const FuzzSpec b = generate_spec(seed);
+    EXPECT_EQ(a.to_text(), b.to_text());
+    EXPECT_GE(a.ops.size(), 3u);
+    // The program builds and validates.
+    EXPECT_NO_THROW(build_fuzz_program(a).validate());
+  }
+}
+
+TEST(FuzzDiff, SpecTextRoundTrips) {
+  const FuzzSpec spec = generate_spec(42);
+  const auto parsed = FuzzSpec::from_text(spec.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_text(), spec.to_text());
+  EXPECT_FALSE(FuzzSpec::from_text("not a reproducer").has_value());
+  EXPECT_FALSE(FuzzSpec::from_text("sndp-fuzz-repro-v1\nseed 1\n").has_value());
+}
+
+TEST(FuzzDiff, ReproducerFileIsReplayable) {
+  const FuzzSpec spec = generate_spec(9);
+  const std::string path = ::testing::TempDir() + "/sndp_fuzz_repro_test.txt";
+  ASSERT_TRUE(write_fuzz_reproducer(path, spec, "unit-test detail"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto parsed = FuzzSpec::from_text(ss.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_text(), spec.to_text());
+  std::remove(path.c_str());
+}
+
+// Regression: fuzz seed 132 (shrunk).  A MOV pulled onto the NSU as a
+// store-data producer was not duplicated on the GPU, and the NSU's stale
+// copy of the register was written back over a later GPU-side
+// redefinition.  Fixed in the analyzer (clean pulled producers are
+// duplicated; regs_out excludes GPU-redefined registers).
+TEST(FuzzDiff, RegressionStaleLiveOutWriteback) {
+  const char* text =
+      "sndp-fuzz-repro-v1\n"
+      "seed 132\n"
+      "launch 32 1\n"
+      "loop 0\n"
+      "mode 1 1\n"
+      "hmcs 1\n"
+      "op 0 1297819140 3550617306 16\n"
+      "op 5 2078359683 3154170877 19\n"
+      "op 4 3622310777 1576909848 4\n"
+      "op 0 2302930005 3065292651 13\n"
+      "op 0 3452833698 628654046 3\n"
+      "op 2 1815697264 1796338291 19\n"
+      "end\n";
+  const auto spec = FuzzSpec::from_text(text);
+  ASSERT_TRUE(spec.has_value());
+  const auto divergence = run_fuzz_case(*spec);
+  EXPECT_FALSE(divergence.has_value()) << *divergence;
+}
+
+TEST(FuzzDiff, RandomKernelsMatchReference) {
+  unsigned seeds = 100;
+  if (const char* env = std::getenv("SNDP_FUZZ_SEEDS")) {
+    seeds = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  std::string artifact_dir = ::testing::TempDir();
+  if (const char* env = std::getenv("SNDP_FUZZ_ARTIFACT_DIR")) artifact_dir = env;
+  if (!artifact_dir.empty() && artifact_dir.back() != '/') artifact_dir += '/';
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const FuzzSpec spec = generate_spec(seed);
+    const auto divergence = run_fuzz_case(spec);
+    if (!divergence.has_value()) continue;
+    const FuzzSpec minimal = shrink_fuzz_case(spec);
+    const std::string path =
+        artifact_dir + "fuzz_repro_seed" + std::to_string(seed) + ".txt";
+    write_fuzz_reproducer(path, minimal, *divergence);
+    ADD_FAILURE() << "seed " << seed << " diverges: " << *divergence
+                  << "\nminimal reproducer (" << minimal.ops.size()
+                  << " ops) written to " << path << "\nspec:\n"
+                  << minimal.to_text();
+  }
+}
+
+TEST(FuzzDiff, ReplayEnvReproducer) {
+  const char* path = std::getenv("SNDP_FUZZ_REPRO");
+  if (path == nullptr) {
+    GTEST_SKIP() << "set SNDP_FUZZ_REPRO=<file> to replay a reproducer";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto spec = FuzzSpec::from_text(ss.str());
+  ASSERT_TRUE(spec.has_value()) << "unparseable reproducer " << path;
+  const auto divergence = run_fuzz_case(*spec);
+  EXPECT_FALSE(divergence.has_value())
+      << *divergence << "\nspec:\n" << spec->to_text();
+}
+
+}  // namespace
+}  // namespace sndp

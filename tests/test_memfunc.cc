@@ -97,5 +97,46 @@ TEST(MemoryAllocator, RejectsBadAlignment) {
   EXPECT_THROW(alloc.alloc(8, 0), std::invalid_argument);
 }
 
+TEST(GlobalMemory, EqualContentsFindsTheLowestDifferingByte) {
+  GlobalMemory a, b;
+  a.write_u64(0x1000, 0xDEADBEEF);
+  b.write_u64(0x1000, 0xDEADBEEF);
+  Addr where = 0;
+  EXPECT_TRUE(a.equal_contents(b, &where));
+
+  b.write(0x1003, 0x00, 1);  // flip one byte mid-word
+  EXPECT_FALSE(a.equal_contents(b, &where));
+  EXPECT_EQ(where, 0x1003u);
+
+  // Differences in both directions: the lowest address wins even when it
+  // lives in a frame only one side has touched.
+  GlobalMemory c = a;
+  c.write_u64(0x100000, 1);  // far frame absent from `a` (nonzero vs implicit 0)
+  c.write(0x1001, 0xFF, 1);
+  EXPECT_FALSE(a.equal_contents(c, &where));
+  EXPECT_EQ(where, 0x1001u);
+}
+
+TEST(GlobalMemory, EqualContentsTreatsUntouchedFramesAsZero) {
+  GlobalMemory a, b;
+  a.write_u64(0x200000, 0);  // touched, but still all-zero
+  Addr where = 0;
+  EXPECT_TRUE(a.equal_contents(b, &where));
+  EXPECT_TRUE(b.equal_contents(a, &where));
+}
+
+TEST(GlobalMemory, EqualRangeIsWindowed) {
+  GlobalMemory a, b;
+  for (Addr off = 0; off < 64; off += 8) {
+    a.write_u64(0x3000 + off, off);
+    b.write_u64(0x3000 + off, off);
+  }
+  b.write_u64(0x3038, 999);  // corrupt the last word
+  Addr where = 0;
+  EXPECT_TRUE(a.equal_range(b, 0x3000, 0x38, &where));   // window excludes it
+  EXPECT_FALSE(a.equal_range(b, 0x3000, 0x40, &where));  // window includes it
+  EXPECT_EQ(where & ~Addr{7}, 0x3038u);
+}
+
 }  // namespace
 }  // namespace sndp

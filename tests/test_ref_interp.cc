@@ -1,0 +1,175 @@
+// Reference-interpreter tests: the scalar executor must implement the
+// mini-ISA's architectural semantics exactly (launch registers, predication,
+// warp-uniform branching, CTA barriers + scratchpad, f32 conversion) and
+// must reject the programs the timing simulator rejects (divergent
+// branches, barrier deadlock) instead of silently producing values.
+#include <gtest/gtest.h>
+
+#include "sndp.h"
+
+namespace sndp {
+namespace {
+
+constexpr Addr kOut = 0x10000;
+
+TEST(RefInterp, LaunchRegistersFollowTheConvention) {
+  // OUT[4 * gtid + k] = Rk for k in 0..3.
+  ProgramBuilder pb;
+  pb.movi(10, static_cast<std::int64_t>(kOut));
+  pb.madi(11, 0, 32, 10);  // &OUT[4 * gtid] with 8-byte slots
+  for (unsigned k = 0; k < 4; ++k) pb.st(11, k, 8 * k);
+  pb.exit();
+  const Program prog = pb.build();
+
+  GlobalMemory mem;
+  const LaunchParams launch{48, 2};  // partial warps: 48 = 32 + 16
+  const RefResult r = ref_run(prog, launch, mem);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (unsigned cta = 0; cta < 2; ++cta) {
+    for (unsigned t = 0; t < 48; ++t) {
+      const unsigned gtid = cta * 48 + t;
+      const Addr base = kOut + 32 * gtid;
+      EXPECT_EQ(mem.read_u64(base + 0), gtid);       // R0: global thread id
+      EXPECT_EQ(mem.read_u64(base + 8), 96u);        // R1: total threads
+      EXPECT_EQ(mem.read_u64(base + 16), cta);       // R2: CTA id
+      EXPECT_EQ(mem.read_u64(base + 24), t);         // R3: tid in CTA
+    }
+  }
+}
+
+TEST(RefInterp, UniformLoopAndPredicationMatchHandComputation) {
+  // acc = sum_{i=1..5} i, but only even threads add; odd threads keep 0.
+  ProgramBuilder pb;
+  pb.movi(10, static_cast<std::int64_t>(kOut))
+      .movi(4, 0)   // loop counter
+      .movi(5, 0)   // acc
+      .alui(Opcode::kAnd, 6, 0, 1)
+      .isetpi(1, CmpOp::kEq, 6, 0)  // P1: gtid even
+      .label("body")
+      .alui(Opcode::kIAdd, 4, 4, 1)
+      .pred(1)
+      .alu(Opcode::kIAdd, 5, 5, 4)
+      .isetpi(0, CmpOp::kLt, 4, 5)
+      .pred(0)
+      .bra("body")
+      .madi(11, 0, 8, 10)
+      .st(11, 5)
+      .exit();
+  GlobalMemory mem;
+  const RefResult r = ref_run(pb.build(), LaunchParams{64, 1}, mem);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (unsigned t = 0; t < 64; ++t) {
+    EXPECT_EQ(mem.read_u64(kOut + 8 * t), (t % 2 == 0) ? 15u : 0u) << "thread " << t;
+  }
+}
+
+TEST(RefInterp, BarrierOrdersScratchpadAcrossWarps) {
+  // shm[tid] = gtid; BAR; OUT[gtid] = shm[(tid + 1) % 64].  The rotation
+  // crosses the warp boundary, so it only works if BAR really synchronizes
+  // both warps of the CTA and the scratchpad is CTA-private.
+  ProgramBuilder pb2;
+  pb2.movi(10, static_cast<std::int64_t>(kOut))
+      .movi(9, 0)
+      .madi(12, 3, 8, 9)  // shm addr = tid * 8
+      .shm_st(12, 0)      // shm[tid] = gtid
+      .bar()
+      .alui(Opcode::kIAdd, 13, 3, 1)
+      .alui(Opcode::kAnd, 13, 13, 63)
+      .madi(13, 13, 8, 9)
+      .shm_ld(14, 13)     // shm[(tid + 1) % 64]
+      .madi(15, 0, 8, 10)
+      .st(15, 14)
+      .exit();
+  GlobalMemory mem;
+  const RefResult r = ref_run(pb2.build(), LaunchParams{64, 2}, mem);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (unsigned cta = 0; cta < 2; ++cta) {
+    for (unsigned t = 0; t < 64; ++t) {
+      EXPECT_EQ(mem.read_u64(kOut + 8 * (cta * 64 + t)), cta * 64 + (t + 1) % 64);
+    }
+  }
+}
+
+TEST(RefInterp, F32WidthConversionRoundTrips) {
+  ProgramBuilder pb;
+  pb.movi(10, static_cast<std::int64_t>(kOut))
+      .movi(5, 3)
+      .unary(Opcode::kI2F, 5, 5)          // 3.0
+      .madi(11, 0, 4, 10)
+      .st(11, 5, 0, 4, true)              // store as f32
+      .ld(6, 11, 0, 4, true)              // load back as f32 -> double
+      .madi(12, 0, 8, 10)
+      .st(12, 6, 4096)                    // full f64 result after the f32 slots
+      .exit();
+  GlobalMemory mem;
+  const RefResult r = ref_run(pb.build(), LaunchParams{32, 1}, mem);
+  ASSERT_TRUE(r.completed) << r.error;
+  for (unsigned t = 0; t < 32; ++t) {
+    EXPECT_EQ(mem.read_f64(kOut + 4096 + 8 * t), 3.0);
+  }
+}
+
+TEST(RefInterp, DivergentBranchIsAnError) {
+  ProgramBuilder pb;
+  pb.isetpi(1, CmpOp::kLt, 3, 7)  // lanes 0..6 of each warp take the branch
+      .pred(1)
+      .bra("skip")
+      .label("skip")
+      .exit();
+  GlobalMemory mem;
+  const RefResult r = ref_run(pb.build(), LaunchParams{32, 1}, mem);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("divergent"), std::string::npos) << r.error;
+}
+
+TEST(RefInterp, BarrierDeadlockIsAnError) {
+  // Warp 0 (uniformly) skips the barrier and exits; warp 1 waits forever.
+  ProgramBuilder pb;
+  pb.isetpi(1, CmpOp::kLt, 3, 32)
+      .pred(1)
+      .bra("skip")
+      .bar()
+      .label("skip")
+      .exit();
+  GlobalMemory mem;
+  const RefResult r = ref_run(pb.build(), LaunchParams{64, 1}, mem);
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.error.find("deadlock"), std::string::npos) << r.error;
+}
+
+TEST(RefInterp, InstructionBudgetStopsRunaway) {
+  ProgramBuilder pb;
+  pb.movi(4, 0)
+      .label("body")
+      .alui(Opcode::kIAdd, 4, 4, 1)
+      .isetpi(0, CmpOp::kLt, 4, 1'000'000'000)
+      .pred(0)
+      .bra("body")
+      .exit();
+  GlobalMemory mem;
+  RefOptions opts;
+  opts.max_instrs = 10'000;
+  const RefResult r = ref_run(pb.build(), LaunchParams{32, 1}, mem, opts);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(RefInterp, PassesEveryWorkloadHostOracle) {
+  // The ten paper workloads each carry a host-side verifier; the reference
+  // execution must satisfy all of them without any timing machinery.
+  for (const std::string& name : workload_names()) {
+    SCOPED_TRACE(name);
+    auto wl = make_workload(name, ProblemScale::kTiny);
+    GlobalMemory mem;
+    MemoryAllocator alloc;
+    Rng rng(SystemConfig::small_test().placement_seed ^ 0xABCDEF);
+    wl->setup(mem, alloc, rng);
+    const RefResult r = ref_run(wl->program(), wl->launch(), mem);
+    ASSERT_TRUE(r.completed) << r.error;
+    EXPECT_TRUE(wl->verify(mem));
+    EXPECT_GT(r.instrs, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sndp

@@ -157,6 +157,69 @@ TEST(Sweep, WallClockTimeoutAbortsPoint) {
   EXPECT_FALSE(o.result.completed);
 }
 
+TEST(Sweep, TimeoutIsContainedToTheOffendingPoint) {
+  // One starving point must not poison its siblings: they complete,
+  // verify, and keep their submission slots, while the timed-out point is
+  // flagged in both the outcome and the exported stats.
+  SweepRunner runner({.jobs = 2, .point_timeout_s = 1e-9});
+  SweepPoint slow = test_point("KMN", OffloadMode::kOff);
+  slow.id = "slow";
+  slow.scale = ProblemScale::kSmall;
+  const auto slow_idx = runner.add(slow);
+  const auto fast_idx = runner.add(test_point("VADD", OffloadMode::kOff));
+  runner.run();
+
+  const SweepOutcome& timed = runner.outcome(slow_idx);
+  ASSERT_TRUE(timed.ran);
+  EXPECT_TRUE(timed.timed_out);
+  EXPECT_TRUE(timed.result.aborted);
+  EXPECT_FALSE(timed.result.completed);
+  EXPECT_FALSE(timed.result.verified);
+  EXPECT_DOUBLE_EQ(timed.result.stats.get("sim.aborted"), 1.0);
+  EXPECT_DOUBLE_EQ(timed.result.stats.get("sim.completed"), 0.0);
+  // An abort is not a valve hit: the overshoot diagnostic stays zero.
+  EXPECT_DOUBLE_EQ(timed.result.stats.get("sim.valve_overshoot_ps"), 0.0);
+
+  // KMN at kSmall needs far longer than one abort-poll burst; the partial
+  // run must have stopped early rather than simulated to the end.
+  EXPECT_LT(timed.result.runtime_ps, SystemConfig::small_test().max_time_ps);
+
+  const SweepOutcome& ok = runner.outcome(fast_idx);
+  ASSERT_TRUE(ok.ran);
+  EXPECT_FALSE(ok.timed_out);
+  EXPECT_TRUE(ok.result.completed);
+  EXPECT_TRUE(ok.result.verified);
+
+  const std::string json = sweep_to_json(runner.outcomes(), 2);
+  EXPECT_NE(json.find("\"timed_out\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"timed_out\":false"), std::string::npos);
+}
+
+TEST(Sweep, AbortPollIsPolledUntilItFires) {
+  // The poll is sampled periodically during the run (every burst), not just
+  // once at the start: a poll that turns true after N samples still aborts,
+  // and a finished run stops consulting it.
+  SystemConfig cfg = SystemConfig::small_test();
+  unsigned calls = 0;
+  Simulator sim(cfg);
+  sim.set_abort_poll([&calls] { return ++calls >= 3; });
+  auto wl = make_workload("KMN", ProblemScale::kSmall);
+  const RunResult r = sim.run(*wl);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(calls, 3u);
+
+  // A quick run that completes before the poll budget is exhausted reports
+  // a clean (non-aborted) completion.
+  unsigned calls2 = 0;
+  Simulator sim2(cfg);
+  sim2.set_abort_poll([&calls2] { ++calls2; return false; });
+  auto wl2 = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r2 = sim2.run(*wl2);
+  EXPECT_TRUE(r2.completed);
+  EXPECT_FALSE(r2.aborted);
+  EXPECT_DOUBLE_EQ(r2.stats.get("sim.aborted"), 0.0);
+}
+
 TEST(Sweep, DerivedSeedsAreStableAndPointSpecific) {
   const auto a = SweepRunner::derived_seed(0x5EED, "fig09/VADD/0.4");
   EXPECT_EQ(a, SweepRunner::derived_seed(0x5EED, "fig09/VADD/0.4"));

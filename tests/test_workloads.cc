@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "offload/codegen.h"
+#include "ref/ref_interp.h"
 #include "workloads/registry.h"
 #include "workloads/wl_util.h"
 #include "workloads/workloads.h"
@@ -123,6 +124,54 @@ TEST(WorkloadTable1, BlockShapesMatchPaperCharacter) {
     EXPECT_GT(img.blocks[0].nsu_inst_count, 30u);  // large unrolled block
     EXPECT_EQ(img.blocks[0].num_loads, 2u * BpropWorkload::kInputs);
   });
+}
+
+TEST(Workloads, OutputRegionManifestIsWellFormed) {
+  // Every workload declares where its results live (the differential
+  // oracle compares those regions byte-for-byte).  Regions must be named,
+  // non-empty, non-overlapping, and inside allocated memory.
+  for (const std::string& name : workload_names()) {
+    SCOPED_TRACE(name);
+    auto wl = make_workload(name, ProblemScale::kTiny);
+    GlobalMemory mem;
+    MemoryAllocator alloc;
+    Rng rng(0x5EED);
+    wl->setup(mem, alloc, rng);
+    const auto regions = wl->output_regions();
+    ASSERT_FALSE(regions.empty());
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      EXPECT_FALSE(regions[i].name.empty());
+      EXPECT_GT(regions[i].bytes, 0u);
+      EXPECT_LE(regions[i].base + regions[i].bytes, alloc.high_water());
+      for (std::size_t j = i + 1; j < regions.size(); ++j) {
+        const bool disjoint = regions[i].base + regions[i].bytes <= regions[j].base ||
+                              regions[j].base + regions[j].bytes <= regions[i].base;
+        EXPECT_TRUE(disjoint) << regions[i].name << " overlaps " << regions[j].name;
+      }
+    }
+  }
+}
+
+TEST(Workloads, OutputRegionsActuallyChangeDuringExecution) {
+  // The manifest would be useless if it pointed at untouched memory: after
+  // a (reference) run, each declared region must differ from its initial
+  // contents for at least one workload-declared output.
+  for (const std::string& name : workload_names()) {
+    SCOPED_TRACE(name);
+    auto wl = make_workload(name, ProblemScale::kTiny);
+    GlobalMemory mem;
+    MemoryAllocator alloc;
+    Rng rng(0x5EED);
+    wl->setup(mem, alloc, rng);
+    const GlobalMemory before = mem;
+    const RefResult r = ref_run(wl->program(), wl->launch(), mem);
+    ASSERT_TRUE(r.completed) << r.error;
+    bool any_written = false;
+    for (const auto& region : wl->output_regions()) {
+      if (!mem.equal_range(before, region.base, region.bytes)) any_written = true;
+    }
+    EXPECT_TRUE(any_written);
+  }
 }
 
 }  // namespace
