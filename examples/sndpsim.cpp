@@ -25,6 +25,9 @@
 //       --timeout SECONDS   abort any single run past this wall-clock budget
 //       --no-ff             disable idle fast-forward (naive edge-by-edge
 //                           stepping; results are bit-identical, only slower)
+//       --no-audit          disable the flow-conservation stats audit
+//       --trace FILE        write a Chrome-trace (Perfetto) JSON, including
+//                           per-epoch governor counter series
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,6 +58,8 @@ struct Options {
   std::string stats_json;
   double timeout_s = 0.0;
   bool fast_forward = true;
+  bool audit = true;
+  std::string trace_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,7 +68,8 @@ struct Options {
                "[-m off|always|static|dyn|dyn-cache] [-r RATIO] [-e EPOCH]\n"
                "          [--sms N] [--hmcs N] [--nsu-mhz N] [--seed N] "
                "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n"
-               "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n",
+               "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n"
+               "          [--no-audit] [--trace FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -131,6 +137,10 @@ Options parse(int argc, char** argv) {
       o.timeout_s = std::stod(need_value(i));
     } else if (a == "--no-ff") {
       o.fast_forward = false;
+    } else if (a == "--no-audit") {
+      o.audit = false;
+    } else if (a == "--trace") {
+      o.trace_path = need_value(i);
     } else {
       usage(argv[0]);
     }
@@ -150,6 +160,8 @@ SystemConfig config_of(const Options& o) {
   cfg.nsu.read_only_cache = o.ro_cache;
   cfg.optimal_target_selection = o.optimal_target;
   cfg.fast_forward = o.fast_forward;
+  cfg.audit = o.audit;
+  cfg.trace_path = o.trace_path;
   return cfg;
 }
 

@@ -242,6 +242,13 @@ struct SystemConfig {
   // test and for perf comparisons (bench/perf_throughput).
   bool fast_forward = true;
 
+  // Flow-conservation stats audit (`sim.audit`): cross-check every
+  // component's counters against each other at each governor epoch boundary
+  // and at end-of-run (src/obs/stats_audit.*).  On by default — the checks
+  // are a handful of integer compares per epoch; `--no-audit` disables them
+  // for perf measurement runs.
+  bool audit = true;
+
   // When non-empty, write a Chrome-trace JSON of packet flights and
   // offload lifecycles here at the end of the run (view in Perfetto).
   std::string trace_path;

@@ -50,21 +50,35 @@ bool OffloadGovernor::decide(const OffloadBlockInfo& info, unsigned active_threa
 void OffloadGovernor::roll_epoch() {
   const double ipc =
       static_cast<double>(epoch_instrs_) / static_cast<double>(cfg_.epoch_cycles);
-  hill_.end_epoch(ipc);
-  ratio_history_.record(hill_.ratio());
+  const bool dynamic = cfg_.mode == OffloadMode::kDynamic ||
+                       cfg_.mode == OffloadMode::kDynamicCache;
+  if (dynamic) {
+    // An epoch with zero offload-block instructions carries no throughput
+    // signal — the climber holds instead of reading it as a collapse.
+    hill_.end_epoch(ipc, /*has_signal=*/epoch_instrs_ != 0);
+    ratio_history_.record(hill_.ratio());
+  }
+  if (observer_) {
+    EpochRollInfo info;
+    info.epoch = epochs_;
+    info.ipc = ipc;
+    info.block_instrs = epoch_instrs_;
+    info.ratio = current_ratio();
+    info.step = hill_.step();
+    info.direction = hill_.direction();
+    observer_(info);
+  }
   ++epochs_;
   cycle_in_epoch_ = 0;
   epoch_instrs_ = 0;
 }
 
 void OffloadGovernor::on_sm_cycle() {
-  if (cfg_.mode != OffloadMode::kDynamic && cfg_.mode != OffloadMode::kDynamicCache) return;
   if (++cycle_in_epoch_ < cfg_.epoch_cycles) return;
   roll_epoch();
 }
 
 void OffloadGovernor::advance_cycles(Cycle n) {
-  if (cfg_.mode != OffloadMode::kDynamic && cfg_.mode != OffloadMode::kDynamicCache) return;
   while (n > 0) {
     const Cycle room = cfg_.epoch_cycles - cycle_in_epoch_;
     if (n < room) {
@@ -81,6 +95,7 @@ void OffloadGovernor::export_stats(StatSet& out) const {
   out.set("governor.offloads", static_cast<double>(offloads_));
   out.set("governor.suppressed_by_cache", static_cast<double>(suppressed_by_cache_));
   out.set("governor.epochs", static_cast<double>(epochs_));
+  out.set("governor.block_instrs", static_cast<double>(total_block_instrs_));
   out.set("governor.final_ratio", current_ratio());
   ratio_history_.export_to(out, "governor.ratio");
 }

@@ -4,6 +4,7 @@
 // decision made at every OFLD.BEG.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "common/config.h"
@@ -15,6 +16,20 @@
 
 namespace sndp {
 
+// State published to the epoch observer when an epoch boundary rolls.  The
+// observer fires on the SM clock domain at a deterministic cycle, in every
+// offload mode (the epoch clock always runs; only the hill-climb update is
+// gated on the dynamic modes), which makes it the natural sampling hook for
+// the per-epoch timeline and the stats audit.
+struct EpochRollInfo {
+  std::uint64_t epoch = 0;     // 0-based index of the epoch that just ended
+  double ipc = 0.0;            // offload-block instrs / epoch_cycles
+  std::uint64_t block_instrs = 0;  // offload-block instrs this epoch
+  double ratio = 0.0;          // ratio AFTER this boundary's update
+  double step = 0.0;
+  int direction = 0;
+};
+
 class OffloadGovernor {
  public:
   OffloadGovernor(const GovernorConfig& cfg, unsigned num_blocks, unsigned line_bytes,
@@ -25,7 +40,19 @@ class OffloadGovernor {
 
   // A warp instance of a block finished (inline or via NSU ACK):
   // contributes its instruction count to the epoch throughput metric.
-  void on_block_complete(unsigned instr_count) { epoch_instrs_ += instr_count; }
+  void on_block_complete(unsigned instr_count) {
+    epoch_instrs_ += instr_count;
+    total_block_instrs_ += instr_count;
+  }
+
+  // Called at most once, before the run starts: fires at every epoch
+  // boundary, after the hill-climb update for that boundary.
+  using EpochObserver = std::function<void(const EpochRollInfo&)>;
+  void set_epoch_observer(EpochObserver obs) { observer_ = std::move(obs); }
+
+  // Total offload-block instructions ever reported (audit cross-check
+  // against the SMs' inline + ACK-drain mirrors).
+  std::uint64_t total_block_instrs() const { return total_block_instrs_; }
 
   // Advance the epoch clock (call once per SM cycle, from one place).
   void on_sm_cycle();
@@ -53,6 +80,8 @@ class OffloadGovernor {
   CacheAwareTable cache_table_;
   Cycle cycle_in_epoch_ = 0;
   std::uint64_t epoch_instrs_ = 0;
+  std::uint64_t total_block_instrs_ = 0;
+  EpochObserver observer_;
 
   // Stats.
   std::uint64_t decisions_ = 0;

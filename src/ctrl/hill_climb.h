@@ -25,8 +25,12 @@ class HillClimbController {
   int direction() const { return dir_; }
 
   // Call at the end of each epoch with the measured average IPC of
-  // offload-block instructions during that epoch.
-  void end_epoch(double avg_ipc);
+  // offload-block instructions during that epoch.  An epoch in which no
+  // offload-block instruction retired carries no throughput information:
+  // pass has_signal = false and the controller holds its entire state
+  // (ratio, direction, step, baseline IPC) instead of treating the zero
+  // IPC as a collapse and spuriously reversing direction.
+  void end_epoch(double avg_ipc, bool has_signal = true);
 
   unsigned epochs_seen() const { return epochs_; }
 

@@ -35,6 +35,10 @@ class NdpBufferManager {
   // All credits back home (used as an end-of-run invariant).
   bool all_idle() const;
 
+  // Capacities for the flow audit's credit-conservation checks.
+  const NdpBufferConfig& config() const { return cfg_; }
+  unsigned num_hmcs() const { return static_cast<unsigned>(credits_.size()); }
+
   void export_stats(StatSet& out) const;
 
  private:

@@ -10,6 +10,7 @@
 #include "memfunc/global_memory.h"
 #include "ndp/ro_cache.h"
 #include "noc/network.h"
+#include "obs/epoch_timeline.h"
 
 namespace sndp {
 
@@ -133,6 +134,14 @@ TimePs Gpu::l2_next_work_ps() const {
 }
 
 void Gpu::l2_tick(Cycle cycle, TimePs now) {
+  // Epoch-timeline sampling: record the slices' cumulative counters at the
+  // first consumed L2 edge at/after each epoch boundary (fast-forward only
+  // skips edges at which these counters are frozen, so the sampled values
+  // are mode-independent).
+  if (timeline_ != nullptr && timeline_->l2_due(now)) {
+    timeline_->poll_l2(now, total_l2_hits(), total_l2_misses());
+  }
+
   // With nothing deliverable at this edge the whole tick is a no-op (every
   // stage below only pops ready channel heads), so it can be skipped.
   if (fast_forward_ && l2_next_work_ps() > now) return;
@@ -205,6 +214,7 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
       ++ctx_.energy->l2_accesses;
       const auto result = slice.cache->access_read(head.line_addr, head.token);
       if (result == CacheAccessResult::kMshrFull) return;  // retry next cycle
+      ++l2_read_reqs_;
       Packet p = slice.in.pop();
       const bool in_block = p.oid.block != kNoBlock;
       const unsigned touched = popcount_mask(p.mask) * p.mem_width;
@@ -277,8 +287,10 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
 }
 
 void Gpu::handle_rx(Packet&& p, TimePs now) {
+  ++rx_packets_;
   switch (p.type) {
     case PacketType::kMemReadResp: {
+      ++mem_read_resps_;
       const unsigned slice_idx = ctx_.amap->hmc_of(p.line_addr);
       ++ctx_.energy->l2_accesses;
       for (std::uint64_t token : slices_.at(slice_idx).cache->fill(p.line_addr)) {
@@ -314,6 +326,42 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
   }
 }
 
+std::uint64_t Gpu::total_l1_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->l1().hits;
+  return n;
+}
+
+std::uint64_t Gpu::total_l1_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->l1().misses;
+  return n;
+}
+
+std::uint64_t Gpu::total_l1_merged() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->l1().merged_misses;
+  return n;
+}
+
+std::uint64_t Gpu::total_l2_hits() const {
+  std::uint64_t n = 0;
+  for (const L2Slice& s : slices_) n += s.cache->hits;
+  return n;
+}
+
+std::uint64_t Gpu::total_l2_misses() const {
+  std::uint64_t n = 0;
+  for (const L2Slice& s : slices_) n += s.cache->misses;
+  return n;
+}
+
+std::uint64_t Gpu::total_l2_merged() const {
+  std::uint64_t n = 0;
+  for (const L2Slice& s : slices_) n += s.cache->merged_misses;
+  return n;
+}
+
 void Gpu::export_stats(StatSet& out) const {
   out.set("gpu.issued_instrs", static_cast<double>(total_issued()));
   out.set("gpu.stall_dependency", static_cast<double>(total_stall_dependency()));
@@ -322,21 +370,14 @@ void Gpu::export_stats(StatSet& out) const {
   out.set("gpu.invalidations", static_cast<double>(invals_received_));
   out.set("gpu.rdf_l2_probes", static_cast<double>(rdf_l2_probes_));
   out.set("gpu.rdf_l2_hits", static_cast<double>(rdf_l2_hits_));
+  out.set("gpu.l2_read_reqs", static_cast<double>(l2_read_reqs_));
+  out.set("gpu.mem_read_resps", static_cast<double>(mem_read_resps_));
+  out.set("gpu.rx_packets", static_cast<double>(rx_packets_));
   // Aggregate caches.
-  std::uint64_t l1_hits = 0, l1_misses = 0;
-  for (const auto& sm : sms_) {
-    l1_hits += sm->l1().hits;
-    l1_misses += sm->l1().misses;
-  }
-  out.set("gpu.l1_hits", static_cast<double>(l1_hits));
-  out.set("gpu.l1_misses", static_cast<double>(l1_misses));
-  std::uint64_t l2_hits = 0, l2_misses = 0;
-  for (const L2Slice& s : slices_) {
-    l2_hits += s.cache->hits;
-    l2_misses += s.cache->misses;
-  }
-  out.set("gpu.l2_hits", static_cast<double>(l2_hits));
-  out.set("gpu.l2_misses", static_cast<double>(l2_misses));
+  out.set("gpu.l1_hits", static_cast<double>(total_l1_hits()));
+  out.set("gpu.l1_misses", static_cast<double>(total_l1_misses()));
+  out.set("gpu.l2_hits", static_cast<double>(total_l2_hits()));
+  out.set("gpu.l2_misses", static_cast<double>(total_l2_misses()));
   for (unsigned i = 0; i < sms_.size(); ++i) {
     if (i < 4) sms_[i]->export_stats(out, "sm" + std::to_string(i));
   }

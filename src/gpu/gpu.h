@@ -23,6 +23,8 @@
 
 namespace sndp {
 
+class EpochTimeline;
+
 class Gpu {
  public:
   explicit Gpu(const SystemContext& ctx);
@@ -81,6 +83,23 @@ class Gpu {
   std::uint64_t total_issued() const;
   std::uint64_t invalidations_received() const { return invals_received_; }
 
+  // Aggregates + flow counters for the stats audit / epoch timeline.
+  std::uint64_t total_l1_hits() const;
+  std::uint64_t total_l1_misses() const;
+  std::uint64_t total_l1_merged() const;
+  std::uint64_t total_l2_hits() const;
+  std::uint64_t total_l2_misses() const;
+  std::uint64_t total_l2_merged() const;
+  std::uint64_t l2_read_reqs() const { return l2_read_reqs_; }
+  std::uint64_t mem_read_resps() const { return mem_read_resps_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rdf_l2_probes() const { return rdf_l2_probes_; }
+  std::uint64_t rdf_l2_hits() const { return rdf_l2_hits_; }
+
+  // Per-epoch timeline hook: the L2 slices poll their cumulative counters at
+  // the first consumed L2 edge at/after each epoch boundary.
+  void set_timeline(EpochTimeline* timeline) { timeline_ = timeline; }
+
   void export_stats(StatSet& out) const;
 
  private:
@@ -125,6 +144,11 @@ class Gpu {
   std::uint64_t invals_received_ = 0;
   std::uint64_t rdf_l2_probes_ = 0;
   std::uint64_t rdf_l2_hits_ = 0;
+  std::uint64_t l2_read_reqs_ = 0;   // kMemRead packets retired at a slice
+  std::uint64_t mem_read_resps_ = 0; // kMemReadResp fills received
+  std::uint64_t rx_packets_ = 0;     // all packets ejected from the NoC here
+
+  EpochTimeline* timeline_ = nullptr;
 };
 
 }  // namespace sndp

@@ -236,6 +236,8 @@ void Sm::tick(Cycle cycle, TimePs now) {
       }
       w.scoreboard.set_reg_ready_at(reg, cycle);
     }
+    ++ofld_acks_;
+    acked_block_instrs_ += info.body_size();
     ctx_.governor->on_block_complete(info.body_size());
     w.ofld.reset();
     w.cur_block = kNoBlock;
@@ -507,6 +509,7 @@ void Sm::end_offload_or_inline(Warp& w, Cycle /*cycle*/, TimePs now) {
     // Inline execution of the block just finished.
     const OffloadBlockInfo& info =
         ctx_.image->blocks.at(static_cast<unsigned>(ctx_.image->gpu.at(w.pc).imm));
+    inline_block_instrs_ += info.body_size();
     ctx_.governor->on_block_complete(info.body_size());
     w.cur_block = kNoBlock;
     ++w.pc;
@@ -845,6 +848,9 @@ void Sm::export_stats(StatSet& out, const std::string& prefix) const {
   out.set(prefix + ".stall_warp_idle", static_cast<double>(stall_warp_idle));
   out.set(prefix + ".offloads_started", static_cast<double>(offloads_started_));
   out.set(prefix + ".inline_blocks", static_cast<double>(inline_blocks_));
+  out.set(prefix + ".ofld_acks", static_cast<double>(ofld_acks_));
+  out.set(prefix + ".inline_block_instrs", static_cast<double>(inline_block_instrs_));
+  out.set(prefix + ".acked_block_instrs", static_cast<double>(acked_block_instrs_));
   out.set(prefix + ".rdf_packets", static_cast<double>(rdf_packets_));
   out.set(prefix + ".rdf_l1_hits", static_cast<double>(rdf_l1_hits_));
   out.set(prefix + ".wta_packets", static_cast<double>(wta_packets_));

@@ -79,6 +79,15 @@ class Sm final : public Tickable {
   const Cache& l1() const { return l1_; }
   void export_stats(StatSet& out, const std::string& prefix) const;
 
+  // Flow-audit accessors (src/obs/stats_audit.*).
+  std::uint64_t offloads_started() const { return offloads_started_; }
+  std::uint64_t inline_blocks() const { return inline_blocks_; }
+  std::uint64_t ofld_acks() const { return ofld_acks_; }
+  std::uint64_t inline_block_instrs() const { return inline_block_instrs_; }
+  std::uint64_t acked_block_instrs() const { return acked_block_instrs_; }
+  std::uint64_t rdf_probe_packets() const { return rdf_packets_; }
+  std::uint64_t rdf_probe_l1_hits() const { return rdf_l1_hits_; }
+
   // Fig. 8 counters (public for cheap aggregation).
   std::uint64_t issued_instrs = 0;
   std::uint64_t active_cycles = 0;   // cycles with at least one valid warp
@@ -177,6 +186,9 @@ class Sm final : public Tickable {
   // Extra stats.
   std::uint64_t offloads_started_ = 0;
   std::uint64_t inline_blocks_ = 0;
+  std::uint64_t ofld_acks_ = 0;           // NSU completion ACKs drained
+  std::uint64_t inline_block_instrs_ = 0; // mirrors governor on_block_complete
+  std::uint64_t acked_block_instrs_ = 0;  // mirrors governor on_block_complete
   std::uint64_t rdf_packets_ = 0;
   std::uint64_t rdf_l1_hits_ = 0;
   std::uint64_t wta_packets_ = 0;

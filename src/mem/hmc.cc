@@ -156,6 +156,7 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
   switch (p.type) {
     case PacketType::kMemRead: {
       // Baseline line fetch: whole line back to the GPU.
+      ++mem_reads_completed_;
       ctx_.energy->dram_read_bytes += line_bytes;
       ctx_.energy->hmc_noc_bytes += line_bytes;
       Packet resp;
@@ -170,11 +171,13 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
     }
     case PacketType::kMemWrite: {
       // Write-through store: data already applied functionally at the SM.
+      ++mem_writes_completed_;
       ctx_.energy->dram_write_bytes += p.size_bytes - mem_write_req_bytes(0);
       break;
     }
     case PacketType::kRdf: {
       // Read-and-forward: only the touched words travel to the target NSU.
+      ++rdf_completed_;
       ctx_.energy->dram_read_bytes += line_bytes;
       Packet resp;
       resp.type = PacketType::kRdfResp;
@@ -210,6 +213,7 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
           ctx_.gmem->store_reg(p.lane_addrs[lane], p.lane_data[lane], p.mem_width, p.mem_f32);
         }
       }
+      ++nsu_writes_completed_;
       ctx_.energy->dram_write_bytes += popcount_mask(p.mask) * p.mem_width;
 
       Packet ack;
@@ -259,6 +263,10 @@ void Hmc::export_stats(StatSet& out, const std::string& prefix) const {
   out.set(prefix + ".reads", static_cast<double>(total_reads()));
   out.set(prefix + ".writes", static_cast<double>(total_writes()));
   out.set(prefix + ".packets_routed", static_cast<double>(packets_routed_));
+  out.set(prefix + ".mem_reads_completed", static_cast<double>(mem_reads_completed_));
+  out.set(prefix + ".mem_writes_completed", static_cast<double>(mem_writes_completed_));
+  out.set(prefix + ".rdf_completed", static_cast<double>(rdf_completed_));
+  out.set(prefix + ".nsu_writes_completed", static_cast<double>(nsu_writes_completed_));
   nsu_->export_stats(out, prefix + ".nsu");
 }
 

@@ -43,6 +43,14 @@ class Hmc final : public Tickable {
   std::uint64_t total_reads() const;
   std::uint64_t total_writes() const;
 
+  // Flow-audit accessors: per-type vault completions (incremented in the
+  // same handler as the dram_*_bytes energy counters) and NoC ejections.
+  std::uint64_t mem_reads_completed() const { return mem_reads_completed_; }
+  std::uint64_t mem_writes_completed() const { return mem_writes_completed_; }
+  std::uint64_t rdf_completed() const { return rdf_completed_; }
+  std::uint64_t nsu_writes_completed() const { return nsu_writes_completed_; }
+  std::uint64_t packets_routed() const { return packets_routed_; }
+
   void export_stats(StatSet& out, const std::string& prefix) const;
 
  private:
@@ -71,6 +79,10 @@ class Hmc final : public Tickable {
   bool fast_forward_ = false;
 
   std::uint64_t packets_routed_ = 0;
+  std::uint64_t mem_reads_completed_ = 0;
+  std::uint64_t mem_writes_completed_ = 0;
+  std::uint64_t rdf_completed_ = 0;
+  std::uint64_t nsu_writes_completed_ = 0;
 };
 
 }  // namespace sndp

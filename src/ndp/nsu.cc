@@ -4,6 +4,7 @@
 
 #include "mem/address_map.h"
 #include "noc/network.h"
+#include "obs/epoch_timeline.h"
 
 namespace sndp {
 
@@ -60,6 +61,12 @@ LaneMask Nsu::exec_mask(const NsuWarp& warp, const Instr& instr) const {
 }
 
 void Nsu::tick(Cycle cycle, TimePs now) {
+  // Epoch-timeline sampling at the first consumed NSU edge at/after each
+  // boundary, before this edge's occupancy is accumulated.  Asleep edges
+  // leave occupancy_accum_ frozen, so the value is fast-forward-invariant.
+  if (timeline_ != nullptr && timeline_->nsu_due(timeline_src_, now)) {
+    timeline_->poll_nsu(timeline_src_, now, occupancy_accum_);
+  }
   if (fast_forward_ && next_work_ps(now) > now) return;  // still asleep
   // Skipped/slept edges each counted one naive tick with zero occupancy.
   tick_count_ += cycle - next_expected_cycle_ + 1;
@@ -340,6 +347,7 @@ void Nsu::finish_warp(NsuWarp& warp, TimePs now) {
   send_network_(std::move(ack), now);
 
   ++blocks_completed_;
+  finished_block_instrs_ += info.body_size();
   warp = NsuWarp{};  // slot free; next command can spawn on a later tick
   --valid_warps_;
 }
@@ -348,6 +356,7 @@ void Nsu::export_stats(StatSet& out, const std::string& prefix) const {
   out.set(prefix + ".lane_ops", static_cast<double>(lane_ops_));
   out.set(prefix + ".instrs", static_cast<double>(instrs_));
   out.set(prefix + ".blocks_completed", static_cast<double>(blocks_completed_));
+  out.set(prefix + ".finished_block_instrs", static_cast<double>(finished_block_instrs_));
   out.set(prefix + ".write_packets", static_cast<double>(write_packets_));
   out.set(prefix + ".stall_read_wait", static_cast<double>(stall_read_wait_));
   out.set(prefix + ".avg_occupancy", avg_occupancy());

@@ -25,6 +25,8 @@
 
 namespace sndp {
 
+class EpochTimeline;
+
 class Nsu final : public Tickable {
  public:
   // `send_network`: forward a packet into the inter-stack network / GPU
@@ -62,6 +64,20 @@ class Nsu final : public Tickable {
   double icache_utilization() const;     // touched instruction bytes / icache size
   std::uint64_t lane_ops() const { return lane_ops_; }
   void export_stats(StatSet& out, const std::string& prefix) const;
+
+  // Flow-audit accessors (src/obs/stats_audit.*).
+  std::uint64_t instrs() const { return instrs_; }
+  std::uint64_t blocks_completed() const { return blocks_completed_; }
+  std::uint64_t finished_block_instrs() const { return finished_block_instrs_; }
+  std::uint64_t occupancy_accum() const { return occupancy_accum_; }
+
+  // Per-epoch timeline hook: this NSU polls its cumulative occupancy at the
+  // first consumed NSU edge at/after each epoch boundary.  `src` is this
+  // NSU's index in the timeline's per-source series.
+  void set_timeline(EpochTimeline* timeline, unsigned src) {
+    timeline_ = timeline;
+    timeline_src_ = src;
+  }
 
  private:
   struct NsuWarp {
@@ -102,10 +118,14 @@ class Nsu final : public Tickable {
   CmdBuffer cmds_;
   TimedChannel<Packet> in_;
 
+  EpochTimeline* timeline_ = nullptr;
+  unsigned timeline_src_ = 0;
+
   // Stats.
   std::uint64_t lane_ops_ = 0;
   std::uint64_t instrs_ = 0;
   std::uint64_t blocks_completed_ = 0;
+  std::uint64_t finished_block_instrs_ = 0;  // body instrs of completed blocks
   std::uint64_t occupancy_accum_ = 0;
   std::uint64_t tick_count_ = 0;
   std::uint64_t write_packets_ = 0;

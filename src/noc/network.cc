@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/epoch_timeline.h"
 #include "sim/trace.h"
 
 namespace sndp {
@@ -53,6 +54,14 @@ TimePs Network::send(Packet pkt, TimePs now) {
   if (pkt.src_node == pkt.dst_node) throw std::logic_error("Network: src == dst");
   if (pkt.src_node > gpu || pkt.dst_node > gpu) throw std::logic_error("Network: bad node id");
 
+  // Epoch-timeline sampling: the byte counters only change inside send(),
+  // so the first injection at/after a boundary sees exactly the counters as
+  // of that boundary (in either stepping mode).
+  if (timeline_ != nullptr && timeline_->links_due(now)) {
+    timeline_->poll_links(now, gpu_up_bytes_, gpu_down_bytes_, cube_bytes_);
+  }
+
+  ++packets_injected_;
   bytes_by_type_[pkt.type] += pkt.size_bytes;
   const LinkTier ctrl = is_urgent_packet(pkt.type)    ? LinkTier::kUrgent
                         : is_control_packet(pkt.type) ? LinkTier::kControl
@@ -95,11 +104,29 @@ bool Network::idle() const {
   return true;
 }
 
+std::uint64_t Network::in_flight_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : rx_) n += ch.size();
+  return n;
+}
+
+std::uint64_t Network::total_link_bytes() const {
+  std::uint64_t n = 0;
+  for (const LinkPair& p : gpu_links_) {
+    n += p.up->bytes_transmitted() + p.down->bytes_transmitted();
+  }
+  for (const auto& [key, p] : cube_links_) {
+    n += p.up->bytes_transmitted() + p.down->bytes_transmitted();
+  }
+  return n;
+}
+
 void Network::export_stats(StatSet& out) const {
   out.set("net.gpu_up_bytes", static_cast<double>(gpu_up_bytes_));
   out.set("net.gpu_down_bytes", static_cast<double>(gpu_down_bytes_));
   out.set("net.cube_bytes", static_cast<double>(cube_bytes_));
   out.set("net.total_offchip_bytes", static_cast<double>(total_offchip_bytes()));
+  out.set("net.packets_injected", static_cast<double>(packets_injected_));
   for (const auto& [type, bytes] : bytes_by_type_) {
     out.set(std::string("net.bytes.") + packet_type_name(type), static_cast<double>(bytes));
   }

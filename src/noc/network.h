@@ -24,6 +24,7 @@
 
 namespace sndp {
 
+class EpochTimeline;
 class TraceWriter;
 
 class Network {
@@ -32,6 +33,11 @@ class Network {
 
   // Optional: record every packet flight as a trace event.
   void set_trace(TraceWriter* trace) { trace_ = trace; }
+
+  // Per-epoch timeline hook: the byte counters are polled at the first
+  // injection at/after each epoch boundary (they only change on send, so
+  // the sampled values are stepping-mode-invariant).
+  void set_timeline(EpochTimeline* timeline) { timeline_ = timeline; }
 
   unsigned gpu_node() const { return num_hmcs_; }
   unsigned num_hmcs() const { return num_hmcs_; }
@@ -55,6 +61,13 @@ class Network {
   }
   const std::map<PacketType, std::uint64_t>& bytes_by_type() const { return bytes_by_type_; }
 
+  // Flow-audit accessors: packets ever injected, packets currently sitting
+  // in RX channels (instantaneous), and bytes summed over every physical
+  // link (must equal the per-class byte counters above).
+  std::uint64_t packets_injected() const { return packets_injected_; }
+  std::uint64_t in_flight_packets() const;
+  std::uint64_t total_link_bytes() const;
+
   void export_stats(StatSet& out) const;
 
  private:
@@ -77,7 +90,9 @@ class Network {
   std::uint64_t gpu_down_bytes_ = 0;
   std::uint64_t cube_bytes_ = 0;
   std::map<PacketType, std::uint64_t> bytes_by_type_;
+  std::uint64_t packets_injected_ = 0;
   TraceWriter* trace_ = nullptr;
+  EpochTimeline* timeline_ = nullptr;
 };
 
 }  // namespace sndp

@@ -14,6 +14,7 @@
 #include "mem/hmc.h"
 #include "memfunc/global_memory.h"
 #include "noc/network.h"
+#include "obs/stats_audit.h"
 #include "offload/codegen.h"
 #include "workloads/workload.h"
 
@@ -46,6 +47,7 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
       trace.name_row(static_cast<int>(h), "HMC " + std::to_string(h));
     }
     trace.name_row(static_cast<int>(cfg_.num_hmcs), "GPU");
+    trace.name_row(static_cast<int>(cfg_.num_hmcs) + 1, "Governor");
     net.set_trace(&trace);
   }
   EnergyCounters counters;
@@ -71,6 +73,88 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   Gpu gpu(ctx);
   std::vector<std::unique_ptr<Hmc>> hmcs;
   for (unsigned h = 0; h < cfg_.num_hmcs; ++h) hmcs.push_back(std::make_unique<Hmc>(h, ctx));
+
+  // Observability: per-epoch timeline (always on — the polls are one
+  // compare in the hot paths) and the flow-conservation audit (cfg_.audit).
+  EpochTimeline timeline(cfg_, cfg_.num_hmcs);
+  gpu.set_timeline(&timeline);
+  net.set_timeline(&timeline);
+  for (unsigned h = 0; h < cfg_.num_hmcs; ++h) hmcs[h]->nsu().set_timeline(&timeline, h);
+
+  StatsAudit audit;
+  auto collect_audit = [&] {
+    AuditSnapshot s;
+    for (const auto& sm : gpu.sms()) {
+      s.sm_issued += sm->issued_instrs;
+      s.offloads_started += sm->offloads_started();
+      s.inline_blocks += sm->inline_blocks();
+      s.ofld_acks += sm->ofld_acks();
+      s.inline_block_instrs += sm->inline_block_instrs();
+      s.acked_block_instrs += sm->acked_block_instrs();
+      s.sm_rdf_probes += sm->rdf_probe_packets();
+      s.sm_rdf_l1_hits += sm->rdf_probe_l1_hits();
+      s.l1_hits += sm->l1().hits;
+      s.l1_miss_new += sm->l1().misses;
+      s.l1_merged += sm->l1().merged_misses;
+    }
+    s.l2_hits = gpu.total_l2_hits();
+    s.l2_miss_new = gpu.total_l2_misses();
+    s.l2_merged = gpu.total_l2_merged();
+    s.l2_read_reqs = gpu.l2_read_reqs();
+    s.rdf_l2_probes = gpu.rdf_l2_probes();
+    s.rdf_l2_hits = gpu.rdf_l2_hits();
+    s.mem_read_resps = gpu.mem_read_resps();
+    s.gpu_rx_packets = gpu.rx_packets();
+    s.gov_block_instrs = governor.total_block_instrs();
+    s.net_injected = net.packets_injected();
+    s.net_in_flight = net.in_flight_packets();
+    s.link_bytes = net.total_link_bytes();
+    s.class_bytes = net.total_offchip_bytes();
+    for (const auto& hmc : hmcs) {
+      s.hmc_rx_packets += hmc->packets_routed();
+      s.vault_reads += hmc->total_reads();
+      s.vault_writes += hmc->total_writes();
+      s.vault_activates += hmc->total_activates();
+      s.mem_read_completions += hmc->mem_reads_completed();
+      s.rdf_completions += hmc->rdf_completed();
+      s.mem_write_completions += hmc->mem_writes_completed();
+      s.nsu_write_completions += hmc->nsu_writes_completed();
+      s.nsu_blocks_completed += hmc->nsu().blocks_completed();
+      s.nsu_instrs += hmc->nsu().instrs();
+      s.nsu_lane_ops += hmc->nsu().lane_ops();
+      s.nsu_finished_block_instrs += hmc->nsu().finished_block_instrs();
+    }
+    s.dram_read_bytes = counters.dram_read_bytes;
+    s.dram_write_bytes = counters.dram_write_bytes;
+    for (unsigned h = 0; h < cfg_.num_hmcs; ++h) {
+      s.buf_free_cmd += bufmgr.free_cmd(h);
+      s.buf_free_read_data += bufmgr.free_read_data(h);
+      s.buf_free_write_addr += bufmgr.free_write_addr(h);
+    }
+    s.buf_cap_cmd = static_cast<std::uint64_t>(cfg_.ndp_buffers.nsu_cmd_entries) * cfg_.num_hmcs;
+    s.buf_cap_read_data =
+        static_cast<std::uint64_t>(cfg_.ndp_buffers.nsu_read_data_entries) * cfg_.num_hmcs;
+    s.buf_cap_write_addr =
+        static_cast<std::uint64_t>(cfg_.ndp_buffers.nsu_write_addr_entries) * cfg_.num_hmcs;
+    s.energy_dram_activates = counters.dram_activates;
+    s.energy_offchip_bytes = counters.offchip_bytes;
+    s.energy_nsu_lane_ops = counters.nsu_lane_ops;
+    s.line_bytes = cfg_.l2.line_bytes;
+    s.warp_width = kWarpWidth;
+    return s;
+  };
+
+  governor.set_epoch_observer([&](const EpochRollInfo& info) {
+    std::uint64_t issued = 0, l1_hits = 0, l1_misses = 0;
+    for (const auto& sm : gpu.sms()) {
+      issued += sm->issued_instrs;
+      l1_hits += sm->l1().hits;
+      l1_misses += sm->l1().misses;
+    }
+    timeline.on_epoch(info.epoch, info.ipc, info.block_instrs, info.ratio,
+                      info.step, info.direction, issued, l1_hits, l1_misses);
+    if (cfg_.audit) audit.check_epoch(info.epoch, collect_audit());
+  });
 
   // Clock domains (Table 2).
   ClockDomain sm_domain("sm", cfg_.clocks.sm_khz);
@@ -139,6 +223,18 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   gpu.finalize(sm_domain.next_cycle());
   for (auto& hmc : hmcs) hmc->nsu().finalize(nsu_domain.next_cycle());
 
+  // Flush the timeline's lazily-polled series (L2, links, NSU occupancy) to
+  // end-of-run values for epochs no consumed edge of their domain reached,
+  // and assemble the per-epoch samples.
+  {
+    std::vector<std::uint64_t> occ;
+    occ.reserve(hmcs.size());
+    for (const auto& hmc : hmcs) occ.push_back(hmc->nsu().occupancy_accum());
+    timeline.finalize(gpu.total_l2_hits(), gpu.total_l2_misses(), net.gpu_up_bytes(),
+                      net.gpu_down_bytes(), net.cube_bytes(), occ);
+  }
+  result.timeline = timeline.samples();
+
   result.completed = completed;
   result.aborted = aborted;
   result.sm_cycles = sm_domain.now_cycle();
@@ -156,8 +252,13 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     result.inval_bytes = it == net.bytes_by_type().end() ? 0 : it->second;
   }
 
-  // Fold DRAM counters into the energy counters.
-  for (const auto& hmc : hmcs) counters.dram_activates += hmc->total_activates();
+  // Fold DRAM and NSU counters into the energy counters.  The lane-op fold
+  // was missing until the flow audit's energy-mirror check flagged it: NSU
+  // dynamic energy always computed as zero.
+  for (const auto& hmc : hmcs) {
+    counters.dram_activates += hmc->total_activates();
+    counters.nsu_lane_ops += hmc->nsu().lane_ops();
+  }
   counters.offchip_bytes = net.total_offchip_bytes();
   {
     std::uint64_t active = 0;
@@ -171,6 +272,11 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   result.energy = EnergyModel(cfg_.energy)
                       .compute(counters, result.runtime_ps, cfg_.num_sms, cfg_.num_hmcs,
                                ndp_enabled);
+
+  // Final flow-conservation audit.  Strict equalities (everything issued was
+  // retired, credits home, energy mirrors consistent) only hold on a drained
+  // run; valve-stopped or aborted runs get the monotonic/inequality subset.
+  if (cfg_.audit) audit.check_final(collect_audit(), completed && !aborted);
 
   // End-of-run invariants: with everything drained, all NSU buffer credits
   // must be home and no WTA can still be in flight (§4.1.1 page-migration
@@ -209,15 +315,28 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
           ? result.runtime_ps - cfg_.max_time_ps
           : 0;
   result.stats.set("sim.valve_overshoot_ps", static_cast<double>(overshoot));
+  timeline.export_stats(result.stats);
+  if (cfg_.audit) audit.export_stats(result.stats);
 
   if (!completed && !aborted) {
     SNDP_WARN("sim", "run '%s' hit the simulated-time safety valve", name.c_str());
   }
   if (!cfg_.trace_path.empty()) {
-    if (!trace.write(cfg_.trace_path)) {
+    timeline.emit_trace(trace, static_cast<int>(cfg_.num_hmcs) + 1);
+    const bool wrote = trace.write(cfg_.trace_path);
+    if (!wrote) {
       SNDP_WARN("sim", "failed to write trace to '%s'", cfg_.trace_path.c_str());
     }
+    result.stats.set("sim.trace_write_failed", wrote ? 0.0 : 1.0);
     result.stats.set("trace.events", static_cast<double>(trace.size()));
+    result.stats.set("trace.dropped_events", static_cast<double>(trace.dropped()));
+  }
+
+  // Audit failures are modeling bugs, not workload outcomes — fail loudly,
+  // after the stats/trace artifacts above are flushed so the violation is
+  // diagnosable from them.  Mirrors the buffer-credit-leak throw.
+  if (cfg_.audit && !audit.ok()) {
+    throw std::logic_error("Simulator: stats audit failed: " + audit.first_violation_message());
   }
   return result;
 }

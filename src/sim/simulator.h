@@ -14,11 +14,13 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/stats.h"
 #include "energy/energy_model.h"
 #include "isa/program.h"
+#include "obs/epoch_timeline.h"
 #include "offload/analyzer.h"
 #include "sim/context.h"
 
@@ -48,6 +50,11 @@ struct RunResult {
   EnergyCounters counters{};
   EnergyBreakdown energy{};
   StatSet stats;
+
+  // One sample per governor epoch (Fig. 8 dynamics): offload ratio, IPCs,
+  // hit rates, link utilization, NSU occupancy.  Also serialized as the
+  // `timeline` array in the sndp-sweep-v1 JSON.
+  std::vector<EpochSample> timeline;
 
   double speedup_vs(const RunResult& baseline) const {
     return static_cast<double>(baseline.sm_cycles) / static_cast<double>(sm_cycles);

@@ -81,6 +81,30 @@ void outcome_to_json(JsonWriter& w, const SweepOutcome& o) {
   w.key("offchip_bytes").value(r.counters.offchip_bytes);
   w.key("sm_active_seconds").value(r.counters.sm_active_seconds);
   w.end_object();
+  // Per-epoch governor/metrics timeline (Fig. 8 dynamics).  Deterministic
+  // sim content — must stay ahead of the "timing" object below.
+  w.key("timeline").begin_array();
+  for (const EpochSample& s : r.timeline) {
+    w.begin_object();
+    w.key("epoch").value(s.epoch);
+    w.key("end_cycle").value(static_cast<std::uint64_t>(s.end_cycle));
+    w.key("end_ps").value(static_cast<std::uint64_t>(s.end_ps));
+    w.key("ratio").value(s.ratio);
+    w.key("step").value(s.step);
+    w.key("direction").value(static_cast<std::int64_t>(s.direction));
+    w.key("epoch_ipc").value(s.epoch_ipc);
+    w.key("block_instrs").value(s.block_instrs);
+    w.key("sm_ipc").value(s.sm_ipc);
+    w.key("l1_hit_rate").value(s.l1_hit_rate);
+    w.key("l2_hit_rate").value(s.l2_hit_rate);
+    w.key("gpu_up_util").value(s.gpu_up_util);
+    w.key("gpu_down_util").value(s.gpu_down_util);
+    w.key("cube_util").value(s.cube_util);
+    w.key("nsu_occupancy").value(s.nsu_occupancy);
+    w.key("valve_pressure").value(s.valve_pressure);
+    w.end_object();
+  }
+  w.end_array();
   w.key("stats").begin_object();
   for (const auto& [name, value] : r.stats.values()) {
     w.key(name).value(value);

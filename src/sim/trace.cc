@@ -35,6 +35,14 @@ void TraceWriter::instant(const std::string& name, const std::string& category, 
   events_.push_back(Event{'i', name, category, tid, at_ps, 0});
 }
 
+void TraceWriter::counter(const std::string& name, int tid, TimePs at_ps, double value) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{'C', name, "counter", tid, at_ps, 0, value});
+}
+
 void TraceWriter::name_row(int tid, const std::string& name) {
   row_names_.emplace_back(tid, name);
 }
@@ -56,6 +64,9 @@ std::string TraceWriter::to_json() const {
        << escape(e.name) << "\",\"cat\":\"" << escape(e.category) << "\",\"ts\":" << us(e.start_ps);
     if (e.phase == 'X') os << ",\"dur\":" << us(e.dur_ps);
     if (e.phase == 'i') os << ",\"s\":\"t\"";
+    // JsonWriter::number keeps NaN/Inf out of the document (they would make
+    // the whole trace unparseable).
+    if (e.phase == 'C') os << ",\"args\":{\"value\":" << JsonWriter::number(e.value) << '}';
     os << '}';
   }
   // Chrome-trace allows arbitrary top-level keys next to traceEvents; use

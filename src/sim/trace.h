@@ -22,6 +22,9 @@ class TraceWriter {
                 TimePs start_ps, TimePs dur_ps);
   // Instant ("i") event.
   void instant(const std::string& name, const std::string& category, int tid, TimePs at_ps);
+  // Counter ("C") event: a named series sampled at `at_ps`.  Perfetto draws
+  // one stacked chart per (name, tid) pair.
+  void counter(const std::string& name, int tid, TimePs at_ps, double value);
   // Names a row in the viewer.
   void name_row(int tid, const std::string& name);
 
@@ -39,12 +42,13 @@ class TraceWriter {
 
  private:
   struct Event {
-    char phase;  // 'X' or 'i'
+    char phase;  // 'X', 'i' or 'C'
     std::string name;
     std::string category;
     int tid;
     TimePs start_ps;
     TimePs dur_ps;
+    double value = 0.0;  // counter ('C') events only
   };
   std::vector<Event> events_;
   std::vector<std::pair<int, std::string>> row_names_;

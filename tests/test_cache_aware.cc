@@ -136,15 +136,26 @@ TEST(Governor, EpochAdvancesWithSmCycles) {
   EXPECT_DOUBLE_EQ(stats.get("governor.epochs"), 2.0);
 }
 
-TEST(Governor, StaticModesIgnoreEpochClock) {
+TEST(Governor, StaticModesRollEpochsWithoutClimbing) {
+  // The epoch clock runs in every mode (it drives the per-epoch metrics
+  // timeline), but only the dynamic modes feed the hill climb: a static
+  // governor's ratio must not move however many epochs elapse.
   GovernorConfig g;
   g.mode = OffloadMode::kStaticRatio;
+  g.static_ratio = 0.5;
   g.epoch_cycles = 10;
   OffloadGovernor gov(g, 1, 128, 1);
+  unsigned observed = 0;
+  gov.set_epoch_observer([&](const EpochRollInfo& info) {
+    ++observed;
+    EXPECT_DOUBLE_EQ(info.ratio, 0.5);
+  });
   for (int i = 0; i < 100; ++i) gov.on_sm_cycle();
   StatSet stats;
   gov.export_stats(stats);
-  EXPECT_DOUBLE_EQ(stats.get("governor.epochs"), 0.0);
+  EXPECT_DOUBLE_EQ(stats.get("governor.epochs"), 10.0);
+  EXPECT_EQ(observed, 10u);
+  EXPECT_DOUBLE_EQ(stats.get("governor.final_ratio"), 0.5);
 }
 
 TEST(Governor, DeterministicForSeed) {

@@ -115,6 +115,74 @@ TEST(HillClimb, StepGrowsUnderSteadyProgress) {
   EXPECT_DOUBLE_EQ(hc.step(), 0.15);
 }
 
+TEST(HillClimb, NoSignalEpochHoldsAllState) {
+  // Regression: an idle epoch (no offload-block instruction retired) used
+  // to feed ipc=0 into the climb, which read as a collapse and reversed
+  // direction every time.  A no-signal epoch must hold ratio, step and
+  // direction entirely.
+  HillClimbController hc(cfg());
+  hc.end_epoch(1.0);  // baseline
+  hc.end_epoch(2.0);  // improving: moves up
+  const double ratio = hc.ratio();
+  const double step = hc.step();
+  const int dir = hc.direction();
+  for (int i = 0; i < 5; ++i) hc.end_epoch(0.0, /*has_signal=*/false);
+  EXPECT_DOUBLE_EQ(hc.ratio(), ratio);
+  EXPECT_DOUBLE_EQ(hc.step(), step);
+  EXPECT_EQ(hc.direction(), dir);
+  // The next informative epoch compares against the last informative
+  // baseline (2.0), not against the held zeros: 3.0 > 2.0 keeps climbing.
+  hc.end_epoch(3.0);
+  EXPECT_EQ(hc.direction(), dir);
+  EXPECT_GT(hc.ratio(), ratio);
+}
+
+TEST(HillClimb, NoSignalFirstEpochsDoNotSetBaseline) {
+  HillClimbController a(cfg()), b(cfg());
+  a.end_epoch(0.0, /*has_signal=*/false);
+  a.end_epoch(0.0, /*has_signal=*/false);
+  a.end_epoch(1.0);  // first informative epoch records the baseline...
+  b.end_epoch(1.0);
+  a.end_epoch(2.0);  // ...so both controllers climb in lockstep
+  b.end_epoch(2.0);
+  EXPECT_DOUBLE_EQ(a.ratio(), b.ratio());
+  EXPECT_EQ(a.direction(), b.direction());
+}
+
+TEST(HillClimb, TiedIpcDoesNotReverseDirection) {
+  // avg_ipc == prev_ipc_ is "not worse": the direction must hold and the
+  // no-change epoch counts as steady progress for the step adaptation.
+  HillClimbController hc(cfg());
+  hc.end_epoch(1.0);
+  hc.end_epoch(1.0);  // tie with the baseline
+  EXPECT_EQ(hc.direction(), +1);
+  const double after_first_tie = hc.ratio();
+  EXPECT_GT(after_first_tie, 0.1);  // still moved forward
+  hc.end_epoch(1.0);  // ties keep not reversing
+  EXPECT_EQ(hc.direction(), +1);
+  EXPECT_GT(hc.ratio(), after_first_tie);
+}
+
+TEST(HillClimb, WallBounceSetsInwardDirection) {
+  // Reaching a wall must flip the direction inward so the climber keeps
+  // probing (the ratio would otherwise stick at the boundary forever).
+  GovernorConfig g = cfg();
+  g.initial_ratio = 0.95;
+  HillClimbController hc(g);
+  hc.end_epoch(1.0);
+  hc.end_epoch(2.0);  // improving at dir=+1: 0.95 + 0.15 clamps to 1.0
+  EXPECT_DOUBLE_EQ(hc.ratio(), 1.0);
+  EXPECT_EQ(hc.direction(), -1);
+
+  GovernorConfig low = cfg();
+  low.initial_ratio = 0.05;
+  HillClimbController lc(low);
+  lc.end_epoch(2.0);
+  lc.end_epoch(1.0);  // worse: reverse to dir=-1, 0.05 - step clamps to 0.0
+  EXPECT_DOUBLE_EQ(lc.ratio(), 0.0);
+  EXPECT_EQ(lc.direction(), +1);
+}
+
 TEST(HillClimb, StepStaysWithinBounds) {
   HillClimbController hc(cfg());
   Rng rng(5);

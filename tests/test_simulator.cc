@@ -1,6 +1,8 @@
 // Simulator-facade tests: safety valve, analyzer options, config plumbing.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "sndp.h"
 
 namespace sndp {
@@ -149,6 +151,39 @@ TEST(SimulatorFacade, EnergyCountersAreConsistent) {
   EXPECT_GT(r.counters.dram_read_bytes, 0u);
   EXPECT_GT(r.counters.sm_active_seconds, 0.0);
   EXPECT_GT(r.energy.total(), 0.0);
+}
+
+TEST(SimulatorFacade, NsuLaneOpsFoldIntoEnergy) {
+  // Regression (found by the flow audit's energy-mirror check): NSU lane
+  // ops were counted per NSU but never folded into EnergyCounters, so the
+  // NSU dynamic energy term was always zero for any offloading run.
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kAlways;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  ASSERT_TRUE(r.verified);
+  ASSERT_GT(r.stats.get("governor.offloads"), 0.0);
+  EXPECT_GT(r.counters.nsu_lane_ops, 0u);
+  EXPECT_GT(r.energy.nsu_j, 0.0);
+  // The counter mirrors the per-NSU totals exactly.
+  EXPECT_EQ(static_cast<double>(r.counters.nsu_lane_ops),
+            r.stats.sum_matching("hmc", ".nsu.lane_ops"));
+}
+
+TEST(SimulatorFacade, TraceWriteFailureIsSurfacedInStats) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.trace_path = ::testing::TempDir() + "/no_such_dir_sndp/trace.json";
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);  // must not throw
+  EXPECT_TRUE(r.verified);
+  EXPECT_DOUBLE_EQ(r.stats.get("sim.trace_write_failed"), 1.0);
+
+  // ... and the stat reads 0 when the path is writable.
+  cfg.trace_path = ::testing::TempDir() + "/sndp_writable_trace.json";
+  auto wl2 = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult ok = Simulator(cfg).run(*wl2);
+  EXPECT_DOUBLE_EQ(ok.stats.get("sim.trace_write_failed"), 0.0);
+  std::remove(cfg.trace_path.c_str());
 }
 
 }  // namespace

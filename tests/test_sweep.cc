@@ -33,6 +33,22 @@ TEST(Json, NumbersAreDeterministicAndIntegerFriendly) {
   EXPECT_EQ(JsonWriter::number(0.1), "0.10000000000000001");
 }
 
+TEST(Json, NumberBoundaryCases) {
+  // Negative zero normalizes to plain "0" (two runs whose only difference
+  // is a -0.0 vs 0.0 counter must still diff clean).
+  EXPECT_EQ(JsonWriter::number(-0.0), "0");
+  // 2^53 is the largest double range where integers are exact; the integer
+  // fast path covers everything strictly below it and %.17g takes over at
+  // the boundary — both sides must still print digits-only.
+  EXPECT_EQ(JsonWriter::number(9007199254740991.0), "9007199254740991");  // 2^53-1
+  EXPECT_EQ(JsonWriter::number(9007199254740992.0), "9007199254740992");  // 2^53
+  EXPECT_EQ(JsonWriter::number(-9007199254740991.0), "-9007199254740991");
+  EXPECT_EQ(JsonWriter::number(-1.0 / 0.0), "null");
+  // Integral doubles past 2^53 take the %.17g path but still print
+  // digits-only (exponent 16 < the 17-digit precision keeps %g fixed).
+  EXPECT_EQ(JsonWriter::number(1.5e16), "15000000000000000");
+}
+
 TEST(Json, WriterBuildsNestedDocuments) {
   JsonWriter w;
   w.begin_object();

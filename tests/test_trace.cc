@@ -62,6 +62,44 @@ TEST(Trace, BackspaceAndFormFeedUseShortEscapes) {
   EXPECT_NE(json.find("a\\bb\\fc"), std::string::npos);
 }
 
+TEST(Trace, CounterEventsCarryValueArgs) {
+  TraceWriter t;
+  t.counter("offload_ratio", 3, 2'000'000, 0.25);
+  t.counter("epoch_ipc", 3, 2'000'000, 12.0);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"offload_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":0.25}"), std::string::npos);
+  // Integral values print without decimal noise (JsonWriter::number rule).
+  EXPECT_NE(json.find("\"args\":{\"value\":12}"), std::string::npos);
+  // Counter events have no duration or instant-scope field.
+  EXPECT_EQ(json.find("\"dur\""), std::string::npos);
+  EXPECT_EQ(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(Trace, CounterNonFiniteValuesBecomeNull) {
+  // NaN/Inf would make the whole trace unparseable; they must serialize as
+  // null like every other number in the project's JSON.
+  TraceWriter t;
+  t.counter("bad", 0, 0, 0.0 / 0.0);
+  t.counter("worse", 0, 0, 1.0 / 0.0);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"args\":{\"value\":null}"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Trace, CounterEventsRespectCapacity) {
+  TraceWriter t;
+  t.set_capacity(1);
+  t.counter("a", 0, 0, 1.0);
+  t.counter("b", 0, 0, 2.0);  // dropped
+  t.complete("c", "x", 0, 0, 1);  // also dropped
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_NE(t.to_json().find("\"dropped_events\":2"), std::string::npos);
+}
+
 TEST(Trace, CapacityDropsExcess) {
   TraceWriter t;
   t.set_capacity(2);
