@@ -112,30 +112,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "WARNING: %s hit the simulated-time limit!\n", o.workload.c_str());
   }
 
-  std::FILE* out = stdout;
-  if (!o.csv.empty()) {
-    out = std::fopen(o.csv.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0], o.csv.c_str());
-      return 1;
-    }
+  if (!write_epoch_csv(o.csv, r.timeline)) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0], o.csv.c_str());
+    return 1;
   }
-  std::fprintf(out,
-               "epoch,end_cycle,end_ps,ratio,step,direction,epoch_ipc,block_instrs,"
-               "sm_ipc,l1_hit_rate,l2_hit_rate,gpu_up_util,gpu_down_util,cube_util,"
-               "nsu_occupancy,valve_pressure\n");
-  for (const EpochSample& s : r.timeline) {
-    std::fprintf(out,
-                 "%llu,%llu,%llu,%.6f,%.6f,%d,%.6f,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
-                 "%.6f,%.6f,%.6f\n",
-                 static_cast<unsigned long long>(s.epoch),
-                 static_cast<unsigned long long>(s.end_cycle),
-                 static_cast<unsigned long long>(s.end_ps), s.ratio, s.step, s.direction,
-                 s.epoch_ipc, static_cast<unsigned long long>(s.block_instrs), s.sm_ipc,
-                 s.l1_hit_rate, s.l2_hit_rate, s.gpu_up_util, s.gpu_down_util, s.cube_util,
-                 s.nsu_occupancy, s.valve_pressure);
-  }
-  if (out != stdout) std::fclose(out);
 
   std::fprintf(stderr, "%s: %zu epochs, final ratio %.3f, %s\n", o.workload.c_str(),
                r.timeline.size(), r.timeline.empty() ? 0.0 : r.timeline.back().ratio,

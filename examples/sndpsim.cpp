@@ -26,8 +26,16 @@
 //       --no-ff             disable idle fast-forward (naive edge-by-edge
 //                           stepping; results are bit-identical, only slower)
 //       --no-audit          disable the flow-conservation stats audit
+//       --no-latency        disable request-lifecycle latency tracing
+//       --latency-sample N  sample every Nth tracked request per type for a
+//                           full per-hop span (default 64; 0 = histograms
+//                           only, no spans)
+//       --epoch-csv FILE    write the per-epoch metrics timeline as CSV
+//                           ("-" = stdout; with -w all, the workload name is
+//                           appended to FILE before its extension)
 //       --trace FILE        write a Chrome-trace (Perfetto) JSON, including
-//                           per-epoch governor counter series
+//                           per-epoch governor counter series and sampled
+//                           request-latency spans as flow events
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -59,6 +67,9 @@ struct Options {
   double timeout_s = 0.0;
   bool fast_forward = true;
   bool audit = true;
+  bool latency = true;
+  unsigned latency_sample = 64;
+  std::string epoch_csv;
   std::string trace_path;
 };
 
@@ -69,9 +80,21 @@ struct Options {
                "          [--sms N] [--hmcs N] [--nsu-mhz N] [--seed N] "
                "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n"
                "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n"
-               "          [--no-audit] [--trace FILE]\n",
+               "          [--no-audit] [--no-latency] [--latency-sample N]\n"
+               "          [--epoch-csv FILE] [--trace FILE]\n",
                argv0);
   std::exit(2);
+}
+
+// With -w all, one CSV per workload: insert the name before the extension.
+std::string epoch_csv_path(const std::string& base, const std::string& name, bool multi) {
+  if (!multi || base.empty() || base == "-") return base;
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + "-" + name;
+  }
+  return base.substr(0, dot) + "-" + name + base.substr(dot);
 }
 
 const char* mode_name(OffloadMode m) {
@@ -139,6 +162,16 @@ Options parse(int argc, char** argv) {
       o.fast_forward = false;
     } else if (a == "--no-audit") {
       o.audit = false;
+    } else if (a == "--no-latency") {
+      o.latency = false;
+    } else if (a == "--latency-sample") {
+      o.latency_sample = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a.rfind("--latency-sample=", 0) == 0) {
+      o.latency_sample = static_cast<unsigned>(std::stoul(a.substr(17)));
+    } else if (a == "--epoch-csv") {
+      o.epoch_csv = need_value(i);
+    } else if (a.rfind("--epoch-csv=", 0) == 0) {
+      o.epoch_csv = a.substr(12);
     } else if (a == "--trace") {
       o.trace_path = need_value(i);
     } else {
@@ -161,6 +194,8 @@ SystemConfig config_of(const Options& o) {
   cfg.optimal_target_selection = o.optimal_target;
   cfg.fast_forward = o.fast_forward;
   cfg.audit = o.audit;
+  cfg.latency_trace = o.latency;
+  cfg.latency_sample = o.latency_sample;
   cfg.trace_path = o.trace_path;
   return cfg;
 }
@@ -173,6 +208,10 @@ int report_one(const Options& o, const std::string& name, const RunResult& r) {
               r.verified ? "yes" : "NO", r.gpu_link_bytes / 1e6, r.cube_link_bytes / 1e6,
               r.energy.total());
   if (o.dump_stats) std::fputs(r.stats.to_string().c_str(), stdout);
+  if (o.dump_stats && r.latency_enabled) {
+    std::printf("  request latency by path class:\n");
+    print_latency_table(r.latency, "    ");
+  }
   if (!o.csv.empty()) {
     std::ofstream out(o.csv, std::ios::app);
     out << name << ',' << mode_name(o.mode) << ',' << o.ratio << ',' << r.sm_cycles << ','
@@ -222,6 +261,13 @@ int main(int argc, char** argv) {
                    names[i].c_str(), out.wall_seconds);
     }
     rc |= report_one(o, names[i], out.result);
+    if (!o.epoch_csv.empty()) {
+      const std::string path = epoch_csv_path(o.epoch_csv, names[i], names.size() > 1);
+      if (!write_epoch_csv(path, out.result.timeline)) {
+        std::fprintf(stderr, "failed to write epoch CSV to '%s'\n", path.c_str());
+        rc = 1;
+      }
+    }
   }
   if (!o.stats_json.empty() && !write_sweep_json(o.stats_json, runner.outcomes(), o.jobs)) {
     std::fprintf(stderr, "failed to write stats JSON to '%s'\n", o.stats_json.c_str());

@@ -249,6 +249,16 @@ struct SystemConfig {
   // for perf measurement runs.
   bool audit = true;
 
+  // Request-lifecycle latency tracing (`sim.latency_trace`, src/obs/
+  // latency.*): stamp every tracked packet at each hop and aggregate
+  // per-path-class log2 latency histograms.  On by default (a few integer
+  // adds per hop); `--no-latency` disables it entirely — with the knob off
+  // no PacketTiming field is ever touched.  `latency_sample`: every Nth
+  // tracked request per packet type also records a full per-hop span
+  // (Chrome-trace flow events); 0 disables span capture.
+  bool latency_trace = true;
+  unsigned latency_sample = 64;
+
   // When non-empty, write a Chrome-trace JSON of packet flights and
   // offload lifecycles here at the end of the run (view in Perfetto).
   std::string trace_path;

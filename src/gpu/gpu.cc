@@ -11,6 +11,7 @@
 #include "ndp/ro_cache.h"
 #include "noc/network.h"
 #include "obs/epoch_timeline.h"
+#include "obs/latency.h"
 
 namespace sndp {
 
@@ -167,6 +168,9 @@ void Gpu::l2_tick(Cycle cycle, TimePs now) {
           break;
       }
       ctx_.energy->gpu_wire_bytes += p->size_bytes;
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->queue_hop(*p, now, "sm_egress", ctx_.cfg->num_hmcs);
+      }
       if (is_urgent_packet(p->type)) {
         slices_.at(slice).urgent.push(std::move(*p), now);
       } else {
@@ -204,7 +208,12 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
 
   // Urgent pass-throughs (offload commands) go straight to the link; they
   // never touch the L2 arrays and must not queue behind request floods.
-  while (auto p = slice.urgent.pop_ready(now)) send_to_network(std::move(*p), now);
+  while (auto p = slice.urgent.pop_ready(now)) {
+    if (ctx_.latency != nullptr) {
+      ctx_.latency->queue_hop(*p, now, "l2_slice", ctx_.cfg->num_hmcs);
+    }
+    send_to_network(std::move(*p), now);
+  }
 
   for (unsigned served = 0; served < 2; ++served) {
     if (!slice.in.ready(now)) return;
@@ -216,11 +225,19 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
       if (result == CacheAccessResult::kMshrFull) return;  // retry next cycle
       ++l2_read_reqs_;
       Packet p = slice.in.pop();
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->queue_hop(p, now, "l2_slice", ctx_.cfg->num_hmcs);
+      }
       const bool in_block = p.oid.block != kNoBlock;
       const unsigned touched = popcount_mask(p.mask) * p.mem_width;
       if (result == CacheAccessResult::kHit) {
         if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, true, touched);
         ctx_.energy->gpu_wire_bytes += kLineBytes;
+        if (ctx_.latency != nullptr) {
+          ctx_.latency->add_cache(p, l2_latency_ps);
+          ctx_.latency->finish(p, PathClass::kGpuReadL2, now + l2_latency_ps,
+                               ctx_.cfg->num_hmcs);
+        }
         sms_.at(static_cast<std::size_t>(p.token))->deliver_line(p.line_addr,
                                                                  now + l2_latency_ps);
       } else if (result == CacheAccessResult::kMissNew) {
@@ -228,13 +245,18 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
         p.dst_node = static_cast<std::uint16_t>(ctx_.amap->hmc_of(p.line_addr));
         send_to_network(std::move(p), now);
       } else {
-        // Merged into an existing L2 MSHR.
+        // Merged into an existing L2 MSHR: this request's lifetime ends
+        // here; the merged-into request's response will serve it.
         if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, false, 0);
+        if (ctx_.latency != nullptr) ctx_.latency->cancel(p);
       }
       continue;
     }
 
     Packet p = slice.in.pop();
+    if (ctx_.latency != nullptr) {
+      ctx_.latency->queue_hop(p, now, "l2_slice", ctx_.cfg->num_hmcs);
+    }
     switch (p.type) {
       case PacketType::kMemWrite: {
         ++ctx_.energy->l2_accesses;
@@ -257,6 +279,7 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
         if (hit) {
           ++rdf_l2_hits_;
           p.type = PacketType::kRdfResp;
+          if (ctx_.latency != nullptr) ctx_.latency->set_path(p, PathClass::kRdfCacheHit);
           p.dst_node = p.target_nsu;
           p.lane_data.assign(kWarpWidth, 0);
           for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
@@ -288,9 +311,17 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
 
 void Gpu::handle_rx(Packet&& p, TimePs now) {
   ++rx_packets_;
+  if (ctx_.latency != nullptr) {
+    ctx_.latency->queue_hop(p, now, "gpu_rx", ctx_.cfg->num_hmcs);
+  }
   switch (p.type) {
     case PacketType::kMemReadResp: {
       ++mem_read_resps_;
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->add_link(p, 0, ctx_.cfg->xbar_latency_ps);
+        ctx_.latency->finish(p, PathClass::kGpuReadDram, now + ctx_.cfg->xbar_latency_ps,
+                             ctx_.cfg->num_hmcs);
+      }
       const unsigned slice_idx = ctx_.amap->hmc_of(p.line_addr);
       ++ctx_.energy->l2_accesses;
       for (std::uint64_t token : slices_.at(slice_idx).cache->fill(p.line_addr)) {
@@ -311,6 +342,11 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
     case PacketType::kOfldAck: {
       // Data-buffer credits ride on the ACK (§4.3).
       ctx_.bufmgr->release(p.target_nsu, 0, p.credit_read_data, p.credit_write_addr);
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->add_link(p, 0, ctx_.cfg->xbar_latency_ps);
+        ctx_.latency->finish(p, PathClass::kOfldCmd, now + ctx_.cfg->xbar_latency_ps,
+                             ctx_.cfg->num_hmcs);
+      }
       const SmId sm = p.oid.sm;
       sms_.at(sm)->deliver_ofld_ack(std::move(p), now + ctx_.cfg->xbar_latency_ps);
       break;
@@ -318,6 +354,9 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
     case PacketType::kCredit: {
       ctx_.bufmgr->release(p.target_nsu, p.credit_cmd, p.credit_read_data,
                            p.credit_write_addr);
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->finish(p, PathClass::kCredit, now, ctx_.cfg->num_hmcs);
+      }
       break;
     }
     default:

@@ -11,6 +11,7 @@
 #include "mem/address_map.h"
 #include "memfunc/global_memory.h"
 #include "ndp/ro_cache.h"
+#include "obs/latency.h"
 
 namespace sndp {
 
@@ -172,6 +173,10 @@ void Sm::retry_credit_grants(TimePs now) {
       if (p.type == PacketType::kOfldCmd || p.type == PacketType::kWta ||
           p.type == PacketType::kRdfResp) {
         p.dst_node = static_cast<std::uint16_t>(ctx.target);
+      }
+      // Pending-buffer residency (waiting for the credit grant) is queueing.
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->queue_hop(p, now, "credit_grant", ctx_.cfg->num_hmcs);
       }
       push_out(std::move(p), now);
     }
@@ -456,7 +461,7 @@ void Sm::handle_exit(Warp& w) {
   if (dispatch_wake_ != nullptr) *dispatch_wake_ = true;
 }
 
-void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs /*now*/) {
+void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs now) {
   const auto block_id = static_cast<unsigned>(in.imm);
   const OffloadBlockInfo& info = ctx_.image->blocks.at(block_id);
   w.cur_block = block_id;
@@ -497,6 +502,9 @@ void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs /*now*/
   }
   cmd.size_bytes = cmd_packet_bytes(static_cast<unsigned>(info.regs_in.size()),
                                     w.active_count(), info.needs_preds);
+  // The cmd->ACK span opens here: time spent held waiting for the target
+  // decision and the credit grant is part of the round trip (as queueing).
+  if (ctx_.latency != nullptr) ctx_.latency->start(cmd, now, ctx_.cfg->num_hmcs);
   // Target NSU is unknown until the first memory instruction: hold the
   // command in the pending packet buffer.
   w.ofld->held.push_back(std::move(cmd));
@@ -641,6 +649,10 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
           p.mask = la.lanes;
           p.mem_width = in.mem_width;
           p.size_bytes = mem_read_req_bytes();
+          if (ctx_.latency != nullptr) {
+            ctx_.latency->start(p, now, ctx_.cfg->num_hmcs);
+            ctx_.latency->add_link(p, 0, ctx_.cfg->xbar_latency_ps);
+          }
           push_out(std::move(p), now + ctx_.cfg->xbar_latency_ps);
           break;
         }
@@ -685,6 +697,10 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
       p.oid.block = w.cur_block;
       const unsigned touched = popcount_mask(la.lanes) * in.mem_width;
       p.size_bytes = mem_write_req_bytes(touched);
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->start(p, now, ctx_.cfg->num_hmcs);
+        ctx_.latency->add_link(p, 0, ctx_.cfg->xbar_latency_ps);
+      }
       push_out(std::move(p), now + ctx_.cfg->xbar_latency_ps);
     }
     if (w.cur_block != kNoBlock) {
@@ -800,6 +816,14 @@ Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, Ti
           if (la.lanes & (LaneMask{1} << lane)) p.lane_addrs[lane] = addrs[lane];
         }
         p.size_bytes = rdf_wta_packet_bytes(popcount_mask(la.lanes), la.misaligned);
+      }
+      if (ctx_.latency != nullptr) {
+        ctx_.latency->start(p, now, ctx_.cfg->num_hmcs);
+        // RDFs served from the L1 short-circuit DRAM entirely — their own
+        // path class.  Vault-served RDFs get local/remote at the HMC, where
+        // the final target NSU is known even under the ablation.
+        if (hit) ctx_.latency->set_path(p, PathClass::kRdfCacheHit);
+        ctx_.latency->add_link(p, 0, ctx_.cfg->xbar_latency_ps);
       }
       emit_or_hold(w, std::move(p), now + ctx_.cfg->xbar_latency_ps);
     }

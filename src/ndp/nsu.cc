@@ -5,6 +5,7 @@
 #include "mem/address_map.h"
 #include "noc/network.h"
 #include "obs/epoch_timeline.h"
+#include "obs/latency.h"
 
 namespace sndp {
 
@@ -75,17 +76,23 @@ void Nsu::tick(Cycle cycle, TimePs now) {
 
   // Ingress.
   while (auto p = in_.pop_ready(now)) {
+    if (ctx_.latency != nullptr) ctx_.latency->queue_hop(*p, now, "nsu_rx", hmc_id_);
     switch (p->type) {
       case PacketType::kOfldCmd:
         cmds_.push(std::move(*p));
         break;
       case PacketType::kRdfResp:
+        // The RDF span ends at delivery into the read-data buffer; the wait
+        // until the consuming warp issues is NSU-side execution state, not
+        // part of the fetch round trip.
+        if (ctx_.latency != nullptr) ctx_.latency->finish_stamped(*p, now, hmc_id_);
         read_data_.deposit(*p);
         break;
       case PacketType::kWta:
         write_addr_.deposit(*p);
         break;
       case PacketType::kNsuWriteAck: {
+        if (ctx_.latency != nullptr) ctx_.latency->finish_stamped(*p, now, hmc_id_);
         bool matched = false;
         for (NsuWarp& w : warps_) {
           if (w.valid && w.oid.sm == p->oid.sm && w.oid.warp == p->oid.warp &&
@@ -145,10 +152,14 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
     }
     if (slot == nullptr) return;  // all warp slots busy; commands wait
 
-    const Packet cmd = cmds_.pop();
+    Packet cmd = cmds_.pop();
+    // Command-buffer residency (waiting for a free warp slot) is queueing;
+    // the stamp then parks on the warp until the ACK is emitted.
+    if (ctx_.latency != nullptr) ctx_.latency->queue_hop(cmd, now, "nsu_spawn", hmc_id_);
     *slot = NsuWarp{};
     slot->valid = true;
     ++valid_warps_;
+    slot->lt = cmd.lt;
     slot->oid = cmd.oid;
     slot->pc = static_cast<unsigned>(cmd.line_addr);  // start PC field
     slot->active = cmd.mask;
@@ -175,6 +186,7 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
     credit.size_bytes = small_packet_bytes();
     credit.target_nsu = static_cast<std::uint8_t>(hmc_id_);
     credit.credit_cmd = 1;
+    if (ctx_.latency != nullptr) ctx_.latency->start(credit, now, hmc_id_);
     send_network_(std::move(credit), now);
   }
 }
@@ -280,6 +292,11 @@ bool Nsu::step_warp(NsuWarp& warp, Cycle cycle, TimePs now) {
         wr.src_node = static_cast<std::uint16_t>(hmc_id_);
         wr.dst_node = static_cast<std::uint16_t>(dest);
         ++write_packets_;
+        if (ctx_.latency != nullptr) {
+          ctx_.latency->start(wr, now, hmc_id_);
+          ctx_.latency->set_path(wr, dest == hmc_id_ ? PathClass::kNsuWriteLocal
+                                                     : PathClass::kNsuWriteRemote);
+        }
         if (dest == hmc_id_) {
           send_local_vault_(std::move(wr), now);
         } else {
@@ -344,6 +361,12 @@ void Nsu::finish_warp(NsuWarp& warp, TimePs now) {
   ack.credit_read_data = static_cast<std::uint16_t>(info.num_loads);
   ack.credit_write_addr = static_cast<std::uint16_t>(info.num_stores);
   ack.target_nsu = static_cast<std::uint8_t>(hmc_id_);
+  if (ctx_.latency != nullptr) {
+    ctx_.latency->adopt(ack, warp.lt);
+    // Spawn-to-ACK time is NSU execution, not queueing: advance the stamp
+    // so it lands in the "other" segment at finish.
+    ctx_.latency->exec_hop(ack, now, "nsu_exec", hmc_id_);
+  }
   send_network_(std::move(ack), now);
 
   ++blocks_completed_;

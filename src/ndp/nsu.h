@@ -92,6 +92,9 @@ class Nsu final : public Tickable {
     // Credits to piggyback on the offload ACK (§4.3).
     unsigned freed_read_entries = 0;
     unsigned freed_write_entries = 0;
+    // Latency stamp parked from the kOfldCmd across execution; copied onto
+    // the kOfldAck so the cmd->ACK span covers the whole round trip.
+    PacketTiming lt{};
   };
 
   void try_spawn(Cycle cycle, TimePs now);

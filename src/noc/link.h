@@ -26,8 +26,12 @@ class Link {
       : gb_per_s_(gb_per_s), propagation_ps_(propagation_ps) {}
 
   // Transmit `bytes` starting no earlier than `earliest`.
-  // Returns the arrival time at the far end.
-  TimePs transmit(TimePs earliest, std::uint32_t bytes, LinkTier tier = LinkTier::kBulk) {
+  // Returns the arrival time at the far end.  When `wait_ps` is non-null it
+  // receives the time spent waiting for the tier to free up (start −
+  // earliest) — the queueing share of the traversal for latency tracing;
+  // the remainder of (arrival − earliest) is serialization + propagation.
+  TimePs transmit(TimePs earliest, std::uint32_t bytes, LinkTier tier = LinkTier::kBulk,
+                  TimePs* wait_ps = nullptr) {
     const TimePs ser = serialize_ps(bytes, gb_per_s_);
     TimePs start;
     switch (tier) {
@@ -51,6 +55,7 @@ class Link {
     bytes_transmitted_ += bytes;
     busy_ps_ += ser;
     ++packets_;
+    if (wait_ps != nullptr) *wait_ps = start - earliest;
     return start + ser + propagation_ps_;
   }
 

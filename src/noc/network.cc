@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/epoch_timeline.h"
+#include "obs/latency.h"
 #include "sim/trace.h"
 
 namespace sndp {
@@ -67,26 +68,46 @@ TimePs Network::send(Packet pkt, TimePs now) {
                         : is_control_packet(pkt.type) ? LinkTier::kControl
                                                       : LinkTier::kBulk;
 
+  // Latency accounting: any wait since the packet's last stamp is queueing
+  // at the injection port; each link leg splits into tier wait (queue) and
+  // serialization + propagation (link); router pipeline stages count as
+  // link time.  The stamp ends up at the final arrival time.
+  const bool lat = latency_ != nullptr && pkt.lt.active;
+  if (lat) latency_->queue_hop(pkt, now, "inject", pkt.src_node);
+  TimePs wait = 0;
+  TimePs* wp = lat ? &wait : nullptr;
+
   TimePs t = now;
   if (pkt.src_node == gpu) {
     // GPU -> HMC: one dedicated link; no network hops (the destination HMC
     // is always directly attached).
-    t = gpu_link(pkt.dst_node, /*toward_hmc=*/true).transmit(t, pkt.size_bytes, ctrl);
+    const TimePs t0 = t;
+    t = gpu_link(pkt.dst_node, /*toward_hmc=*/true).transmit(t, pkt.size_bytes, ctrl, wp);
     gpu_up_bytes_ += pkt.size_bytes;
+    if (lat) latency_->add_link(pkt, wait, t - t0 - wait);
   } else if (pkt.dst_node == gpu) {
-    t = gpu_link(pkt.src_node, /*toward_hmc=*/false).transmit(t, pkt.size_bytes, ctrl);
+    const TimePs t0 = t;
+    t = gpu_link(pkt.src_node, /*toward_hmc=*/false).transmit(t, pkt.size_bytes, ctrl, wp);
     gpu_down_bytes_ += pkt.size_bytes;
+    if (lat) latency_->add_link(pkt, wait, t - t0 - wait);
   } else {
     // HMC -> HMC over the hypercube, dimension-order.  Fixed-size route
     // buffer: this runs once per packet, so no heap traffic here.
     unsigned path[kMaxRouteNodes];
     const unsigned hops = hypercube_route(pkt.src_node, pkt.dst_node, path);
     for (unsigned i = 0; i + 1 < hops; ++i) {
-      if (i > 0) t += router_latency_ps_;  // per-hop router pipeline
-      t = cube_link(path[i], path[i + 1]).transmit(t, pkt.size_bytes, ctrl);
+      TimePs router = 0;
+      if (i > 0) {
+        router = router_latency_ps_;  // per-hop router pipeline
+        t += router;
+      }
+      const TimePs t0 = t;
+      t = cube_link(path[i], path[i + 1]).transmit(t, pkt.size_bytes, ctrl, wp);
       cube_bytes_ += pkt.size_bytes;
+      if (lat) latency_->add_link(pkt, wait, router + t - t0 - wait);
     }
   }
+  if (lat) latency_->queue_hop(pkt, t, "eject", pkt.dst_node);
   const unsigned dst = pkt.dst_node;
   if (trace_ != nullptr) {
     // Row id: source node (GPU = num_hmcs).

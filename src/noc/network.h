@@ -25,6 +25,7 @@
 namespace sndp {
 
 class EpochTimeline;
+class LatencyTracer;
 class TraceWriter;
 
 class Network {
@@ -33,6 +34,10 @@ class Network {
 
   // Optional: record every packet flight as a trace event.
   void set_trace(TraceWriter* trace) { trace_ = trace; }
+
+  // Optional: per-hop latency accounting (queue wait vs wire time on every
+  // link of the route) for tracked packets.
+  void set_latency(LatencyTracer* latency) { latency_ = latency; }
 
   // Per-epoch timeline hook: the byte counters are polled at the first
   // injection at/after each epoch boundary (they only change on send, so
@@ -92,6 +97,7 @@ class Network {
   std::map<PacketType, std::uint64_t> bytes_by_type_;
   std::uint64_t packets_injected_ = 0;
   TraceWriter* trace_ = nullptr;
+  LatencyTracer* latency_ = nullptr;
   EpochTimeline* timeline_ = nullptr;
 };
 

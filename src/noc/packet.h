@@ -36,6 +36,25 @@ enum class PacketType : std::uint8_t {
 
 const char* packet_type_name(PacketType t);
 
+inline constexpr std::size_t kNumPacketTypes = 14;  // kMemRead..kCredit
+
+// Request-lifecycle latency stamp (src/obs/latency.*).  Rides along with the
+// packet (and across request->response transfers) accumulating per-segment
+// time; inert unless LatencyTracer::start() activated it.  POD on purpose —
+// copied wholesale wherever packets are copied or parked.
+struct PacketTiming {
+  TimePs origin_ps = 0;         // span open (request creation)
+  TimePs last_ps = 0;           // last accounted-for instant
+  std::uint64_t queue_ps = 0;   // LatSegment::kQueue accumulation
+  std::uint64_t link_ps = 0;    // LatSegment::kLink
+  std::uint64_t dram_ps = 0;    // LatSegment::kDram
+  std::uint64_t cache_ps = 0;   // LatSegment::kCache
+  std::uint32_t span_id = 0;    // 1-based sampled-span handle; 0 = unsampled
+  std::uint8_t path = 0;        // pre-assigned PathClass (set_path)
+  bool has_path = false;
+  bool active = false;
+};
+
 // Control packets (requests, commands, addresses, credits, acks) ride the
 // links' control virtual channel and preempt bulk data (responses, line
 // fills, write data).
@@ -89,6 +108,9 @@ struct Packet {
   std::uint16_t credit_cmd = 0;
   std::uint16_t credit_read_data = 0;
   std::uint16_t credit_write_addr = 0;
+
+  // Latency-tracer stamp; inert when tracing is disabled.
+  PacketTiming lt{};
 };
 
 // --- On-wire size calculators (header + Fig. 4 fields). -------------------

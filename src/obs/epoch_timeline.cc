@@ -204,4 +204,34 @@ void EpochTimeline::export_stats(StatSet& out) const {
   }
 }
 
+void write_epoch_csv(std::FILE* out, const std::vector<EpochSample>& samples) {
+  std::fprintf(out,
+               "epoch,end_cycle,end_ps,ratio,step,direction,epoch_ipc,block_instrs,"
+               "sm_ipc,l1_hit_rate,l2_hit_rate,gpu_up_util,gpu_down_util,cube_util,"
+               "nsu_occupancy,valve_pressure\n");
+  for (const EpochSample& s : samples) {
+    std::fprintf(out,
+                 "%llu,%llu,%llu,%.6f,%.6f,%d,%.6f,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
+                 "%.6f,%.6f,%.6f\n",
+                 static_cast<unsigned long long>(s.epoch),
+                 static_cast<unsigned long long>(s.end_cycle),
+                 static_cast<unsigned long long>(s.end_ps), s.ratio, s.step, s.direction,
+                 s.epoch_ipc, static_cast<unsigned long long>(s.block_instrs), s.sm_ipc,
+                 s.l1_hit_rate, s.l2_hit_rate, s.gpu_up_util, s.gpu_down_util, s.cube_util,
+                 s.nsu_occupancy, s.valve_pressure);
+  }
+}
+
+bool write_epoch_csv(const std::string& path, const std::vector<EpochSample>& samples) {
+  if (path.empty() || path == "-") {
+    write_epoch_csv(stdout, samples);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  write_epoch_csv(f, samples);
+  const bool ok = std::ferror(f) == 0;
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace sndp

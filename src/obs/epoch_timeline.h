@@ -29,6 +29,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
@@ -146,5 +148,13 @@ class EpochTimeline {
   std::size_t links_filled_ = 0;
   std::vector<NsuSeries> nsu_;
 };
+
+// Shared CSV emitter for the timeline — the single definition of the column
+// set, used by both bench/epoch_dump and `sndpsim --epoch-csv` so the two
+// outputs never drift apart.
+void write_epoch_csv(std::FILE* out, const std::vector<EpochSample>& samples);
+// Convenience: open `path` ("-" or "" = stdout), write, close.  Returns
+// false if the file could not be opened or written.
+bool write_epoch_csv(const std::string& path, const std::vector<EpochSample>& samples);
 
 }  // namespace sndp

@@ -24,11 +24,13 @@
 // the fast-forward bit-identity invariant.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/latency.h"
 
 namespace sndp {
 
@@ -92,9 +94,23 @@ struct AuditSnapshot {
   std::uint64_t energy_dram_activates = 0;
   std::uint64_t energy_offchip_bytes = 0;
   std::uint64_t energy_nsu_lane_ops = 0;
+  // Latency tracer (src/obs/latency.*): per-path-class finished-span counts
+  // plus the span lifecycle counters.  Only audited when the tracer was
+  // enabled for the run (latency_on) — the histograms must reconcile with
+  // the delivered-packet counters above, so a lost or double-counted span
+  // fails the run like any other conservation bug.
+  bool latency_on = false;
+  std::array<std::uint64_t, kNumPathClasses> lat_counts{};
+  std::uint64_t lat_started = 0;
+  std::uint64_t lat_finished = 0;
+  std::uint64_t lat_cancelled = 0;
   // Geometry.
   unsigned line_bytes = 128;
   unsigned warp_width = 32;
+
+  std::uint64_t lat(PathClass c) const {
+    return lat_counts[static_cast<std::size_t>(c)];
+  }
 
   // kMemRead packets the SMs created: every L1 new miss allocates one,
   // except RDF-probe misses (the probe packet already exists).

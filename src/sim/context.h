@@ -10,6 +10,7 @@ namespace sndp {
 
 class AddressMap;
 class GlobalMemory;
+class LatencyTracer;
 class Network;
 class OffloadGovernor;
 class NdpBufferManager;
@@ -39,6 +40,9 @@ struct SystemContext {
   EnergyCounters* energy = nullptr;
   RoCacheMirror* ro_cache = nullptr;
   WtaInflightTracker* wta_tracker = nullptr;
+  // Non-null iff SystemConfig::latency_trace — the single guard every
+  // instrumentation site uses (src/obs/latency.*).
+  LatencyTracer* latency = nullptr;
   const KernelImage* image = nullptr;
   LaunchParams launch{};
 };

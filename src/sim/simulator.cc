@@ -50,6 +50,13 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     trace.name_row(static_cast<int>(cfg_.num_hmcs) + 1, "Governor");
     net.set_trace(&trace);
   }
+  // Request-lifecycle latency tracer (cfg_.latency_trace): a null ctx
+  // pointer is the zero-cost-disabled path — no stamp is ever touched.
+  std::unique_ptr<LatencyTracer> latency;
+  if (cfg_.latency_trace) {
+    latency = std::make_unique<LatencyTracer>(cfg_.latency_sample);
+    net.set_latency(latency.get());
+  }
   EnergyCounters counters;
   OffloadGovernor governor(cfg_.governor, static_cast<unsigned>(image.blocks.size()),
                            cfg_.l2.line_bytes, cfg_.placement_seed ^ 0x60BE44);
@@ -67,6 +74,7 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   ctx.energy = &counters;
   ctx.ro_cache = &ro_cache;
   ctx.wta_tracker = &wta_tracker;
+  ctx.latency = latency.get();
   ctx.image = &image;
   ctx.launch = launch;
 
@@ -141,6 +149,16 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     s.energy_nsu_lane_ops = counters.nsu_lane_ops;
     s.line_bytes = cfg_.l2.line_bytes;
     s.warp_width = kWarpWidth;
+    if (latency != nullptr) {
+      const LatencySummary& ls = latency->summary();
+      s.latency_on = true;
+      for (std::size_t c = 0; c < kNumPathClasses; ++c) {
+        s.lat_counts[c] = ls.per_class[c].count();
+      }
+      s.lat_started = ls.started;
+      s.lat_finished = ls.finished;
+      s.lat_cancelled = ls.cancelled;
+    }
     return s;
   };
 
@@ -316,6 +334,11 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
           : 0;
   result.stats.set("sim.valve_overshoot_ps", static_cast<double>(overshoot));
   timeline.export_stats(result.stats);
+  if (latency != nullptr) {
+    result.latency_enabled = true;
+    result.latency = latency->summary();
+    latency->export_stats(result.stats);
+  }
   if (cfg_.audit) audit.export_stats(result.stats);
 
   if (!completed && !aborted) {
@@ -323,6 +346,7 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   }
   if (!cfg_.trace_path.empty()) {
     timeline.emit_trace(trace, static_cast<int>(cfg_.num_hmcs) + 1);
+    if (latency != nullptr) latency->emit_trace(trace);
     const bool wrote = trace.write(cfg_.trace_path);
     if (!wrote) {
       SNDP_WARN("sim", "failed to write trace to '%s'", cfg_.trace_path.c_str());

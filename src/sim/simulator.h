@@ -21,6 +21,7 @@
 #include "energy/energy_model.h"
 #include "isa/program.h"
 #include "obs/epoch_timeline.h"
+#include "obs/latency.h"
 #include "offload/analyzer.h"
 #include "sim/context.h"
 
@@ -55,6 +56,12 @@ struct RunResult {
   // hit rates, link utilization, NSU occupancy.  Also serialized as the
   // `timeline` array in the sndp-sweep-v1 JSON.
   std::vector<EpochSample> timeline;
+
+  // Request-lifecycle latency histograms (src/obs/latency.*); empty when
+  // `SystemConfig::latency_trace` is off (latency_enabled distinguishes a
+  // disabled run from a run with no tracked requests).
+  bool latency_enabled = false;
+  LatencySummary latency;
 
   double speedup_vs(const RunResult& baseline) const {
     return static_cast<double>(baseline.sm_cycles) / static_cast<double>(sm_cycles);

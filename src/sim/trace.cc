@@ -43,6 +43,15 @@ void TraceWriter::counter(const std::string& name, int tid, TimePs at_ps, double
   events_.push_back(Event{'C', name, "counter", tid, at_ps, 0, value});
 }
 
+void TraceWriter::flow(char phase, const std::string& name, const std::string& category, int tid,
+                       TimePs at_ps, std::uint64_t id) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{phase, name, category, tid, at_ps, 0, 0.0, id});
+}
+
 void TraceWriter::name_row(int tid, const std::string& name) {
   row_names_.emplace_back(tid, name);
 }
@@ -67,6 +76,10 @@ std::string TraceWriter::to_json() const {
     // JsonWriter::number keeps NaN/Inf out of the document (they would make
     // the whole trace unparseable).
     if (e.phase == 'C') os << ",\"args\":{\"value\":" << JsonWriter::number(e.value) << '}';
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      os << ",\"id\":" << e.flow_id;
+      if (e.phase == 'f') os << ",\"bp\":\"e\"";
+    }
     os << '}';
   }
   // Chrome-trace allows arbitrary top-level keys next to traceEvents; use

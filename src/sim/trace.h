@@ -25,6 +25,12 @@ class TraceWriter {
   // Counter ("C") event: a named series sampled at `at_ps`.  Perfetto draws
   // one stacked chart per (name, tid) pair.
   void counter(const std::string& name, int tid, TimePs at_ps, double value);
+  // Flow event: phase must be 's' (start), 't' (step) or 'f' (finish).
+  // Events with the same `id` are drawn as one arrow chain between the
+  // slices enclosing them; 'f' is emitted with "bp":"e" so it binds to the
+  // enclosing slice's end.
+  void flow(char phase, const std::string& name, const std::string& category, int tid,
+            TimePs at_ps, std::uint64_t id);
   // Names a row in the viewer.
   void name_row(int tid, const std::string& name);
 
@@ -42,13 +48,14 @@ class TraceWriter {
 
  private:
   struct Event {
-    char phase;  // 'X', 'i' or 'C'
+    char phase;  // 'X', 'i', 'C', or flow 's'/'t'/'f'
     std::string name;
     std::string category;
     int tid;
     TimePs start_ps;
     TimePs dur_ps;
-    double value = 0.0;  // counter ('C') events only
+    double value = 0.0;       // counter ('C') events only
+    std::uint64_t flow_id = 0;  // flow ('s'/'t'/'f') events only
   };
   std::vector<Event> events_;
   std::vector<std::pair<int, std::string>> row_names_;
