@@ -39,8 +39,13 @@ void SystemConfig::validate() const {
     if (!ok) throw std::invalid_argument(std::string("SystemConfig: ") + what);
   };
   require(num_sms >= 1, "need at least one SM");
-  require(num_hmcs >= 1 && std::has_single_bit(num_hmcs),
-          "hypercube memory network needs a power-of-two HMC count");
+  // Non-power-of-two stack counts ride an incomplete hypercube (every
+  // single-bit-flip edge whose endpoints both exist); the upper bound keeps
+  // node ids inside the packet's 8-bit target-NSU field.
+  require(num_hmcs >= 1 && num_hmcs <= 255, "HMC count must be in [1, 255]");
+  require(placement.policy != PlacementPolicyKind::kMigration ||
+              placement.migration_threshold >= 1,
+          "migration threshold must be at least 1");
   require(sm.warp_width == kWarpWidth, "warp width must be 32");
   require(sm.max_threads % sm.warp_width == 0, "SM thread count must be warp-aligned");
   require(std::has_single_bit(static_cast<std::uint64_t>(sm.l1d.line_bytes)),

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/types.h"
@@ -173,6 +174,31 @@ struct GovernorConfig {
 };
 
 // ---------------------------------------------------------------------------
+// Data-placement policy (src/mem/placement.*).  kRandom reproduces the
+// paper's seeded page hash bit-for-bit and is the default everywhere.
+// ---------------------------------------------------------------------------
+enum class PlacementPolicyKind : std::uint8_t {
+  kRandom,      // seeded hash (§5 "random mapping of pages")
+  kFirstTouch,  // round-robin at first lookup of each page
+  kLocality,    // reference-interpreter profile: page lives where its NSU is
+  kMigration,   // random start + hot-page re-homing on remote traffic
+};
+
+struct PlacementProfile;  // mem/placement.h: page -> preferred-stack map
+
+struct PlacementConfig {
+  PlacementPolicyKind policy = PlacementPolicyKind::kRandom;
+  // kMigration: remote NSU accesses to a page (since its last move) that
+  // trigger a re-home onto the majority remote accessor.
+  std::uint32_t migration_threshold = 64;
+  // kLocality: profile from the reference-interpreter pre-pass
+  // (src/ref/placement_profile.*).  Simulator::run builds it automatically
+  // when null; run_image callers supply their own (unprofiled pages fall
+  // back to the random hash).
+  std::shared_ptr<const PlacementProfile> locality_profile;
+};
+
+// ---------------------------------------------------------------------------
 // Energy model constants (§5).  Units: joules per event / per bit.
 // ---------------------------------------------------------------------------
 struct EnergyConfig {
@@ -219,9 +245,10 @@ struct SystemConfig {
   GovernorConfig governor{};
   EnergyConfig energy{};
 
-  // Data page size for the random page->HMC placement (§5: 4 KB pages).
+  // Data page size for the page->HMC placement (§5: 4 KB pages).
   std::uint64_t page_bytes = 4 * KiB;
   std::uint64_t placement_seed = 0x5EED;
+  PlacementConfig placement{};
 
   // On-die interconnect latency between an SM and an L2 slice / link port.
   TimePs xbar_latency_ps = 8000;  // ~10 cycles at 1.25 GHz

@@ -242,7 +242,10 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
                                                                  now + l2_latency_ps);
       } else if (result == CacheAccessResult::kMissNew) {
         if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, false, 0);
-        p.dst_node = static_cast<std::uint16_t>(ctx_.amap->hmc_of(p.line_addr));
+        // Pin the destination to this slice's stack: the MSHR lives here, so
+        // the fill (src_node of the response) must come back to the same
+        // slice even if the page migrates while the miss is outstanding.
+        p.dst_node = static_cast<std::uint16_t>(slice_idx);
         send_to_network(std::move(p), now);
       } else {
         // Merged into an existing L2 MSHR: this request's lifetime ends
@@ -261,7 +264,7 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
       case PacketType::kMemWrite: {
         ++ctx_.energy->l2_accesses;
         slice.cache->write_touch(p.line_addr);
-        p.dst_node = static_cast<std::uint16_t>(ctx_.amap->hmc_of(p.line_addr));
+        p.dst_node = static_cast<std::uint16_t>(slice_idx);  // same pin as kMissNew
         send_to_network(std::move(p), now);
         break;
       }
@@ -322,7 +325,10 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
         ctx_.latency->finish(p, PathClass::kGpuReadDram, now + ctx_.cfg->xbar_latency_ps,
                              ctx_.cfg->num_hmcs);
       }
-      const unsigned slice_idx = ctx_.amap->hmc_of(p.line_addr);
+      // The serving stack IS the slice that holds the MSHR (kMissNew pins
+      // dst to its slice) — a fresh hmc_of here could land on a different
+      // slice after a migration and strand the MSHR tokens.
+      const unsigned slice_idx = p.src_node;
       ++ctx_.energy->l2_accesses;
       for (std::uint64_t token : slices_.at(slice_idx).cache->fill(p.line_addr)) {
         ctx_.energy->gpu_wire_bytes += kLineBytes;
@@ -333,9 +339,17 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
     }
     case PacketType::kCacheInval: {
       ++invals_received_;
-      slices_.at(ctx_.amap->hmc_of(p.line_addr)).cache->invalidate(p.line_addr);
+      if (ctx_.amap->policy().volatile_mapping()) {
+        // Under migration the line may be cached in the slice of an older
+        // mapping; sweep all slices rather than trust a live lookup.
+        for (L2Slice& s : slices_) s.cache->invalidate(p.line_addr);
+      } else {
+        slices_.at(ctx_.amap->hmc_of(p.line_addr)).cache->invalidate(p.line_addr);
+      }
       for (auto& sm : sms_) sm->invalidate_line(p.line_addr);
       // §4.1.1: this invalidation retires one in-flight WTA for its HMC.
+      // (The tracker aggregates across stacks under a volatile mapping, so
+      // a since-migrated key still retires the right count.)
       ctx_.wta_tracker->on_invalidation(ctx_.amap->hmc_of(p.line_addr));
       break;
     }

@@ -18,23 +18,32 @@ class WtaInflightTracker {
  public:
   explicit WtaInflightTracker(unsigned num_hmcs) : inflight_(num_hmcs, 0) {}
 
+  // Volatile-mapping (migration) mode: a WTA's generation-time stack and its
+  // invalidation-time stack can disagree once the page moved, so per-stack
+  // counters would leak/underflow.  Collapse to one aggregate counter —
+  // coarser (quiescence becomes all-stacks) but still a sound §4.1.1
+  // conservative bound.  Set before the first WTA.
+  void set_aggregate(bool on) { aggregate_ = on; }
+
   void on_wta_generated(unsigned hmc) {
-    ++inflight_.at(hmc);
-    max_seen_ = std::max(max_seen_, inflight_[hmc]);
+    const unsigned slot = aggregate_ ? 0 : hmc;
+    ++inflight_.at(slot);
+    max_seen_ = std::max(max_seen_, inflight_[slot]);
     ++total_;
   }
 
   void on_invalidation(unsigned hmc) {
-    if (inflight_.at(hmc) == 0) {
+    const unsigned slot = aggregate_ ? 0 : hmc;
+    if (inflight_.at(slot) == 0) {
       throw std::logic_error("WtaInflightTracker: invalidation without in-flight WTA");
     }
-    --inflight_[hmc];
+    --inflight_[slot];
   }
 
-  unsigned inflight(unsigned hmc) const { return inflight_.at(hmc); }
+  unsigned inflight(unsigned hmc) const { return inflight_.at(aggregate_ ? 0 : hmc); }
 
   // Safe to remap pages on `hmc` (no NDP store can still be in flight there).
-  bool quiescent(unsigned hmc) const { return inflight_.at(hmc) == 0; }
+  bool quiescent(unsigned hmc) const { return inflight(hmc) == 0; }
   bool all_quiescent() const {
     for (unsigned v : inflight_) {
       if (v != 0) return false;
@@ -49,6 +58,7 @@ class WtaInflightTracker {
   std::vector<unsigned> inflight_;
   unsigned max_seen_ = 0;
   std::uint64_t total_ = 0;
+  bool aggregate_ = false;
 };
 
 }  // namespace sndp

@@ -1,17 +1,23 @@
 #include "mem/address_map.h"
 
+#include <bit>
+#include <stdexcept>
+
+#include "common/stats.h"
+
 namespace sndp {
 namespace {
 
-// Fast 64-bit mixer (SplitMix64 finalizer): turns page ids into uniformly
-// distributed placements while staying deterministic for a given seed.
-std::uint64_t mix64(std::uint64_t x) {
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
+// Exact log2 for the power-of-two geometry parameters.  countr_zero of a
+// non-power-of-two would silently return the position of the lowest set bit
+// (e.g. log2u(6) == 1), shredding the vault/bank/column bit slicing — so
+// this hard-asserts instead of relying on config validation alone.
+unsigned log2u(std::uint64_t v) {
+  if (!std::has_single_bit(v)) {
+    throw std::invalid_argument("AddressMap: geometry parameter must be a power of two");
+  }
+  return static_cast<unsigned>(std::countr_zero(v));
 }
-
-unsigned log2u(std::uint64_t v) { return static_cast<unsigned>(std::countr_zero(v)); }
 
 }  // namespace
 
@@ -23,15 +29,15 @@ AddressMap::AddressMap(const SystemConfig& cfg)
       vault_bits_(log2u(cfg.hmc.num_vaults)),
       bank_bits_(log2u(cfg.hmc.banks_per_vault)),
       column_bits_(log2u(cfg.hmc.row_bytes / cfg.l2.line_bytes)),
-      seed_(cfg.placement_seed) {}
+      policy_(make_placement_policy(cfg)) {}
 
-HmcId AddressMap::hmc_of_page(std::uint64_t page_id) const {
-  return static_cast<HmcId>(mix64(page_id ^ seed_) & (num_hmcs_ - 1));
+DramCoord AddressMap::decode(Addr addr) {
+  return decode_at(addr, hmc_of(addr));
 }
 
-DramCoord AddressMap::decode(Addr addr) const {
+DramCoord AddressMap::decode_at(Addr addr, HmcId home) const {
   DramCoord c;
-  c.hmc = hmc_of(addr);
+  c.hmc = home;
   std::uint64_t a = addr >> line_shift_;  // line address
   c.vault = static_cast<VaultId>(a & ((1u << vault_bits_) - 1));
   a >>= vault_bits_;
@@ -48,6 +54,13 @@ DramCoord AddressMap::decode(Addr addr) const {
   c.column = col_lo | (col_hi << col_lo_bits);
   c.row = a;
   return c;
+}
+
+void AddressMap::export_stats(StatSet& stats) const {
+  stats.set("mem.placement_policy", static_cast<double>(policy_->kind()));
+  stats.set("mem.pages_migrated", static_cast<double>(policy_->pages_migrated()));
+  stats.set("mem.migration_bytes", static_cast<double>(policy_->migration_bytes()));
+  stats.set("mem.pages_first_touch", static_cast<double>(policy_->pages_assigned()));
 }
 
 }  // namespace sndp

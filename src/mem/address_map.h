@@ -1,23 +1,27 @@
 // Physical address decomposition.
 //
-// Pages (4 KB, §5) are placed on HMCs by a seeded hash — the paper's
-// "random mapping of pages" that models unrestricted data placement under
-// dynamic memory management.  Within a stack, cache lines interleave across
-// vaults first, then a small low column slice, then banks (HMC-style
-// fine-grained interleave balancing bank-level parallelism against row
-// locality: 4 consecutive vault-local lines share a row before the bank
-// advances — one activation serves 512 B of streaming per bank):
+// Pages (4 KB, §5) are placed on HMCs by a pluggable PlacementPolicy
+// (mem/placement.h); the default random hash is the paper's "random mapping
+// of pages" that models unrestricted data placement under dynamic memory
+// management.  Within a stack, cache lines interleave across vaults first,
+// then a small low column slice, then banks (HMC-style fine-grained
+// interleave balancing bank-level parallelism against row locality: 4
+// consecutive vault-local lines share a row before the bank advances — one
+// activation serves 512 B of streaming per bank):
 //
 //   addr bits:  [ row | col_hi | bank | col_lo(2) | vault | line offset ]
 #pragma once
 
-#include <bit>
 #include <cstdint>
+#include <memory>
 
 #include "common/config.h"
 #include "common/types.h"
+#include "mem/placement.h"
 
 namespace sndp {
+
+class StatSet;
 
 struct DramCoord {
   HmcId hmc = 0;
@@ -27,19 +31,38 @@ struct DramCoord {
   unsigned column = 0;  // line index within the row
 };
 
+// One AddressMap per simulation, shared through SimContext: every consumer
+// (SM target voting, L2 slicing, HMC/NSU routing, latency classification)
+// sees the same live page->stack mapping.  Lookups are non-const because
+// first-touch placement assigns lazily.
 class AddressMap {
  public:
-  AddressMap(const SystemConfig& cfg);
+  explicit AddressMap(const SystemConfig& cfg);
+  AddressMap(const AddressMap&) = delete;
+  AddressMap& operator=(const AddressMap&) = delete;
 
-  HmcId hmc_of(Addr addr) const { return hmc_of_page(addr >> page_shift_); }
-  HmcId hmc_of_page(std::uint64_t page_id) const;
+  HmcId hmc_of(Addr addr) { return hmc_of_page(addr >> page_shift_); }
+  HmcId hmc_of_page(std::uint64_t page_id) { return policy_->home_of_page(page_id); }
 
   Addr line_of(Addr addr) const { return addr & ~static_cast<Addr>(line_bytes_ - 1); }
   unsigned line_bytes() const { return line_bytes_; }
   std::uint64_t page_bytes() const { return std::uint64_t{1} << page_shift_; }
   unsigned num_hmcs() const { return num_hmcs_; }
 
-  DramCoord decode(Addr addr) const;
+  // Live-mapping decode: resolves the page's current home.
+  DramCoord decode(Addr addr);
+  // Decode against a caller-resolved home — the single-lookup contract: a
+  // caller that already routed a packet to `home` decodes with that same
+  // value, so vault/bank/row can never disagree with routing even after the
+  // page migrates.
+  DramCoord decode_at(Addr addr, HmcId home) const;
+
+  PlacementPolicy& policy() { return *policy_; }
+  const PlacementPolicy& policy() const { return *policy_; }
+
+  // Emits mem.placement_policy plus the policy's counters
+  // (mem.pages_migrated / mem.migration_bytes / mem.pages_first_touch).
+  void export_stats(StatSet& stats) const;
 
  private:
   unsigned line_bytes_;
@@ -49,7 +72,7 @@ class AddressMap {
   unsigned vault_bits_;
   unsigned bank_bits_;
   unsigned column_bits_;  // log2(lines per row)
-  std::uint64_t seed_;
+  std::unique_ptr<PlacementPolicy> policy_;
 };
 
 }  // namespace sndp

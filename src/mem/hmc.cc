@@ -6,6 +6,7 @@
 #include "mem/address_map.h"
 #include "memfunc/global_memory.h"
 #include "noc/network.h"
+#include "obs/epoch_timeline.h"
 #include "obs/latency.h"
 
 namespace sndp {
@@ -86,6 +87,13 @@ TimePs Hmc::next_work_ps(TimePs) {
 }
 
 void Hmc::tick(Cycle cycle, TimePs now) {
+  // Migration-counter sampling, BEFORE the fast-forward early-return: this
+  // runs at every dram edge in either stepping mode, and migrations only
+  // mutate later in a tick (vault completions), so the sampled value is the
+  // boundary value regardless of which edges get skipped.
+  if (timeline_ != nullptr && timeline_->migrations_due(now)) {
+    timeline_->poll_migrations(now, ctx_.amap->policy().pages_migrated());
+  }
   if (fast_forward_ && next_work_ps(now) > now) return;  // still asleep
   // Drain the network RX into vaults / the NSU.
   auto& rx = ctx_.net->rx(id_);
@@ -101,7 +109,7 @@ void Hmc::tick(Cycle cycle, TimePs now) {
     while (backlog.ready(now) && vaults_[v]->can_accept()) {
       Packet p = backlog.pop();
       if (ctx_.latency != nullptr) ctx_.latency->queue_hop(p, now, "vault_queue", id_);
-      const DramCoord coord = ctx_.amap->decode(p.line_addr);
+      const DramCoord coord = ctx_.amap->decode_at(p.line_addr, id_);
       const bool is_write =
           p.type == PacketType::kMemWrite || p.type == PacketType::kNsuWrite;
       const std::uint64_t token = next_token_++;
@@ -140,8 +148,16 @@ void Hmc::route_packet(Packet&& p, TimePs now) {
 }
 
 void Hmc::enqueue_vault(Packet&& p, TimePs now) {
-  const DramCoord coord = ctx_.amap->decode(p.line_addr);
-  if (coord.hmc != id_) throw std::logic_error("Hmc: packet for another stack");
+  // Single-lookup contract: the packet was routed here, so decode against
+  // this stack — the vault/bank/row split is stack-relative and must follow
+  // the routing decision, not a second (possibly since-migrated) lookup.
+  const DramCoord coord = ctx_.amap->decode_at(p.line_addr, id_);
+  // Misrouting tripwire, only meaningful while the mapping cannot shift
+  // between the sender's lookup and our arrival.
+  if (!ctx_.amap->policy().volatile_mapping() &&
+      ctx_.amap->hmc_of(p.line_addr) != id_) {
+    throw std::logic_error("Hmc: packet for another stack");
+  }
   // Both callers add exactly one intra-stack NoC traversal before `now`.
   if (ctx_.latency != nullptr) ctx_.latency->add_link(p, 0, noc_latency_ps_);
   auto& backlog = vault_backlog_.at(coord.vault);
@@ -227,6 +243,10 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
         if (ctx_.latency != nullptr) ctx_.latency->add_link(resp, 0, noc_latency_ps_);
         nsu_->receive(std::move(resp), done_ps + noc_latency_ps_);
       } else {
+        // Remote forward: the consuming NSU pulls from a page homed here —
+        // the migration policy's signal to move the page toward it.
+        ctx_.amap->policy().note_remote_access(p.line_addr / ctx_.amap->page_bytes(),
+                                               static_cast<HmcId>(p.target_nsu));
         resp.dst_node = p.target_nsu;
         send_from_stack(std::move(resp), done_ps);
       }
@@ -254,6 +274,10 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
         if (ctx_.latency != nullptr) ctx_.latency->add_link(ack, 0, noc_latency_ps_);
         nsu_->receive(std::move(ack), done_ps + noc_latency_ps_);
       } else {
+        // Remote NSU write into a page homed here: same migration signal as
+        // the RDF remote-forward path.
+        ctx_.amap->policy().note_remote_access(p.line_addr / ctx_.amap->page_bytes(),
+                                               static_cast<HmcId>(origin));
         ack.dst_node = static_cast<std::uint16_t>(origin);
         send_from_stack(std::move(ack), done_ps);
       }

@@ -19,6 +19,8 @@
 
 namespace sndp {
 
+class EpochTimeline;
+
 class Hmc final : public Tickable {
  public:
   Hmc(HmcId id, const SystemContext& ctx);
@@ -53,6 +55,11 @@ class Hmc final : public Tickable {
 
   void export_stats(StatSet& out, const std::string& prefix) const;
 
+  // Epoch-timeline hookup for the placement-migration counter (dram-domain
+  // lazy poll; see the poll in tick()).  Set on stack 0 only — one poller
+  // suffices for the shared policy counter.
+  void set_timeline(EpochTimeline* timeline) { timeline_ = timeline; }
+
  private:
   void route_packet(Packet&& p, TimePs now);
   void enqueue_vault(Packet&& p, TimePs now);
@@ -77,6 +84,8 @@ class Hmc final : public Tickable {
   // Fast-forward wake hint over backlogs + vaults (see next_work_ps).
   TimePs wake_internal_ = 0;
   bool fast_forward_ = false;
+
+  EpochTimeline* timeline_ = nullptr;
 
   std::uint64_t packets_routed_ = 0;
   std::uint64_t mem_reads_completed_ = 0;

@@ -1,0 +1,183 @@
+#include "mem/placement.h"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace sndp {
+namespace {
+
+// Fast 64-bit mixer (SplitMix64 finalizer): turns page ids into uniformly
+// distributed placements while staying deterministic for a given seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  RandomPlacement(std::uint64_t seed, unsigned num_hmcs)
+      : PlacementPolicy(PlacementPolicyKind::kRandom), seed_(seed), num_hmcs_(num_hmcs) {}
+
+  HmcId home_of_page(std::uint64_t page_id) override {
+    return random_page_home(page_id, seed_, num_hmcs_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  unsigned num_hmcs_;
+};
+
+class FirstTouchPlacement final : public PlacementPolicy {
+ public:
+  explicit FirstTouchPlacement(unsigned num_hmcs)
+      : PlacementPolicy(PlacementPolicyKind::kFirstTouch), num_hmcs_(num_hmcs) {}
+
+  HmcId home_of_page(std::uint64_t page_id) override {
+    const auto [it, inserted] = home_.try_emplace(page_id, static_cast<HmcId>(next_));
+    if (inserted) {
+      next_ = (next_ + 1) % num_hmcs_;
+      ++pages_assigned_;
+    }
+    return it->second;
+  }
+
+ private:
+  unsigned num_hmcs_;
+  unsigned next_ = 0;  // round-robin cursor over stacks
+  std::unordered_map<std::uint64_t, HmcId> home_;
+};
+
+class LocalityPlacement final : public PlacementPolicy {
+ public:
+  LocalityPlacement(std::shared_ptr<const PlacementProfile> profile, std::uint64_t seed,
+                    unsigned num_hmcs)
+      : PlacementPolicy(PlacementPolicyKind::kLocality),
+        profile_(std::move(profile)),
+        seed_(seed),
+        num_hmcs_(num_hmcs) {}
+
+  HmcId home_of_page(std::uint64_t page_id) override {
+    if (profile_ != nullptr) {
+      const auto it = profile_->home.find(page_id);
+      // A profiled home outside the configured stack count (profile built
+      // for a different topology) is ignored rather than misrouted.
+      if (it != profile_->home.end() && it->second < num_hmcs_) return it->second;
+    }
+    return random_page_home(page_id, seed_, num_hmcs_);
+  }
+
+ private:
+  std::shared_ptr<const PlacementProfile> profile_;
+  std::uint64_t seed_;
+  unsigned num_hmcs_;
+};
+
+class MigrationPlacement final : public PlacementPolicy {
+ public:
+  MigrationPlacement(std::uint64_t seed, unsigned num_hmcs, std::uint32_t threshold,
+                     std::uint64_t page_bytes)
+      : PlacementPolicy(PlacementPolicyKind::kMigration),
+        seed_(seed),
+        num_hmcs_(num_hmcs),
+        threshold_(threshold),
+        page_bytes_(page_bytes) {}
+
+  HmcId home_of_page(std::uint64_t page_id) override {
+    const auto it = moved_.find(page_id);
+    return it != moved_.end() ? it->second : random_page_home(page_id, seed_, num_hmcs_);
+  }
+
+  void note_remote_access(std::uint64_t page_id, HmcId accessor) override {
+    if (accessor >= num_hmcs_) return;
+    if (accessor == home_of_page(page_id)) return;  // in-flight before a move
+    PageHeat& heat = heat_[page_id];
+    if (heat.votes.empty()) heat.votes.assign(num_hmcs_, 0);
+    ++heat.votes[accessor];
+    if (++heat.total < threshold_) return;
+    // Re-home onto the majority remote accessor (ties: lowest stack id) and
+    // restart the page's counters from zero.
+    HmcId best = 0;
+    for (unsigned h = 1; h < num_hmcs_; ++h) {
+      if (heat.votes[h] > heat.votes[best]) best = static_cast<HmcId>(h);
+    }
+    heat_.erase(page_id);
+    if (best == home_of_page(page_id)) return;
+    moved_[page_id] = best;
+    ++pages_migrated_;
+    migration_bytes_ += page_bytes_;
+  }
+
+  bool volatile_mapping() const override { return true; }
+
+ private:
+  struct PageHeat {
+    std::vector<std::uint32_t> votes;  // remote accesses per candidate stack
+    std::uint32_t total = 0;           // since the page's last move
+  };
+
+  std::uint64_t seed_;
+  unsigned num_hmcs_;
+  std::uint32_t threshold_;
+  std::uint64_t page_bytes_;
+  std::unordered_map<std::uint64_t, HmcId> moved_;
+  std::unordered_map<std::uint64_t, PageHeat> heat_;
+};
+
+}  // namespace
+
+HmcId random_page_home(std::uint64_t page_id, std::uint64_t seed, unsigned num_hmcs) {
+  const std::uint64_t h = mix64(page_id ^ seed);
+  if (std::has_single_bit(num_hmcs)) {
+    return static_cast<HmcId>(h & (num_hmcs - 1));  // historic bit-compatible path
+  }
+  // Lemire fixed-point reduction: maps the full 64-bit hash onto [0, N)
+  // without the modulo bias a mask-and-wrap would introduce.
+  return static_cast<HmcId>(
+      (static_cast<unsigned __int128>(h) * static_cast<unsigned __int128>(num_hmcs)) >> 64);
+}
+
+const char* placement_policy_name(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kRandom: return "random";
+    case PlacementPolicyKind::kFirstTouch: return "first_touch";
+    case PlacementPolicyKind::kLocality: return "locality";
+    case PlacementPolicyKind::kMigration: return "migration";
+  }
+  return "?";
+}
+
+bool parse_placement_policy(const std::string& text, PlacementPolicyKind* out) {
+  if (text == "random") {
+    *out = PlacementPolicyKind::kRandom;
+  } else if (text == "first_touch" || text == "first-touch") {
+    *out = PlacementPolicyKind::kFirstTouch;
+  } else if (text == "locality") {
+    *out = PlacementPolicyKind::kLocality;
+  } else if (text == "migration") {
+    *out = PlacementPolicyKind::kMigration;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(const SystemConfig& cfg) {
+  switch (cfg.placement.policy) {
+    case PlacementPolicyKind::kRandom:
+      return std::make_unique<RandomPlacement>(cfg.placement_seed, cfg.num_hmcs);
+    case PlacementPolicyKind::kFirstTouch:
+      return std::make_unique<FirstTouchPlacement>(cfg.num_hmcs);
+    case PlacementPolicyKind::kLocality:
+      return std::make_unique<LocalityPlacement>(cfg.placement.locality_profile,
+                                                 cfg.placement_seed, cfg.num_hmcs);
+    case PlacementPolicyKind::kMigration:
+      return std::make_unique<MigrationPlacement>(cfg.placement_seed, cfg.num_hmcs,
+                                                  cfg.placement.migration_threshold,
+                                                  cfg.page_bytes);
+  }
+  throw std::invalid_argument("make_placement_policy: unknown policy kind");
+}
+
+}  // namespace sndp

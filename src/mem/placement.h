@@ -1,0 +1,100 @@
+// Pluggable page->stack data-placement policies.
+//
+// The paper's "unrestricted data placement" (§5) is a seeded random hash of
+// 4 KB pages onto HMC stacks.  CODA-style follow-up work shows the next win
+// is co-locating data with the NSU that computes on it, so the AddressMap
+// delegates the page->stack decision to a PlacementPolicy:
+//
+//   kRandom      seeded hash (the paper's model; bit-compatible default —
+//                for power-of-two stack counts it reproduces the historic
+//                mask reduction exactly)
+//   kFirstTouch  round-robin assignment at the first lookup of each page
+//                (the simulation is deterministic, so "first touch" is too)
+//   kLocality    page->stack map from a reference-interpreter profiling
+//                pre-pass (src/ref/placement_profile.*): each page lives on
+//                the stack whose NSU touches it most; unprofiled pages fall
+//                back to the random hash
+//   kMigration   starts random; a page re-homes onto the NSU stack that
+//                generates the most remote traffic to it once that traffic
+//                crosses cfg.placement.migration_threshold
+//
+// Every component consults ONE shared policy through ctx.amap — SM target
+// voting, L2 slice selection, HMC routing, NSU write routing, the latency
+// tracer's local/remote classes, and the stats audit all see the same live
+// mapping.  Policies whose mapping can change mid-run (volatile_mapping())
+// additionally require callers to pin lookups they cache (see DESIGN.md
+// "Data placement" for the pinned classification points).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace sndp {
+
+// Output of the reference-interpreter profiling pre-pass: the preferred
+// stack for every page an accepted offload block touches.  Built by
+// build_placement_profile() (src/ref/placement_profile.*) and carried in
+// SystemConfig::placement.locality_profile.
+struct PlacementProfile {
+  std::unordered_map<std::uint64_t, HmcId> home;  // page id -> stack
+  std::uint64_t pages_profiled = 0;               // == home.size()
+  std::uint64_t votes = 0;  // weighted lane-access votes recorded
+};
+
+// The shared random primitive: unbiased page->stack hash.  Power-of-two
+// stack counts use the historic mask (bit-compatible with the seed repo);
+// other counts use a fixed-point multiply (Lemire reduction) instead of the
+// silently-biased mask.
+HmcId random_page_home(std::uint64_t page_id, std::uint64_t seed, unsigned num_hmcs);
+
+const char* placement_policy_name(PlacementPolicyKind kind);
+// Parses "random" / "first_touch" / "locality" / "migration" (also accepts
+// "first-touch").  Returns false on anything else.
+bool parse_placement_policy(const std::string& text, PlacementPolicyKind* out);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  PlacementPolicyKind kind() const { return kind_; }
+  const char* name() const { return placement_policy_name(kind_); }
+
+  // Current home stack of a page.  Non-const: first-touch assigns lazily,
+  // so the result for a given page is stable from its first lookup on.
+  virtual HmcId home_of_page(std::uint64_t page_id) = 0;
+
+  // Migration feed, called at the pinned serving-stack completion sites
+  // (Hmc::on_vault_complete) for every RDF / NSU-write whose consuming NSU
+  // is not the serving stack.  Static policies ignore it.
+  virtual void note_remote_access(std::uint64_t /*page_id*/, HmcId /*accessor*/) {}
+
+  // True when home_of_page can change over a run (migration).  Callers that
+  // resolve a lookup and act on it later must carry the resolved value in
+  // the packet instead of re-resolving; the GPU also widens invalidations
+  // and collapses the WTA in-flight tracker to one aggregate counter.
+  virtual bool volatile_mapping() const { return false; }
+
+  std::uint64_t pages_migrated() const { return pages_migrated_; }
+  std::uint64_t migration_bytes() const { return migration_bytes_; }
+  std::uint64_t pages_assigned() const { return pages_assigned_; }
+
+ protected:
+  explicit PlacementPolicy(PlacementPolicyKind kind) : kind_(kind) {}
+
+  PlacementPolicyKind kind_;
+  std::uint64_t pages_migrated_ = 0;
+  std::uint64_t migration_bytes_ = 0;
+  std::uint64_t pages_assigned_ = 0;  // first-touch: pages given a home
+};
+
+// Builds the policy cfg.placement selects.  kLocality with a null profile
+// is allowed (every page falls back to the random hash) so run_image-only
+// callers degrade gracefully; Simulator::run builds the profile first.
+std::unique_ptr<PlacementPolicy> make_placement_policy(const SystemConfig& cfg);
+
+}  // namespace sndp

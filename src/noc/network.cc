@@ -1,5 +1,6 @@
 #include "noc/network.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "obs/epoch_timeline.h"
@@ -30,13 +31,16 @@ Network::Network(const SystemConfig& cfg)
   gpu_links_.reserve(num_hmcs_);
   for (unsigned h = 0; h < num_hmcs_; ++h) gpu_links_.push_back(make_pair());
   // Hypercube edges: (i, i ^ (1 << d)) for each dimension d, created once.
+  // Non-power-of-two counts keep only the edges whose far endpoint exists
+  // (the incomplete hypercube).
   const unsigned dims = hypercube_dimensions(num_hmcs_);
   for (unsigned i = 0; i < num_hmcs_; ++i) {
     for (unsigned d = 0; d < dims; ++d) {
       const unsigned j = i ^ (1u << d);
-      if (i < j) cube_links_.emplace(pair_key(i, j), make_pair());
+      if (i < j && j < num_hmcs_) cube_links_.emplace(pair_key(i, j), make_pair());
     }
   }
+  pow2_nodes_ = std::has_single_bit(num_hmcs_);
 }
 
 Link& Network::gpu_link(unsigned hmc, bool toward_hmc) {
@@ -94,7 +98,12 @@ TimePs Network::send(Packet pkt, TimePs now) {
     // HMC -> HMC over the hypercube, dimension-order.  Fixed-size route
     // buffer: this runs once per packet, so no heap traffic here.
     unsigned path[kMaxRouteNodes];
-    const unsigned hops = hypercube_route(pkt.src_node, pkt.dst_node, path);
+    // Power-of-two counts keep the historic lowest-bit-first route (bit-
+    // identical link traffic); others need the incomplete-cube route whose
+    // intermediates all exist.
+    const unsigned hops =
+        pow2_nodes_ ? hypercube_route(pkt.src_node, pkt.dst_node, path)
+                    : incomplete_hypercube_route(pkt.src_node, pkt.dst_node, num_hmcs_, path);
     for (unsigned i = 0; i + 1 < hops; ++i) {
       TimePs router = 0;
       if (i > 0) {

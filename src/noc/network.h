@@ -85,6 +85,7 @@ class Network {
   Link& cube_link(unsigned from, unsigned to);
 
   unsigned num_hmcs_;
+  bool pow2_nodes_ = true;  // selects historic vs incomplete-cube routing
   LinkConfig link_cfg_;
   TimePs router_latency_ps_;
   std::vector<LinkPair> gpu_links_;              // one per HMC

@@ -27,8 +27,38 @@ std::vector<unsigned> hypercube_route(unsigned a, unsigned b) {
   return std::vector<unsigned>(buf, buf + n);
 }
 
+unsigned incomplete_hypercube_route(unsigned a, unsigned b, unsigned num_nodes,
+                                    unsigned* out) {
+  unsigned n = 0;
+  out[n++] = a;
+  unsigned cur = a;
+  // Descend: clear the highest bit cur has that b lacks.  cur strictly
+  // decreases each step, so every intermediate stays < num_nodes.
+  while ((cur & ~b) != 0) {
+    const unsigned excess = cur & ~b;
+    cur ^= 1u << (31 - static_cast<unsigned>(std::countl_zero(excess)));
+    out[n++] = cur;
+  }
+  // Ascend: set b's missing bits lowest-first.  cur is now a subset of b,
+  // and stays one, so every intermediate is <= b < num_nodes.
+  while (cur != b) {
+    const unsigned diff = cur ^ b;
+    cur |= diff & (~diff + 1u);  // lowest missing bit
+    out[n++] = cur;
+  }
+  (void)num_nodes;
+  return n;
+}
+
+std::vector<unsigned> incomplete_hypercube_route(unsigned a, unsigned b,
+                                                 unsigned num_nodes) {
+  unsigned buf[kMaxRouteNodes];
+  const unsigned n = incomplete_hypercube_route(a, b, num_nodes, buf);
+  return std::vector<unsigned>(buf, buf + n);
+}
+
 unsigned hypercube_dimensions(unsigned num_nodes) {
-  return static_cast<unsigned>(std::countr_zero(num_nodes));
+  return num_nodes <= 1 ? 0 : static_cast<unsigned>(std::bit_width(num_nodes - 1));
 }
 
 }  // namespace sndp

@@ -5,6 +5,15 @@
 // bidirectional link (8 GPU links total).  Routing is deterministic
 // dimension-order: resolve the lowest differing address bit first — acyclic
 // channel dependencies, hence deadlock-free.
+//
+// Non-power-of-two node counts use the INCOMPLETE hypercube: nodes
+// 0..N-1 of the enclosing 2^ceil(log2 N) cube with every single-bit edge
+// whose endpoints both exist.  Dimension-order routing can leave that node
+// set (6 -> 1 via lowest-bit-first visits 7), so incomplete routes descend
+// first — clearing high bits only ever produces smaller, hence valid,
+// intermediates — then ascend setting the destination's low bits, which
+// stay <= b.  Still deterministic and cycle-free (monotone descent followed
+// by monotone ascent).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +39,17 @@ unsigned hypercube_route(unsigned a, unsigned b, unsigned* out);
 // Convenience wrapper for tests and tools (allocates).
 std::vector<unsigned> hypercube_route(unsigned a, unsigned b);
 
-// Number of network dimensions for `num_nodes` (power of two).
+// Route on the incomplete hypercube over nodes [0, num_nodes): every
+// intermediate stays < num_nodes.  For power-of-two num_nodes this is NOT
+// necessarily the same node sequence as hypercube_route (which the network
+// keeps using there, preserving bit-identical link traffic).
+unsigned incomplete_hypercube_route(unsigned a, unsigned b, unsigned num_nodes,
+                                    unsigned* out);
+std::vector<unsigned> incomplete_hypercube_route(unsigned a, unsigned b,
+                                                 unsigned num_nodes);
+
+// Number of network dimensions for `num_nodes`: the enclosing cube's
+// ceil(log2(num_nodes)).
 unsigned hypercube_dimensions(unsigned num_nodes);
 
 }  // namespace sndp

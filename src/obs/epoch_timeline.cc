@@ -16,11 +16,17 @@ EpochTimeline::EpochTimeline(const SystemConfig& cfg, unsigned num_nsus)
       num_gpu_links_(cfg.num_hmcs),
       link_bytes_per_ps_(cfg.link.gb_per_s / 1000.0),
       max_time_ps_(cfg.max_time_ps) {
-  // Each HMC drives log2(num_hmcs) unidirectional cube links (one per
-  // hypercube dimension).
+  // Count the unidirectional cube links that actually exist: both endpoints
+  // of a dimension edge must be < num_hmcs (incomplete hypercube for
+  // non-power-of-two counts; reduces to num_hmcs * log2(num_hmcs) for
+  // complete cubes).
   unsigned dims = 0;
   while ((1u << dims) < cfg.num_hmcs) ++dims;
-  num_cube_links_ = cfg.num_hmcs * dims;
+  for (unsigned i = 0; i < cfg.num_hmcs; ++i) {
+    for (unsigned d = 0; d < dims; ++d) {
+      if ((i ^ (1u << d)) < cfg.num_hmcs) ++num_cube_links_;
+    }
+  }
   nsu_.resize(num_nsus);
 }
 
@@ -99,11 +105,19 @@ void EpochTimeline::poll_nsu(unsigned nsu, TimePs now,
   }
 }
 
+void EpochTimeline::poll_migrations(TimePs now, std::uint64_t pages_migrated) {
+  while (due(migrations_filled_, now)) {
+    migrated_at_.push_back(pages_migrated);
+    ++migrations_filled_;
+  }
+}
+
 void EpochTimeline::finalize(std::uint64_t l2_hits, std::uint64_t l2_misses,
                              std::uint64_t gpu_up_bytes,
                              std::uint64_t gpu_down_bytes,
                              std::uint64_t cube_bytes,
-                             const std::vector<std::uint64_t>& nsu_occ) {
+                             const std::vector<std::uint64_t>& nsu_occ,
+                             std::uint64_t pages_migrated) {
   const std::size_t n = samples_.size();
   // Flush lazy series out to the number of rolled epochs.  Any boundary a
   // source never reached with a consumed edge had frozen counters from
@@ -120,6 +134,10 @@ void EpochTimeline::finalize(std::uint64_t l2_hits, std::uint64_t l2_misses,
     cube_at_.push_back(cube_bytes);
     ++links_filled_;
   }
+  while (migrations_filled_ < n) {
+    migrated_at_.push_back(pages_migrated);
+    ++migrations_filled_;
+  }
   for (std::size_t i = 0; i < nsu_.size(); ++i) {
     NsuSeries& s = nsu_[i];
     const std::uint64_t final_occ = i < nsu_occ.size() ? nsu_occ[i] : 0;
@@ -131,6 +149,7 @@ void EpochTimeline::finalize(std::uint64_t l2_hits, std::uint64_t l2_misses,
 
   std::uint64_t prev_l2h = 0, prev_l2m = 0;
   std::uint64_t prev_up = 0, prev_down = 0, prev_cube = 0;
+  std::uint64_t prev_migrated = 0;
   std::vector<std::uint64_t> prev_occ(nsu_.size(), 0);
   TimePs prev_ps = 0;
   std::uint64_t prev_nsu_edges = 0;
@@ -165,6 +184,8 @@ void EpochTimeline::finalize(std::uint64_t l2_hits, std::uint64_t l2_misses,
           static_cast<double>(occ_sum) /
           (static_cast<double>(d_edges) * nsu_max_warps_ * nsu_.size());
     }
+    s.pages_migrated = migrated_at_[k] - prev_migrated;
+    prev_migrated = migrated_at_[k];
     prev_l2h = l2_hits_at_[k];
     prev_l2m = l2_misses_at_[k];
     prev_up = up_at_[k];
@@ -186,6 +207,8 @@ void EpochTimeline::emit_trace(TraceWriter& trace, int tid) const {
     trace.counter("gpu_down_util", tid, s.end_ps, s.gpu_down_util);
     trace.counter("cube_util", tid, s.end_ps, s.cube_util);
     trace.counter("nsu_occupancy", tid, s.end_ps, s.nsu_occupancy);
+    trace.counter("pages_migrated", tid, s.end_ps,
+                  static_cast<double>(s.pages_migrated));
   }
 }
 
@@ -208,17 +231,18 @@ void write_epoch_csv(std::FILE* out, const std::vector<EpochSample>& samples) {
   std::fprintf(out,
                "epoch,end_cycle,end_ps,ratio,step,direction,epoch_ipc,block_instrs,"
                "sm_ipc,l1_hit_rate,l2_hit_rate,gpu_up_util,gpu_down_util,cube_util,"
-               "nsu_occupancy,valve_pressure\n");
+               "nsu_occupancy,valve_pressure,pages_migrated\n");
   for (const EpochSample& s : samples) {
     std::fprintf(out,
                  "%llu,%llu,%llu,%.6f,%.6f,%d,%.6f,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
-                 "%.6f,%.6f,%.6f\n",
+                 "%.6f,%.6f,%.6f,%llu\n",
                  static_cast<unsigned long long>(s.epoch),
                  static_cast<unsigned long long>(s.end_cycle),
                  static_cast<unsigned long long>(s.end_ps), s.ratio, s.step, s.direction,
                  s.epoch_ipc, static_cast<unsigned long long>(s.block_instrs), s.sm_ipc,
                  s.l1_hit_rate, s.l2_hit_rate, s.gpu_up_util, s.gpu_down_util, s.cube_util,
-                 s.nsu_occupancy, s.valve_pressure);
+                 s.nsu_occupancy, s.valve_pressure,
+                 static_cast<unsigned long long>(s.pages_migrated));
   }
 }
 

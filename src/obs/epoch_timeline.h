@@ -61,6 +61,7 @@ struct EpochSample {
   double cube_util = 0.0;     // mean cube-to-cube link utilization
   double nsu_occupancy = 0.0; // mean busy warp slots / max slots, over NSUs
   double valve_pressure = 0.0;  // end_ps / max_time_ps (1.0 = safety valve)
+  std::uint64_t pages_migrated = 0;  // placement migrations this epoch
 
   bool operator==(const EpochSample&) const = default;
 };
@@ -90,12 +91,19 @@ class EpochTimeline {
   }
   void poll_nsu(unsigned nsu, TimePs now, std::uint64_t occupancy_accum);
 
+  // Placement migrations (dram domain: polled from Hmc::tick, before its
+  // fast-forward early-return — migrations only mutate at consumed dram
+  // edges, so the first poll at/after a boundary is mode-invariant).
+  bool migrations_due(TimePs now) const { return due(migrations_filled_, now); }
+  void poll_migrations(TimePs now, std::uint64_t pages_migrated);
+
   // Flush every boundary the lazy sources have not reached with the final
   // counter values, then assemble the samples.  Called once after the run.
   void finalize(std::uint64_t l2_hits, std::uint64_t l2_misses,
                 std::uint64_t gpu_up_bytes, std::uint64_t gpu_down_bytes,
                 std::uint64_t cube_bytes,
-                const std::vector<std::uint64_t>& nsu_occupancy_accum);
+                const std::vector<std::uint64_t>& nsu_occupancy_accum,
+                std::uint64_t pages_migrated = 0);
 
   const std::vector<EpochSample>& samples() const { return samples_; }
   std::uint64_t dropped() const { return dropped_; }
@@ -146,6 +154,8 @@ class EpochTimeline {
   std::size_t l2_filled_ = 0;
   std::vector<std::uint64_t> up_at_, down_at_, cube_at_;
   std::size_t links_filled_ = 0;
+  std::vector<std::uint64_t> migrated_at_;
+  std::size_t migrations_filled_ = 0;
   std::vector<NsuSeries> nsu_;
 };
 

@@ -52,6 +52,8 @@ constexpr CumulativeField kCumulative[] = {
     {"nsu_instrs", &AuditSnapshot::nsu_instrs},
     {"nsu_lane_ops", &AuditSnapshot::nsu_lane_ops},
     {"nsu_finished_block_instrs", &AuditSnapshot::nsu_finished_block_instrs},
+    {"pages_migrated", &AuditSnapshot::pages_migrated},
+    {"migration_bytes", &AuditSnapshot::migration_bytes},
 };
 
 }  // namespace
@@ -155,6 +157,12 @@ void StatsAudit::instant_checks(std::int64_t epoch, const AuditSnapshot& s) {
   le(s.dram_write_bytes,
      (s.mem_write_completions + s.nsu_write_completions) * s.line_bytes,
      epoch, "dram", "write_bytes_bound");
+
+  // --- Placement migration ------------------------------------------------
+  // Both counters increment together in the policy's re-home step, one page
+  // of traffic per migration.
+  eq(s.migration_bytes, s.pages_migrated * s.page_bytes, epoch, "mem",
+     "migration_bytes_pairing");
 
   // --- NoC ----------------------------------------------------------------
   // Packet conservation: everything injected is sitting in a receive

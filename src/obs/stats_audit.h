@@ -104,9 +104,14 @@ struct AuditSnapshot {
   std::uint64_t lat_started = 0;
   std::uint64_t lat_finished = 0;
   std::uint64_t lat_cancelled = 0;
+  // Placement policy (mem/placement.*): migration counters are paired in
+  // the same note_remote_access call, so they must stay in lock-step.
+  std::uint64_t pages_migrated = 0;
+  std::uint64_t migration_bytes = 0;
   // Geometry.
   unsigned line_bytes = 128;
   unsigned warp_width = 32;
+  std::uint64_t page_bytes = 4096;
 
   std::uint64_t lat(PathClass c) const {
     return lat_counts[static_cast<std::size_t>(c)];

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "offload/codegen.h"
+#include "ref/placement_profile.h"
 #include "ref/ref_interp.h"
 #include "sim/simulator.h"
 #include "workloads/registry.h"
@@ -35,6 +36,22 @@ std::vector<OraclePoint> oracle_matrix(const SystemConfig& base) {
   add("ndp@1.00/1-stack", OffloadMode::kStaticRatio, 1.0, 1);
   add("ndp@1.00/2-stack", OffloadMode::kStaticRatio, 1.0, 2);
   add("ndp@1.00/4-stack", OffloadMode::kStaticRatio, 1.0, 4);
+  // Placement-policy axis: every policy must be invisible to the memory
+  // image — only timing and traffic may change.  Migration runs with an
+  // aggressively low threshold so pages actually move mid-run.
+  auto add_policy = [&](const std::string& label, PlacementPolicyKind kind) {
+    OraclePoint p;
+    p.label = label;
+    p.cfg = base;
+    p.cfg.governor.mode = OffloadMode::kStaticRatio;
+    p.cfg.governor.static_ratio = 1.0;
+    p.cfg.placement.policy = kind;
+    points.push_back(std::move(p));
+  };
+  add_policy("ndp@1.00/first-touch", PlacementPolicyKind::kFirstTouch);
+  add_policy("ndp@1.00/locality", PlacementPolicyKind::kLocality);
+  add_policy("ndp@1.00/migration", PlacementPolicyKind::kMigration);
+  points.back().cfg.placement.migration_threshold = 16;
   return points;
 }
 
@@ -74,7 +91,15 @@ DiffReport diff_check_workload(const std::string& workload_name, ProblemScale sc
     GlobalMemory sim_mem = initial;
     try {
       const KernelImage image = analyze_and_generate(wl->program(), point.analyzer);
-      Simulator sim(point.cfg);
+      SystemConfig cfg = point.cfg;
+      // run_image() bypasses Simulator::run's auto-profiling, so a locality
+      // point needs its profile built here, from the same pristine image.
+      if (cfg.placement.policy == PlacementPolicyKind::kLocality &&
+          cfg.placement.locality_profile == nullptr) {
+        cfg.placement.locality_profile = build_placement_profile(
+            wl->program(), wl->launch(), initial, cfg, point.analyzer);
+      }
+      Simulator sim(cfg);
       const RunResult r =
           sim.run_image(image, wl->launch(), sim_mem, workload_name + "/" + point.label);
       out.sim_completed = r.completed;

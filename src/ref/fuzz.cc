@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "offload/codegen.h"
+#include "ref/placement_profile.h"
 #include "ref/ref_interp.h"
 #include "sim/simulator.h"
 #include "workloads/wl_util.h"
@@ -55,6 +56,19 @@ FuzzSpec generate_spec(std::uint64_t seed) {
   }
   const unsigned hmcs[] = {1, 2, 4};
   spec.num_hmcs = hmcs[rng.next_below(3)];
+  // Placement axis: half the cases stay on the default random hash; the
+  // rest spread across the alternate policies, with migration biased toward
+  // storm thresholds (lots of mid-run re-homing) to stress pinned lookups.
+  switch (rng.next_below(8)) {
+    case 0: spec.placement = PlacementPolicyKind::kFirstTouch; break;
+    case 1: spec.placement = PlacementPolicyKind::kLocality; break;
+    case 2:
+    case 3:
+      spec.placement = PlacementPolicyKind::kMigration;
+      spec.migration_threshold = 1 + static_cast<unsigned>(rng.next_below(32));
+      break;
+    default: spec.placement = PlacementPolicyKind::kRandom; break;
+  }
 
   const unsigned n_ops = 3 + static_cast<unsigned>(rng.next_below(14));
   for (unsigned i = 0; i < n_ops; ++i) {
@@ -217,6 +231,8 @@ SystemConfig fuzz_config(const FuzzSpec& spec) {
   cfg.governor.epoch_cycles = 500;  // several epochs even in short runs
   cfg.num_hmcs = spec.num_hmcs;
   cfg.placement_seed = 0x5EED ^ spec.seed;
+  cfg.placement.policy = spec.placement;
+  cfg.placement.migration_threshold = spec.migration_threshold;
   return cfg;
 }
 
@@ -240,7 +256,14 @@ std::optional<std::string> run_fuzz_case(const FuzzSpec& spec) {
   GlobalMemory sim_mem = initial;
   try {
     const KernelImage image = analyze_and_generate(prog);
-    Simulator sim(fuzz_config(spec));
+    SystemConfig cfg = fuzz_config(spec);
+    // run_image() bypasses Simulator::run's auto-profiling; locality cases
+    // build their profile here from the same pristine image.
+    if (cfg.placement.policy == PlacementPolicyKind::kLocality) {
+      cfg.placement.locality_profile =
+          build_placement_profile(prog, spec.launch, initial, cfg);
+    }
+    Simulator sim(cfg);
     const RunResult r = sim.run_image(image, spec.launch, sim_mem, "fuzz");
     if (!r.completed) {
       return std::string("simulator did not complete: ") +
@@ -320,6 +343,8 @@ std::string FuzzSpec::to_text() const {
   os << "loop " << loop_trips << "\n";
   os << "mode " << static_cast<int>(mode) << " " << static_ratio << "\n";
   os << "hmcs " << num_hmcs << "\n";
+  os << "placement " << static_cast<int>(placement) << " " << migration_threshold
+     << "\n";
   for (const FuzzOp& op : ops) {
     os << "op " << static_cast<int>(op.kind) << " " << op.a << " " << op.b << " " << op.c
        << "\n";
@@ -351,6 +376,12 @@ std::optional<FuzzSpec> FuzzSpec::from_text(const std::string& text) {
       spec.mode = static_cast<OffloadMode>(m);
     } else if (key == "hmcs") {
       ls >> spec.num_hmcs;
+    } else if (key == "placement") {
+      // Optional (absent in pre-placement reproducers, which default to
+      // the random policy those runs actually used).
+      int kind = 0;
+      ls >> kind >> spec.migration_threshold;
+      spec.placement = static_cast<PlacementPolicyKind>(kind);
     } else if (key == "op") {
       int kind = 0;
       FuzzOp op;

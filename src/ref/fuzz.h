@@ -62,6 +62,8 @@ struct FuzzSpec {
   OffloadMode mode = OffloadMode::kAlways;
   double static_ratio = 1.0;
   unsigned num_hmcs = 4;
+  PlacementPolicyKind placement = PlacementPolicyKind::kRandom;
+  unsigned migration_threshold = 64;  // only meaningful for kMigration
 
   std::string to_text() const;                           // reproducer format
   static std::optional<FuzzSpec> from_text(const std::string& text);

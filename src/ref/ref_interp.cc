@@ -39,6 +39,7 @@ struct RefCta {
 // Runs `warp` until it blocks (barrier), finishes, or exhausts `budget`.
 // Returns false on a structural error (recorded in `err`).
 bool run_warp(const Program& prog, RefCta& cta, RefWarp& w, GlobalMemory& mem,
+              const RefOptions& opts, std::uint64_t warp_uid,
               std::uint64_t budget_left, std::uint64_t& instrs, std::string& err) {
   const std::vector<Instr>& code = prog.code();
   while (w.state == RefWarpState::kReady) {
@@ -78,10 +79,16 @@ bool run_warp(const Program& prog, RefCta& cta, RefWarp& w, GlobalMemory& mem,
       case Opcode::kLd:
       case Opcode::kLdc: {
         const LaneMask lanes = w.exec_mask(in);
+        std::array<Addr, kWarpWidth> addrs{};
         for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
           if (!(lanes & (LaneMask{1} << lane))) continue;
           ThreadCtx& t = w.lanes[lane];
-          t.regs[in.dst] = mem.load_reg(effective_address(in, t), in.mem_width, in.mem_f32);
+          addrs[lane] = effective_address(in, t);
+          t.regs[in.dst] = mem.load_reg(addrs[lane], in.mem_width, in.mem_f32);
+        }
+        // LDC reads constant tables — not a placement-relevant access.
+        if (opts.mem_observer && lanes != 0 && in.op == Opcode::kLd) {
+          opts.mem_observer({w.pc, /*is_store=*/false, lanes, addrs.data(), warp_uid});
         }
         ++w.pc;
         break;
@@ -89,11 +96,15 @@ bool run_warp(const Program& prog, RefCta& cta, RefWarp& w, GlobalMemory& mem,
 
       case Opcode::kSt: {
         const LaneMask lanes = w.exec_mask(in);
+        std::array<Addr, kWarpWidth> addrs{};
         for (unsigned lane = 0; lane < kWarpWidth; ++lane) {
           if (!(lanes & (LaneMask{1} << lane))) continue;
           ThreadCtx& t = w.lanes[lane];
-          mem.store_reg(effective_address(in, t), t.regs[in.src[1]], in.mem_width,
-                        in.mem_f32);
+          addrs[lane] = effective_address(in, t);
+          mem.store_reg(addrs[lane], t.regs[in.src[1]], in.mem_width, in.mem_f32);
+        }
+        if (opts.mem_observer && lanes != 0) {
+          opts.mem_observer({w.pc, /*is_store=*/true, lanes, addrs.data(), warp_uid});
         }
         ++w.pc;
         break;
@@ -172,7 +183,11 @@ RefResult ref_run(const Program& prog, const LaunchParams& launch, GlobalMemory&
         }
         all_finished = false;
         const std::uint64_t before = result.instrs;
-        if (!run_warp(prog, cta, w, mem, opts.max_instrs, result.instrs, result.error)) {
+        const std::uint64_t warp_uid =
+            static_cast<std::uint64_t>(cta_id) * launch.warps_per_cta() +
+            static_cast<std::uint64_t>(&w - cta.warps.data());
+        if (!run_warp(prog, cta, w, mem, opts, warp_uid, opts.max_instrs, result.instrs,
+                      result.error)) {
           return result;
         }
         progressed = progressed || result.instrs != before;

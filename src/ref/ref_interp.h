@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "isa/program.h"
@@ -41,11 +42,26 @@
 
 namespace sndp {
 
+// One global-memory warp access (LD or ST — not LDC/SHM), reported to
+// RefOptions::mem_observer.  `addrs` points at a kWarpWidth array; only
+// lanes set in `lanes` are valid.  warp_uid is cta_id * warps_per_cta + the
+// warp's index within the CTA — stable across the whole run.
+struct RefMemAccess {
+  unsigned pc = 0;
+  bool is_store = false;
+  LaneMask lanes = 0;
+  const Addr* addrs = nullptr;
+  std::uint64_t warp_uid = 0;
+};
+
 struct RefOptions {
   // Total dynamic instruction budget across all threads; exceeded means
   // "did not terminate" (completed == false), the reference's equivalent
   // of the simulator's simulated-time safety valve.
   std::uint64_t max_instrs = 200'000'000;
+  // When set, called once per executed LD/ST with the per-lane effective
+  // addresses (the placement profiler's feed; see ref/placement_profile.*).
+  std::function<void(const RefMemAccess&)> mem_observer;
 };
 
 struct RefResult {

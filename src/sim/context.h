@@ -32,7 +32,7 @@ struct LaunchParams {
 
 struct SystemContext {
   const SystemConfig* cfg = nullptr;
-  const AddressMap* amap = nullptr;
+  AddressMap* amap = nullptr;  // non-const: placement lookups may assign/migrate
   GlobalMemory* gmem = nullptr;
   Network* net = nullptr;
   OffloadGovernor* governor = nullptr;

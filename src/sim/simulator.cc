@@ -16,6 +16,7 @@
 #include "noc/network.h"
 #include "obs/stats_audit.h"
 #include "offload/codegen.h"
+#include "ref/placement_profile.h"
 #include "workloads/workload.h"
 
 namespace sndp {
@@ -28,7 +29,19 @@ RunResult Simulator::run(Workload& workload) {
   Rng rng(cfg_.placement_seed ^ 0xABCDEF);
   workload.setup(gmem, alloc, rng);
   const KernelImage image = analyze_and_generate(workload.program(), analyzer_opts_);
+  // Locality placement: build the profiling pre-pass over the reference
+  // interpreter automatically when the caller did not supply a profile.
+  // (Reads a copy of the launch-time memory image; gmem is untouched.)
+  const bool auto_profile = cfg_.placement.policy == PlacementPolicyKind::kLocality &&
+                            cfg_.placement.locality_profile == nullptr;
+  if (auto_profile) {
+    cfg_.placement.locality_profile = build_placement_profile(
+        workload.program(), workload.launch(), gmem, cfg_, analyzer_opts_);
+  }
   RunResult result = run_image(image, workload.launch(), gmem, workload.name());
+  // The auto-built profile is specific to this workload; drop it so a reused
+  // Simulator re-profiles the next one.
+  if (auto_profile) cfg_.placement.locality_profile = nullptr;
   result.verified = workload.verify(gmem);
   if (final_memory_sink_ != nullptr) *final_memory_sink_ = gmem;
   return result;
@@ -63,6 +76,9 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   NdpBufferManager bufmgr(cfg_.ndp_buffers, cfg_.num_hmcs);
   RoCacheMirror ro_cache(cfg_.num_hmcs, cfg_.nsu, cfg_.l2.line_bytes);
   WtaInflightTracker wta_tracker(cfg_.num_hmcs);
+  // Under a volatile mapping (migration) a WTA's generation-time stack and
+  // its invalidation-time stack can disagree; collapse to one counter.
+  wta_tracker.set_aggregate(amap.policy().volatile_mapping());
 
   SystemContext ctx;
   ctx.cfg = &cfg_;
@@ -88,6 +104,9 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   gpu.set_timeline(&timeline);
   net.set_timeline(&timeline);
   for (unsigned h = 0; h < cfg_.num_hmcs; ++h) hmcs[h]->nsu().set_timeline(&timeline, h);
+  // Migration counter: one dram-domain poller suffices (stack 0 ticks first
+  // at every dram edge, and the poll sits before its fast-forward return).
+  hmcs[0]->set_timeline(&timeline);
 
   StatsAudit audit;
   auto collect_audit = [&] {
@@ -149,6 +168,9 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     s.energy_nsu_lane_ops = counters.nsu_lane_ops;
     s.line_bytes = cfg_.l2.line_bytes;
     s.warp_width = kWarpWidth;
+    s.pages_migrated = amap.policy().pages_migrated();
+    s.migration_bytes = amap.policy().migration_bytes();
+    s.page_bytes = cfg_.page_bytes;
     if (latency != nullptr) {
       const LatencySummary& ls = latency->summary();
       s.latency_on = true;
@@ -249,7 +271,8 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     occ.reserve(hmcs.size());
     for (const auto& hmc : hmcs) occ.push_back(hmc->nsu().occupancy_accum());
     timeline.finalize(gpu.total_l2_hits(), gpu.total_l2_misses(), net.gpu_up_bytes(),
-                      net.gpu_down_bytes(), net.cube_bytes(), occ);
+                      net.gpu_down_bytes(), net.cube_bytes(), occ,
+                      amap.policy().pages_migrated());
   }
   result.timeline = timeline.samples();
 
@@ -315,6 +338,7 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     hmcs[h]->export_stats(result.stats, "hmc" + std::to_string(h));
   }
   result.energy.export_stats(result.stats);
+  amap.export_stats(result.stats);
   result.stats.set("wta.max_inflight", static_cast<double>(wta_tracker.max_seen()));
   result.stats.set("wta.total", static_cast<double>(wta_tracker.total()));
   result.stats.set("rocache.hits", static_cast<double>(ro_cache.hits()));

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/json.h"
+#include "mem/placement.h"
 #include "workloads/registry.h"
 
 namespace sndp {
@@ -42,6 +43,8 @@ void outcome_to_json(JsonWriter& w, const SweepOutcome& o) {
   w.key("id").value(o.point.id);
   w.key("workload").value(o.point.workload);
   w.key("seed").value(static_cast<std::uint64_t>(o.point.cfg.placement_seed));
+  w.key("placement").value(placement_policy_name(o.point.cfg.placement.policy));
+  w.key("num_hmcs").value(static_cast<std::uint64_t>(o.point.cfg.num_hmcs));
   w.key("ran").value(o.ran);
   w.key("error").value(o.error);
   w.key("completed").value(r.completed);
@@ -102,6 +105,7 @@ void outcome_to_json(JsonWriter& w, const SweepOutcome& o) {
     w.key("cube_util").value(s.cube_util);
     w.key("nsu_occupancy").value(s.nsu_occupancy);
     w.key("valve_pressure").value(s.valve_pressure);
+    w.key("pages_migrated").value(s.pages_migrated);
     w.end_object();
   }
   w.end_array();

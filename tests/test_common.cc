@@ -162,7 +162,20 @@ TEST(Config, MoreCoreAnd2xPresets) {
 
 TEST(Config, ValidateRejectsBadShapes) {
   SystemConfig c = SystemConfig::paper();
-  c.num_hmcs = 6;  // not a power of two: no hypercube
+  c.num_hmcs = 0;  // need at least one stack
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig::paper();
+  c.num_hmcs = 6;  // non-power-of-two counts ride the incomplete hypercube
+  EXPECT_NO_THROW(c.validate());
+
+  c = SystemConfig::paper();
+  c.num_hmcs = 300;  // exceeds the 8-bit node-id space
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = SystemConfig::paper();
+  c.placement.policy = PlacementPolicyKind::kMigration;
+  c.placement.migration_threshold = 0;
   EXPECT_THROW(c.validate(), std::invalid_argument);
 
   c = SystemConfig::paper();

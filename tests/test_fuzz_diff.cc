@@ -37,6 +37,24 @@ TEST(FuzzDiff, SpecTextRoundTrips) {
   EXPECT_FALSE(FuzzSpec::from_text("sndp-fuzz-repro-v1\nseed 1\n").has_value());
 }
 
+TEST(FuzzDiff, PlacementLineRoundTripsAndDefaultsToRandom) {
+  // New reproducers carry the placement axis...
+  FuzzSpec spec = generate_spec(42);
+  spec.placement = PlacementPolicyKind::kMigration;
+  spec.migration_threshold = 3;
+  const auto parsed = FuzzSpec::from_text(spec.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->placement, PlacementPolicyKind::kMigration);
+  EXPECT_EQ(parsed->migration_threshold, 3u);
+  // ...while pre-placement reproducers (no `placement` line) still parse and
+  // default to the random policy those runs actually used.
+  const auto legacy = FuzzSpec::from_text(
+      "sndp-fuzz-repro-v1\nseed 5\nlaunch 32 1\nloop 0\nmode 1 1\nhmcs 2\n"
+      "op 3 1 2 4\nend\n");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->placement, PlacementPolicyKind::kRandom);
+}
+
 TEST(FuzzDiff, ReproducerFileIsReplayable) {
   const FuzzSpec spec = generate_spec(9);
   const std::string path = ::testing::TempDir() + "/sndp_fuzz_repro_test.txt";
@@ -74,6 +92,22 @@ TEST(FuzzDiff, RegressionStaleLiveOutWriteback) {
   ASSERT_TRUE(spec.has_value());
   const auto divergence = run_fuzz_case(*spec);
   EXPECT_FALSE(divergence.has_value()) << *divergence;
+}
+
+// Migration storm: threshold-1 migration on 4-stack kernels re-homes a page
+// on its first remote access, so the mapping churns throughout the run.
+// Every in-flight transaction must keep using the slice/stack it was pinned
+// to at issue time, or bytes land in the wrong cache and diverge.
+TEST(FuzzDiff, MigrationStormMatchesReference) {
+  for (std::uint64_t seed : {3ull, 11ull, 42ull}) {
+    FuzzSpec spec = generate_spec(seed);
+    spec.num_hmcs = 4;
+    spec.placement = PlacementPolicyKind::kMigration;
+    spec.migration_threshold = 1;
+    const auto divergence = run_fuzz_case(spec);
+    EXPECT_FALSE(divergence.has_value())
+        << "seed " << seed << ": " << *divergence << "\nspec:\n" << spec.to_text();
+  }
 }
 
 TEST(FuzzDiff, RandomKernelsMatchReference) {

@@ -49,7 +49,7 @@ struct HmcHarness {
   }
 
   // Finds an address owned by HMC 0 (so the harness HMC serves it).
-  Addr local_line(unsigned n = 0) const {
+  Addr local_line(unsigned n = 0) {
     Addr a = 0;
     unsigned found = 0;
     while (true) {

@@ -43,6 +43,53 @@ TEST(Hypercube, Dimensions) {
   EXPECT_EQ(hypercube_dimensions(1), 0u);
   EXPECT_EQ(hypercube_dimensions(8), 3u);
   EXPECT_EQ(hypercube_dimensions(16), 4u);
+  // Non-powers-of-two embed in the enclosing cube.
+  EXPECT_EQ(hypercube_dimensions(3), 2u);
+  EXPECT_EQ(hypercube_dimensions(5), 3u);
+  EXPECT_EQ(hypercube_dimensions(6), 3u);
+  EXPECT_EQ(hypercube_dimensions(7), 3u);
+}
+
+TEST(Hypercube, IncompleteRouteStaysInsideTheNodeSet) {
+  // Every (a, b) pair of every incomplete cube: the route's endpoints are
+  // right, every hop flips exactly one bit (a real cube edge), and — the
+  // property plain dimension-order routing violates (6 -> 1 visits 7 in a
+  // 7-node cube) — every intermediate node exists.
+  for (unsigned n : {3u, 5u, 6u, 7u}) {
+    for (unsigned a = 0; a < n; ++a) {
+      for (unsigned b = 0; b < n; ++b) {
+        const auto path = incomplete_hypercube_route(a, b, n);
+        ASSERT_GE(path.size(), 1u);
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          const unsigned diff = path[i] ^ path[i + 1];
+          EXPECT_NE(diff, 0u) << "null hop";
+          EXPECT_EQ(diff & (diff - 1), 0u) << "hop flips more than one bit";
+        }
+        for (unsigned node : path) {
+          EXPECT_LT(node, n) << "route " << a << "->" << b << " in " << n
+                             << "-node cube leaves the node set";
+        }
+      }
+    }
+  }
+}
+
+TEST(Hypercube, IncompleteRouteMatchesDistanceWhenDirectPathExists) {
+  // Descend-then-ascend never takes more hops than popcount(a ^ b) plus the
+  // detour bits, and collapses to the direct route when a and b are cube
+  // neighbours.
+  const auto path = incomplete_hypercube_route(4, 5, 6);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 4u);
+  EXPECT_EQ(path[1], 5u);
+  // 6 -> 1 must detour (direct dimension-order passes through 7): descend
+  // 6 -> 4 -> 0, then ascend 0 -> 1.
+  const auto detour = incomplete_hypercube_route(6, 1, 7);
+  EXPECT_EQ(detour.front(), 6u);
+  EXPECT_EQ(detour.back(), 1u);
+  for (unsigned node : detour) EXPECT_LT(node, 7u);
 }
 
 TEST(Link, SerializationAndPropagation) {

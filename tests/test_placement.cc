@@ -1,0 +1,261 @@
+// Tests for the pluggable data-placement policy engine (mem/placement.*)
+// and its AddressMap integration: unbiased non-power-of-two reduction,
+// first-touch determinism, locality profiles, migration re-homing, and the
+// decode/routing single-lookup contract.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "mem/address_map.h"
+#include "mem/placement.h"
+#include "ref/placement_profile.h"
+#include "workloads/registry.h"
+
+namespace sndp {
+namespace {
+
+SystemConfig config_with(PlacementPolicyKind kind, unsigned num_hmcs = 8) {
+  SystemConfig cfg = SystemConfig::paper();
+  cfg.placement.policy = kind;
+  cfg.num_hmcs = num_hmcs;
+  return cfg;
+}
+
+TEST(Placement, PolicyNamesRoundTrip) {
+  for (PlacementPolicyKind kind :
+       {PlacementPolicyKind::kRandom, PlacementPolicyKind::kFirstTouch,
+        PlacementPolicyKind::kLocality, PlacementPolicyKind::kMigration}) {
+    PlacementPolicyKind parsed;
+    ASSERT_TRUE(parse_placement_policy(placement_policy_name(kind), &parsed))
+        << placement_policy_name(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  PlacementPolicyKind parsed;
+  EXPECT_TRUE(parse_placement_policy("first-touch", &parsed));
+  EXPECT_EQ(parsed, PlacementPolicyKind::kFirstTouch);
+  EXPECT_FALSE(parse_placement_policy("hottest-bank", &parsed));
+  EXPECT_FALSE(parse_placement_policy("", &parsed));
+}
+
+TEST(Placement, FactoryBuildsTheSelectedPolicy) {
+  for (PlacementPolicyKind kind :
+       {PlacementPolicyKind::kRandom, PlacementPolicyKind::kFirstTouch,
+        PlacementPolicyKind::kLocality, PlacementPolicyKind::kMigration}) {
+    const auto policy = make_placement_policy(config_with(kind));
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+    EXPECT_EQ(policy->volatile_mapping(), kind == PlacementPolicyKind::kMigration);
+  }
+}
+
+// Satellite bugfix 1: the historic `hash & (num_hmcs - 1)` reduction is only
+// correct for power-of-two stack counts.  The unbiased reduction must keep
+// every page in range and stay near-uniform for 3/5/6/7-stack sweeps.
+TEST(Placement, NonPowerOfTwoReductionIsInRangeAndBalanced) {
+  constexpr unsigned kPages = 90000;
+  for (unsigned n : {3u, 5u, 6u, 7u}) {
+    std::vector<unsigned> counts(n, 0);
+    for (std::uint64_t p = 0; p < kPages; ++p) {
+      const HmcId h = random_page_home(p, 0x5EED, n);
+      ASSERT_LT(h, n) << "page " << p << " with " << n << " stacks";
+      ++counts[h];
+    }
+    const double expect = static_cast<double>(kPages) / n;
+    for (unsigned h = 0; h < n; ++h) {
+      EXPECT_NEAR(static_cast<double>(counts[h]), expect, expect * 0.1)
+          << "stack " << h << " of " << n;
+    }
+  }
+}
+
+TEST(Placement, AddressMapSupportsNonPowerOfTwoStackCounts) {
+  SystemConfig cfg = config_with(PlacementPolicyKind::kRandom, 6);
+  ASSERT_NO_THROW(cfg.validate());
+  AddressMap amap(cfg);
+  std::map<HmcId, unsigned> counts;
+  for (unsigned p = 0; p < 60000; ++p) {
+    const HmcId h = amap.hmc_of_page(p);
+    ASSERT_LT(h, 6u);
+    ++counts[h];
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [h, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 1000.0) << "stack " << h;
+  }
+}
+
+// Satellite bugfix 1 (second half): log2u silently returned garbage for
+// non-power-of-two geometry; the AddressMap now refuses such geometry
+// outright rather than mis-slicing vault/bank/row bits.
+TEST(Placement, AddressMapRejectsNonPowerOfTwoGeometry) {
+  SystemConfig cfg = SystemConfig::paper();
+  cfg.hmc.num_vaults = 12;
+  EXPECT_THROW(AddressMap{cfg}, std::invalid_argument);
+}
+
+TEST(Placement, RandomPolicyMatchesTheSharedHash) {
+  const SystemConfig cfg = config_with(PlacementPolicyKind::kRandom);
+  AddressMap amap(cfg);
+  for (std::uint64_t p = 0; p < 4096; ++p) {
+    EXPECT_EQ(amap.hmc_of_page(p), random_page_home(p, cfg.placement_seed, cfg.num_hmcs));
+  }
+}
+
+TEST(Placement, FirstTouchIsRoundRobinAndSticky) {
+  const auto policy = make_placement_policy(config_with(PlacementPolicyKind::kFirstTouch, 4));
+  // Distinct pages, in first-touch order, get stacks 0,1,2,3,0,1,...
+  for (std::uint64_t p = 0; p < 12; ++p) {
+    EXPECT_EQ(policy->home_of_page(1000 + p), static_cast<HmcId>(p % 4));
+  }
+  EXPECT_EQ(policy->pages_assigned(), 12u);
+  // Re-lookups never reassign, in any order.
+  for (std::uint64_t p = 12; p-- > 0;) {
+    EXPECT_EQ(policy->home_of_page(1000 + p), static_cast<HmcId>(p % 4));
+  }
+  EXPECT_EQ(policy->pages_assigned(), 12u);
+  EXPECT_EQ(policy->pages_migrated(), 0u);
+}
+
+TEST(Placement, LocalityFollowsProfileWithRandomFallback) {
+  SystemConfig cfg = config_with(PlacementPolicyKind::kLocality, 4);
+  auto profile = std::make_shared<PlacementProfile>();
+  profile->home[5] = 2;
+  profile->home[6] = 9;  // stale profile from a wider topology: out of range
+  profile->pages_profiled = 2;
+  cfg.placement.locality_profile = profile;
+  const auto policy = make_placement_policy(cfg);
+  EXPECT_EQ(policy->home_of_page(5), 2u);
+  // Unprofiled and out-of-range pages fall back to the random hash.
+  EXPECT_EQ(policy->home_of_page(6), random_page_home(6, cfg.placement_seed, 4));
+  EXPECT_EQ(policy->home_of_page(7), random_page_home(7, cfg.placement_seed, 4));
+}
+
+TEST(Placement, LocalityWithoutProfileDegradesToRandom) {
+  const SystemConfig cfg = config_with(PlacementPolicyKind::kLocality);
+  const auto policy = make_placement_policy(cfg);
+  for (std::uint64_t p = 0; p < 256; ++p) {
+    EXPECT_EQ(policy->home_of_page(p), random_page_home(p, cfg.placement_seed, cfg.num_hmcs));
+  }
+}
+
+TEST(Placement, MigrationRehomesAtTheThreshold) {
+  SystemConfig cfg = config_with(PlacementPolicyKind::kMigration, 4);
+  cfg.placement.migration_threshold = 3;
+  const auto policy = make_placement_policy(cfg);
+  const std::uint64_t page = 42;
+  const HmcId home = policy->home_of_page(page);
+  const HmcId mover = static_cast<HmcId>((home + 1) % 4);
+
+  // Local accesses and out-of-topology accessors never feed the heat map.
+  policy->note_remote_access(page, home);
+  policy->note_remote_access(page, 200);
+  policy->note_remote_access(page, mover);
+  policy->note_remote_access(page, mover);
+  EXPECT_EQ(policy->home_of_page(page), home);
+  EXPECT_EQ(policy->pages_migrated(), 0u);
+
+  policy->note_remote_access(page, mover);  // third remote access: threshold
+  EXPECT_EQ(policy->home_of_page(page), mover);
+  EXPECT_EQ(policy->pages_migrated(), 1u);
+  EXPECT_EQ(policy->migration_bytes(), cfg.page_bytes);
+
+  // The new home is stable, and traffic from it no longer counts as remote.
+  policy->note_remote_access(page, mover);
+  policy->note_remote_access(page, mover);
+  policy->note_remote_access(page, mover);
+  EXPECT_EQ(policy->home_of_page(page), mover);
+  EXPECT_EQ(policy->pages_migrated(), 1u);
+}
+
+TEST(Placement, MigrationPicksTheMajorityAccessor) {
+  SystemConfig cfg = config_with(PlacementPolicyKind::kMigration, 4);
+  cfg.placement.migration_threshold = 5;
+  const auto policy = make_placement_policy(cfg);
+  const std::uint64_t page = 7;
+  const HmcId home = policy->home_of_page(page);
+  const HmcId minority = static_cast<HmcId>((home + 1) % 4);
+  const HmcId majority = static_cast<HmcId>((home + 2) % 4);
+  policy->note_remote_access(page, minority);
+  policy->note_remote_access(page, majority);
+  policy->note_remote_access(page, majority);
+  policy->note_remote_access(page, minority);
+  policy->note_remote_access(page, majority);  // 5th: re-home to the majority
+  EXPECT_EQ(policy->home_of_page(page), majority);
+  EXPECT_EQ(policy->pages_migrated(), 1u);
+}
+
+// Satellite bugfix 3: decode() must agree with the routing target.  Under
+// every policy, the hmc field of a live decode equals the policy's current
+// home, and decode_at() preserves a caller-resolved home verbatim while
+// keeping the intra-stack fields identical.
+TEST(Placement, DecodeAgreesWithRoutingUnderEveryPolicy) {
+  for (PlacementPolicyKind kind :
+       {PlacementPolicyKind::kRandom, PlacementPolicyKind::kFirstTouch,
+        PlacementPolicyKind::kLocality, PlacementPolicyKind::kMigration}) {
+    AddressMap amap(config_with(kind));
+    for (Addr addr = 0; addr < (1u << 22); addr += 4093) {
+      const HmcId routed = amap.hmc_of(addr);
+      const DramCoord live = amap.decode(addr);
+      EXPECT_EQ(live.hmc, routed) << placement_policy_name(kind);
+      const DramCoord pinned = amap.decode_at(addr, routed);
+      EXPECT_EQ(pinned.hmc, routed);
+      EXPECT_EQ(pinned.vault, live.vault);
+      EXPECT_EQ(pinned.bank, live.bank);
+      EXPECT_EQ(pinned.row, live.row);
+      EXPECT_EQ(pinned.column, live.column);
+    }
+  }
+}
+
+TEST(Placement, DecodeAtPreservesThePinnedHomeAfterMigration) {
+  SystemConfig cfg = config_with(PlacementPolicyKind::kMigration, 4);
+  cfg.placement.migration_threshold = 1;
+  AddressMap amap(cfg);
+  const Addr addr = 17 * cfg.page_bytes + 512;
+  const HmcId before = amap.hmc_of(addr);
+  const HmcId mover = static_cast<HmcId>((before + 1) % 4);
+  amap.policy().note_remote_access(addr / cfg.page_bytes, mover);
+  ASSERT_EQ(amap.hmc_of(addr), mover);  // the live mapping moved...
+  // ...but a transaction pinned to the old home still decodes there, with
+  // identical intra-stack coordinates.
+  const DramCoord pinned = amap.decode_at(addr, before);
+  EXPECT_EQ(pinned.hmc, before);
+  const DramCoord live = amap.decode(addr);
+  EXPECT_EQ(live.hmc, mover);
+  EXPECT_EQ(pinned.vault, live.vault);
+  EXPECT_EQ(pinned.bank, live.bank);
+  EXPECT_EQ(pinned.row, live.row);
+}
+
+TEST(Placement, ProfilePrePassCoversOffloadedPages) {
+  const SystemConfig cfg = config_with(PlacementPolicyKind::kLocality);
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  GlobalMemory mem;
+  MemoryAllocator alloc;
+  Rng rng(cfg.placement_seed ^ 0xABCDEF);
+  wl->setup(mem, alloc, rng);
+
+  const auto profile = build_placement_profile(wl->program(), wl->launch(), mem, cfg);
+  ASSERT_NE(profile, nullptr);
+  EXPECT_GT(profile->pages_profiled, 0u);
+  EXPECT_GT(profile->votes, 0u);
+  EXPECT_EQ(profile->pages_profiled, profile->home.size());
+  for (const auto& [page, home] : profile->home) {
+    EXPECT_LT(home, cfg.num_hmcs) << "page " << page;
+  }
+
+  // The pre-pass is deterministic and side-effect-free.
+  GlobalMemory untouched;
+  MemoryAllocator alloc2;
+  Rng rng2(cfg.placement_seed ^ 0xABCDEF);
+  wl->setup(untouched, alloc2, rng2);
+  Addr where = 0;
+  EXPECT_TRUE(mem.equal_contents(untouched, &where)) << "pre-pass wrote 0x" << std::hex << where;
+  const auto again = build_placement_profile(wl->program(), wl->launch(), mem, cfg);
+  EXPECT_EQ(again->home, profile->home);
+}
+
+}  // namespace
+}  // namespace sndp

@@ -57,7 +57,7 @@ TEST(SimulatorFacade, AbortPollStopsRun) {
 
 TEST(SimulatorFacade, RejectsInvalidConfig) {
   SystemConfig cfg = SystemConfig::small_test();
-  cfg.num_hmcs = 3;
+  cfg.num_hmcs = 0;
   EXPECT_THROW(Simulator{cfg}, std::invalid_argument);
 }
 

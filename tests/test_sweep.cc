@@ -149,14 +149,14 @@ TEST(Sweep, BadPointIsContainedAndReported) {
   SweepRunner runner({.jobs = 2});
   SweepPoint bad = test_point("VADD", OffloadMode::kOff);
   bad.id = "bad";
-  bad.cfg.num_hmcs = 3;  // fails SystemConfig::validate()
+  bad.cfg.num_hmcs = 0;  // fails SystemConfig::validate()
   const auto good_idx = runner.add(test_point("VADD", OffloadMode::kOff));
   const auto bad_idx = runner.add(bad);
   runner.run();
   EXPECT_TRUE(runner.outcome(good_idx).ran);
   EXPECT_NO_THROW(runner.result(good_idx));
   EXPECT_FALSE(runner.outcome(bad_idx).ran);
-  EXPECT_NE(runner.outcome(bad_idx).error.find("hypercube"), std::string::npos);
+  EXPECT_NE(runner.outcome(bad_idx).error.find("HMC count"), std::string::npos);
   EXPECT_THROW(runner.result(bad_idx), std::runtime_error);
 }
 
