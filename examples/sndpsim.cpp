@@ -23,6 +23,9 @@
 //                           to a serial run — determinism is tested)
 //       --stats-json FILE   write full per-run stats as sndp-sweep-v1 JSON
 //       --timeout SECONDS   abort any single run past this wall-clock budget
+//       --partitions N      parallel-in-time execution: shard one run across
+//                           N threads (hub + stack groups), bit-identical to
+//                           serial; 1 (default) = serial path
 //       --no-ff             disable idle fast-forward (naive edge-by-edge
 //                           stepping; results are bit-identical, only slower)
 //       --no-audit          disable the flow-conservation stats audit
@@ -68,6 +71,7 @@ struct Options {
   bool fast_forward = true;
   bool audit = true;
   bool latency = true;
+  unsigned partitions = 1;
   unsigned latency_sample = 64;
   std::string epoch_csv;
   std::string trace_path;
@@ -80,6 +84,7 @@ struct Options {
                "          [--sms N] [--hmcs N] [--nsu-mhz N] [--seed N] "
                "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n"
                "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n"
+               "          [--partitions N]\n"
                "          [--no-audit] [--no-latency] [--latency-sample N]\n"
                "          [--epoch-csv FILE] [--trace FILE]\n",
                argv0);
@@ -160,6 +165,10 @@ Options parse(int argc, char** argv) {
       o.timeout_s = std::stod(need_value(i));
     } else if (a == "--no-ff") {
       o.fast_forward = false;
+    } else if (a == "--partitions") {
+      o.partitions = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a.rfind("--partitions=", 0) == 0) {
+      o.partitions = static_cast<unsigned>(std::stoul(a.substr(13)));
     } else if (a == "--no-audit") {
       o.audit = false;
     } else if (a == "--no-latency") {
@@ -193,6 +202,7 @@ SystemConfig config_of(const Options& o) {
   cfg.nsu.read_only_cache = o.ro_cache;
   cfg.optimal_target_selection = o.optimal_target;
   cfg.fast_forward = o.fast_forward;
+  cfg.parallel_partitions = o.partitions;
   cfg.audit = o.audit;
   cfg.latency_trace = o.latency;
   cfg.latency_sample = o.latency_sample;

@@ -9,7 +9,7 @@
 #include "mem/address_map.h"
 #include "memfunc/global_memory.h"
 #include "ndp/ro_cache.h"
-#include "noc/network.h"
+#include "noc/net_port.h"
 #include "obs/epoch_timeline.h"
 #include "obs/latency.h"
 
@@ -188,7 +188,9 @@ void Gpu::l2_tick(Cycle cycle, TimePs now) {
 
   // Recompute the cached wake over everything this tick drains.  SM pushes
   // between L2 edges lower it directly through the Sm::set_l2_wake pointer.
-  if (fast_forward_) {
+  // Maintained in both stepping modes: naive serial stepping never reads
+  // it, but a naive parallel partition paces its windows on these hints.
+  {
     TimePs w = kTimeNever;
     for (auto& smp : sms_) {
       if (!smp->out().empty()) w = std::min(w, smp->out().front_ready_ps());

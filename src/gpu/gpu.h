@@ -39,7 +39,7 @@ class Gpu {
    public:
     explicit EpochTick(Gpu& gpu) : gpu_(gpu) {}
     void tick(Cycle cycle, TimePs /*now*/) override { gpu_.epoch_tick(cycle); }
-    TimePs next_work_ps(TimePs) override { return kTimeNever; }
+    TimePs next_work_ps(TimePs /*now*/) override { return kTimeNever; }
 
    private:
     Gpu& gpu_;
@@ -48,7 +48,7 @@ class Gpu {
    public:
     explicit CoreTick(Gpu& gpu) : gpu_(gpu) {}
     void tick(Cycle cycle, TimePs now) override { gpu_.core_tick(cycle, now); }
-    TimePs next_work_ps(TimePs) override { return gpu_.core_next_work_ps(); }
+    TimePs next_work_ps(TimePs /*now*/) override { return gpu_.core_next_work_ps(); }
 
    private:
     Gpu& gpu_;
@@ -57,7 +57,7 @@ class Gpu {
    public:
     explicit L2Tick(Gpu& gpu) : gpu_(gpu) {}
     void tick(Cycle cycle, TimePs now) override { gpu_.l2_tick(cycle, now); }
-    TimePs next_work_ps(TimePs) override { return gpu_.l2_next_work_ps(); }
+    TimePs next_work_ps(TimePs /*now*/) override { return gpu_.l2_next_work_ps(); }
 
    private:
     Gpu& gpu_;

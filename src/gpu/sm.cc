@@ -309,9 +309,9 @@ void Sm::tick(Cycle cycle, TimePs now) {
     }
   }
 
-  if (!fast_forward_) return;
-
-  // Decide whether the SM can sleep.  It can whenever nothing issued and no
+  // Decide whether the SM can sleep (hints are maintained in both stepping
+  // modes — naive serial stepping never reads them, but a naive parallel
+  // partition paces its windows on them).  It can whenever nothing issued and no
   // credit grant is being polled: every blocked ready warp then stays
   // blocked — and its retry stays side-effect-free — until either a known
   // future cycle (self_wake: exec unit frees, timed scoreboard entry

@@ -40,7 +40,7 @@ class Sm final : public Tickable {
   // entry becomes readable); never while fully drained.  Maintained at the
   // end of tick() and lowered by deliver_line / deliver_ofld_ack /
   // assign_cta / on_egress_pop.
-  TimePs next_work_ps(TimePs) override { return wake_ps_; }
+  TimePs next_work_ps(TimePs /*now*/) override { return wake_ps_; }
 
   // The GPU drained a packet from out(): an egress-full warp may now be
   // issuable, so a sleeping SM must retry at its next edge.

@@ -5,7 +5,7 @@
 #include "energy/energy_model.h"
 #include "mem/address_map.h"
 #include "memfunc/global_memory.h"
-#include "noc/network.h"
+#include "noc/net_port.h"
 #include "obs/epoch_timeline.h"
 #include "obs/latency.h"
 
@@ -79,7 +79,7 @@ TimePs Hmc::compute_internal_wake() const {
   return w;
 }
 
-TimePs Hmc::next_work_ps(TimePs) {
+TimePs Hmc::next_work_ps(TimePs /*now*/) {
   TimePs w = wake_internal_;
   const auto& rx = ctx_.net->rx(id_);
   if (!rx.empty() && rx.front_ready_ps() < w) w = rx.front_ready_ps();
@@ -120,7 +120,9 @@ void Hmc::tick(Cycle cycle, TimePs now) {
 
   for (auto& v : vaults_) v->tick(cycle, now);
 
-  if (fast_forward_) wake_internal_ = compute_internal_wake();
+  // Maintained in both stepping modes: naive serial stepping never reads
+  // it, but a naive *parallel* partition paces its windows on these hints.
+  wake_internal_ = compute_internal_wake();
 }
 
 void Hmc::route_packet(Packet&& p, TimePs now) {

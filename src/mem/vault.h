@@ -45,7 +45,7 @@ class VaultController final : public Tickable {
   // Queued requests need command scheduling every DRAM edge; an empty
   // queue only wakes for pending completion bursts.  Skipped ticks are
   // exact no-ops here (no per-cycle counters).
-  TimePs next_work_ps(TimePs) override {
+  TimePs next_work_ps(TimePs /*now*/) override {
     if (!queue_.empty()) return 0;
     if (!completed_.empty()) return completed_.front_ready_ps();
     return kTimeNever;

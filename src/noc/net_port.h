@@ -1,0 +1,95 @@
+// NetworkPort: the component-facing indirection in front of the Network.
+//
+// In a serial run every call forwards straight to the wrapped Network — the
+// port is a handful of inline one-liners, so the single-threaded path is
+// unchanged.  In a parallel-in-time run (DESIGN.md "Parallel-in-time
+// simulation") each partition owns one port switched into *deferred* mode:
+// send() appends the packet to a per-partition log instead of touching the
+// shared Network, and the coordinator replays every logged send through the
+// real (single-threaded) Network at the next horizon barrier, sorted into
+// the exact order the serial scheduler would have issued them.  Replay in
+// serial order makes link reservations, byte counters, timeline polls, and
+// latency stamps bit-identical to a serial run.
+//
+// The replay sort key is the *calling tick context*, not the packet's `now`
+// argument: an Hmc forwards vault completions with `done_ps` slightly behind
+// its tick time, so two packets' now-arguments can order differently from
+// the ticks that issued them.  ClockDomain exposes the calling context via a
+// TickOrderProbe (sim/clock.h) that the port snapshots on every deferred
+// send: (tick instant, scheduler domain rank, global member rank), with the
+// per-partition log position as the final stable tie-break — together these
+// reconstruct the serial scheduler's global tick order.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/network.h"
+#include "noc/packet.h"
+#include "sim/clock.h"
+#include "sim/timed_channel.h"
+
+namespace sndp {
+
+class NetworkPort {
+ public:
+  explicit NetworkPort(Network& net) : net_(&net) {}
+
+  // One logged cross-partition send, waiting for barrier replay.
+  struct DeferredSend {
+    Packet pkt;
+    TimePs now_arg = 0;      // the sender's original `now` argument
+    TimePs order_ps = 0;     // tick instant of the calling tick
+    std::uint8_t domain_rank = 0;   // scheduler registration order of the domain
+    std::uint32_t member_rank = 0;  // global registration order within the domain
+  };
+
+  unsigned gpu_node() const { return net_->gpu_node(); }
+  unsigned num_hmcs() const { return net_->num_hmcs(); }
+
+  // RX channels are safe to touch directly from the owning partition: the
+  // coordinator only pushes into them between windows, and each node's
+  // channel is drained only by the partition that owns that node.
+  TimedChannel<Packet>& rx(unsigned node) { return net_->rx(node); }
+  const TimedChannel<Packet>& rx(unsigned node) const { return net_->rx(node); }
+
+  // Serial mode: forward to Network::send and return the arrival time.
+  // Deferred mode: log the send for barrier replay and return kTimeNever
+  // (no call site consumes the return value; the sentinel makes any future
+  // use of a deferred arrival time fail loudly in tests).
+  TimePs send(Packet pkt, TimePs now) {
+    if (!deferring_) return net_->send(std::move(pkt), now);
+    DeferredSend d;
+    d.pkt = std::move(pkt);
+    d.now_arg = now;
+    if (probe_ != nullptr) {
+      d.order_ps = probe_->now;
+      d.domain_rank = probe_->domain_rank;
+      d.member_rank = probe_->member_rank;
+    } else {
+      d.order_ps = now;
+    }
+    log_.push_back(std::move(d));
+    return kTimeNever;
+  }
+
+  // --- parallel-mode wiring (coordinator side) -------------------------
+
+  void set_deferred(bool on) { deferring_ = on; }
+  bool deferred() const { return deferring_; }
+  void set_order_probe(const TickOrderProbe* probe) { probe_ = probe; }
+
+  // The log accumulated since the last drain.  Only the coordinator calls
+  // these, strictly between windows.
+  std::vector<DeferredSend>& pending_sends() { return log_; }
+
+ private:
+  Network* net_;
+  bool deferring_ = false;
+  const TickOrderProbe* probe_ = nullptr;
+  std::vector<DeferredSend> log_;
+};
+
+}  // namespace sndp

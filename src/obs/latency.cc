@@ -71,6 +71,18 @@ void Log2Histogram::merge(const Log2Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void LatencySummary::merge_from(const LatencySummary& o) {
+  for (std::size_t c = 0; c < kNumPathClasses; ++c) {
+    per_class[c].merge(o.per_class[c]);
+    for (std::size_t s = 0; s < kNumLatSegments; ++s) seg_sum_ps[c][s] += o.seg_sum_ps[c][s];
+  }
+  started += o.started;
+  finished += o.finished;
+  cancelled += o.cancelled;
+  spans_sampled += o.spans_sampled;
+  spans_dropped += o.spans_dropped;
+}
+
 double Log2Histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return static_cast<double>(min());

@@ -122,6 +122,11 @@ struct LatencySummary {
     return per_class[static_cast<std::size_t>(c)].count();
   }
 
+  // Element-wise fold of another summary (histogram merge + exact integer
+  // sums); associative and order-independent, so parallel runs merging
+  // per-partition tracer shards reproduce a serial run's summary exactly.
+  void merge_from(const LatencySummary& o);
+
   bool operator==(const LatencySummary&) const = default;
 };
 
@@ -184,6 +189,11 @@ class LatencyTracer {
 
   const LatencySummary& summary() const { return summary_; }
   std::uint64_t spans_dropped() const { return summary_.spans_dropped; }
+
+  // Fold another tracer's summary into this one (parallel per-partition
+  // shards; span tables are never merged — parallel mode runs shards with
+  // sample = 0, so there are no spans to move).
+  void merge_from(const LatencyTracer& o) { summary_.merge_from(o.summary_); }
 
   // Flat stats export: lat.<class>.{count,mean_ps,p50_ps,p95_ps,p99_ps,
   // max_ps}, lat.seg.<segment>.sum_ps, sim.latency_spans{,_dropped}.

@@ -94,6 +94,16 @@ FuzzSpec generate_spec(std::uint64_t seed) {
     op.c = 1 + static_cast<std::uint32_t>(rng.next_below(kWarpWidth - 1));
     spec.ops.push_back(op);
   }
+
+  // Parallel-in-time axis, drawn last so pre-partition seeds keep their
+  // shape.  Mutating placements (first-touch, migration) fall back to
+  // serial anyway, so only shard the policies that actually parallelize —
+  // the run must still be byte-identical to the reference.
+  if ((spec.placement == PlacementPolicyKind::kRandom ||
+       spec.placement == PlacementPolicyKind::kLocality) &&
+      rng.bernoulli(0.5)) {
+    spec.partitions = rng.bernoulli(0.5) ? 4 : 2;
+  }
   return spec;
 }
 
@@ -233,6 +243,7 @@ SystemConfig fuzz_config(const FuzzSpec& spec) {
   cfg.placement_seed = 0x5EED ^ spec.seed;
   cfg.placement.policy = spec.placement;
   cfg.placement.migration_threshold = spec.migration_threshold;
+  cfg.parallel_partitions = spec.partitions;
   return cfg;
 }
 
@@ -345,6 +356,7 @@ std::string FuzzSpec::to_text() const {
   os << "hmcs " << num_hmcs << "\n";
   os << "placement " << static_cast<int>(placement) << " " << migration_threshold
      << "\n";
+  os << "partitions " << partitions << "\n";
   for (const FuzzOp& op : ops) {
     os << "op " << static_cast<int>(op.kind) << " " << op.a << " " << op.b << " " << op.c
        << "\n";
@@ -382,6 +394,9 @@ std::optional<FuzzSpec> FuzzSpec::from_text(const std::string& text) {
       int kind = 0;
       ls >> kind >> spec.migration_threshold;
       spec.placement = static_cast<PlacementPolicyKind>(kind);
+    } else if (key == "partitions") {
+      // Optional (absent in pre-parallel reproducers, which ran serial).
+      ls >> spec.partitions;
     } else if (key == "op") {
       int kind = 0;
       FuzzOp op;

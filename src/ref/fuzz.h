@@ -64,6 +64,7 @@ struct FuzzSpec {
   unsigned num_hmcs = 4;
   PlacementPolicyKind placement = PlacementPolicyKind::kRandom;
   unsigned migration_threshold = 64;  // only meaningful for kMigration
+  unsigned partitions = 1;   // parallel-in-time shards (1 = serial)
 
   std::string to_text() const;                           // reproducer format
   static std::optional<FuzzSpec> from_text(const std::string& text);

@@ -11,7 +11,7 @@ namespace sndp {
 class AddressMap;
 class GlobalMemory;
 class LatencyTracer;
-class Network;
+class NetworkPort;
 class OffloadGovernor;
 class NdpBufferManager;
 class RoCacheMirror;
@@ -34,7 +34,11 @@ struct SystemContext {
   const SystemConfig* cfg = nullptr;
   AddressMap* amap = nullptr;  // non-const: placement lookups may assign/migrate
   GlobalMemory* gmem = nullptr;
-  Network* net = nullptr;
+  // All cross-component traffic goes through the port, not the Network
+  // directly: in parallel mode the port defers sends into a per-partition
+  // log the coordinator replays in serial order (noc/net_port.h).  In
+  // serial mode it is a zero-cost passthrough.
+  NetworkPort* net = nullptr;
   OffloadGovernor* governor = nullptr;
   NdpBufferManager* bufmgr = nullptr;
   EnergyCounters* energy = nullptr;

@@ -1,0 +1,211 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/units.h"
+#include "noc/net_port.h"
+#include "noc/network.h"
+#include "sim/clock.h"
+
+namespace sndp {
+
+TimePs parallel_lookahead_ps(const SystemConfig& cfg) {
+  // Earliest cross-partition arrival for a send issued at tick instant T:
+  // the sender's `now` argument is >= T - (one period of its clock) + 1
+  // (a vault completion is discovered at the next DRAM edge after it
+  // becomes ready), and Network::send adds at least the header
+  // serialization plus one link propagation before delivery.
+  const TimePs min_wire =
+      cfg.link.propagation_ps + serialize_ps(cfg.link.header_bytes, cfg.link.gb_per_s);
+  TimePs max_period = 0;
+  for (const std::uint64_t khz :
+       {cfg.clocks.sm_khz, cfg.clocks.l2_khz, cfg.clocks.dram_khz, cfg.clocks.nsu_khz}) {
+    // Upper bound on the spacing between consecutive edges of this clock.
+    const TimePs period = tick_time_ps(1, khz) + 1;
+    if (period > max_period) max_period = period;
+  }
+  return min_wire > max_period ? min_wire - max_period : 0;
+}
+
+namespace {
+
+// Commands broadcast from the coordinator to the worker partitions.  The
+// command word plus its operands are published before a release-increment
+// of `seq`; workers acquire-load `seq`, execute, then release-decrement
+// `pending` — which is the full happens-before edge for both the command
+// operands and everything the window execution wrote.
+enum class Cmd : std::uint8_t { kWindow, kValve, kFinish, kStop };
+
+struct Control {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<unsigned> pending{0};
+  Cmd cmd = Cmd::kWindow;
+  TimePs a = 0;     // window end / valve edge / final instant
+  bool flag = false;  // kFinish: consume the edge at `a`
+
+  void publish(Cmd c, TimePs a_ps, bool f, unsigned workers) {
+    cmd = c;
+    a = a_ps;
+    flag = f;
+    pending.store(workers, std::memory_order_relaxed);
+    seq.fetch_add(1, std::memory_order_release);
+  }
+
+  void wait_done() const {
+    unsigned spins = 0;
+    while (pending.load(std::memory_order_acquire) != 0) {
+      if (++spins > 128) std::this_thread::yield();
+    }
+  }
+};
+
+void run_command(Scheduler& part, const Control& ctl) {
+  switch (ctl.cmd) {
+    case Cmd::kWindow:
+      part.run_window(ctl.a);
+      break;
+    case Cmd::kValve:
+      part.run_valve_step(ctl.a);
+      break;
+    case Cmd::kFinish:
+      part.finish_to(ctl.a, ctl.flag);
+      break;
+    case Cmd::kStop:
+      break;
+  }
+}
+
+void worker_loop(Scheduler& part, Control& ctl) {
+  std::uint64_t seen = 0;
+  while (true) {
+    unsigned spins = 0;
+    while (ctl.seq.load(std::memory_order_acquire) == seen) {
+      // Spin briefly, then yield: on a machine with fewer cores than
+      // partitions the yield hands the quantum to whoever holds the work.
+      if (++spins > 128) std::this_thread::yield();
+    }
+    ++seen;
+    if (ctl.cmd == Cmd::kStop) {
+      ctl.pending.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    run_command(part, ctl);
+    ctl.pending.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+ParallelOutcome run_parallel(const std::vector<Scheduler*>& parts,
+                             const std::vector<NetworkPort*>& ports, Network& net,
+                             TimePs lookahead_ps, TimePs limit_ps,
+                             const ParallelHooks& hooks) {
+  ParallelOutcome out;
+  const unsigned workers = static_cast<unsigned>(parts.size()) - 1;
+
+  Control ctl;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned p = 1; p <= workers; ++p) {
+    threads.emplace_back(worker_loop, std::ref(*parts[p]), std::ref(ctl));
+  }
+
+  // Broadcast a command, run the hub's share on this thread, wait for the
+  // workers, then replay every deferred send through the shared Network in
+  // serial tick order (the replay sort key reconstructs the serial
+  // scheduler's global tick order; see noc/net_port.h).
+  std::vector<NetworkPort::DeferredSend> replay;
+  auto barrier = [&](Cmd cmd, TimePs a, bool flag) {
+    ctl.publish(cmd, a, flag, workers);
+    run_command(*parts[0], ctl);
+    ctl.wait_done();
+    replay.clear();
+    for (NetworkPort* port : ports) {
+      auto& log = port->pending_sends();
+      for (auto& d : log) replay.push_back(std::move(d));
+      log.clear();
+    }
+    std::stable_sort(replay.begin(), replay.end(),
+                     [](const NetworkPort::DeferredSend& x, const NetworkPort::DeferredSend& y) {
+                       if (x.order_ps != y.order_ps) return x.order_ps < y.order_ps;
+                       if (x.domain_rank != y.domain_rank) return x.domain_rank < y.domain_rank;
+                       return x.member_rank < y.member_rank;
+                     });
+    for (auto& d : replay) net.send(std::move(d.pkt), d.now_arg);
+    if (hooks.on_barrier) hooks.on_barrier();
+  };
+
+  auto stop_workers = [&] {
+    ctl.publish(Cmd::kStop, 0, false, workers);
+    ctl.wait_done();
+    for (std::thread& t : threads) t.join();
+  };
+
+  bool any_window = false;
+  while (true) {
+    // Post-replay bids.  The workers are parked at the barrier, so polling
+    // their schedulers from this thread is race-free, and the poll sees
+    // every packet the replay just delivered.
+    TimePs window_start = kTimeNever;
+    for (Scheduler* part : parts) {
+      const TimePs bid = part->poll_bid();
+      if (bid < window_start) window_start = bid;
+    }
+
+    if (window_start == kTimeNever) {
+      if (hooks.system_idle()) {
+        out.completed = true;
+        break;
+      }
+      // Quiescent but not idle: in-flight state no hint covers (a modeling
+      // bug).  Serial dead-marches to the valve without ticking; mirror it.
+      TimePs valve_edge = kTimeNever;
+      for (const Scheduler* part : parts) {
+        valve_edge = std::min(valve_edge, part->local_valve_edge());
+      }
+      barrier(Cmd::kFinish, valve_edge, /*consume*/ true);
+      ++out.windows;  // the fix-up pass counts as one barrier
+      out.final_ps = valve_edge;
+      stop_workers();
+      return out;
+    }
+
+    if (window_start >= limit_ps) {
+      // All remaining work sits at/after the time limit: run the serial
+      // scheduler's single valve-clamped step, globally.
+      TimePs valve_edge = kTimeNever;
+      for (const Scheduler* part : parts) {
+        valve_edge = std::min(valve_edge, part->local_valve_edge());
+      }
+      barrier(Cmd::kValve, valve_edge, false);
+      ++out.windows;
+      out.final_ps = valve_edge;
+      stop_workers();
+      return out;
+    }
+
+    barrier(Cmd::kWindow, window_start + lookahead_ps, false);
+    ++out.windows;
+    any_window = true;
+
+    if (hooks.abort_poll && hooks.abort_poll()) {
+      out.aborted = true;
+      break;
+    }
+  }
+
+  // Completed or aborted: bring every partition to the final instant (the
+  // serial scheduler's last step consumed edges up to and including it on
+  // every domain).  A run that never executed a window left no edge
+  // consumed anywhere — exactly like the serial quiescent first step.
+  TimePs final_ps = 0;
+  for (const Scheduler* part : parts) final_ps = std::max(final_ps, part->now());
+  if (any_window) barrier(Cmd::kFinish, final_ps, /*consume*/ true);
+  out.final_ps = final_ps;
+  stop_workers();
+  return out;
+}
+
+}  // namespace sndp

@@ -1,0 +1,72 @@
+// Conservative parallel-in-time execution of one simulation run
+// (DESIGN.md "Parallel-in-time simulation").
+//
+// One run is partitioned by HMC stack: partition 0 (the hub) owns the
+// GPU/SM/L2 clock domains, every other partition owns the DRAM + NSU
+// domains of a contiguous group of stacks.  Each partition advances on its
+// own thread through horizon windows [W, E) with E = W + L, where the
+// lookahead L is derived from the minimum cross-partition network latency:
+// every cross-partition effect funnels through Network::send, whose
+// earliest possible arrival is `now + header-serialization + propagation`,
+// and the sender's `now` lags its tick instant by less than one clock
+// period (an Hmc forwards vault completions with their ready time), so
+//
+//   L = propagation_ps + serialize_ps(header_bytes) - max clock period
+//
+// guarantees every packet sent inside a window arrives at or after the
+// window's end.  Inside a window each partition applies the serial
+// scheduler's exact step semantics to its own domains
+// (Scheduler::run_window); sends are deferred into per-partition logs
+// (NetworkPort) and replayed through the untouched single-threaded Network
+// at the barrier, sorted into serial tick order — which makes link
+// reservations, timeline polls, and every counter bit-identical to a
+// serial run.  The coordinator (which doubles as the hub's thread) owns
+// all global decisions: window bounds, quiescence/idle detection, the
+// safety-valve step, and the final fix-up that brings lagging partitions'
+// tick indices to the run's final instant.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace sndp {
+
+class Network;
+class NetworkPort;
+class Scheduler;
+
+// The window lookahead for `cfg`, in ps.  Zero (or negative, clamped to
+// zero) means the topology's link latency cannot cover one clock period and
+// parallel execution must fall back to serial.
+TimePs parallel_lookahead_ps(const SystemConfig& cfg);
+
+struct ParallelOutcome {
+  bool completed = false;
+  bool aborted = false;
+  TimePs final_ps = 0;   // the serial scheduler's final now()
+  std::uint64_t windows = 0;  // horizon barriers executed (diagnostics only)
+};
+
+struct ParallelHooks {
+  // All hooks run on the coordinator thread, strictly between windows.
+  std::function<bool()> system_idle;          // required
+  std::function<bool()> abort_poll;           // optional
+  std::function<void()> on_barrier;           // optional: deferred epoch audits
+};
+
+// Runs the partitioned main loop.  `parts[0]` is the hub partition, run on
+// the calling thread; each other partition gets a worker thread.  `ports`
+// are the per-partition NetworkPorts (already switched to deferred mode)
+// whose logs the coordinator replays through `net` at each barrier.
+// Mirrors the serial Simulator main loop's completed/valve/deadlock/abort
+// semantics; after it returns, every partition's domains sit at the exact
+// tick indices the serial scheduler would have left them at.
+ParallelOutcome run_parallel(const std::vector<Scheduler*>& parts,
+                             const std::vector<NetworkPort*>& ports, Network& net,
+                             TimePs lookahead_ps, TimePs limit_ps,
+                             const ParallelHooks& hooks);
+
+}  // namespace sndp

@@ -141,6 +141,149 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, FastForwardDeterminism,
                          ::testing::Values("BPROP", "BFS", "BICG", "FWT", "KMN", "MiniFE",
                                            "SP", "STN", "STCL", "VADD"));
 
+// Parallel-in-time determinism (DESIGN.md "Parallel-in-time simulation"):
+// sharding one run across partitions must be a pure wall-clock optimisation.
+// Only the intentionally partition-dependent keys may differ: the
+// `sim.parallel_*` diagnostics and the span-sampling bookkeeping
+// (`sim.latency_spans*` — parallel runs force span capture off).
+std::map<std::string, double> partition_comparable(const StatSet& s) {
+  std::map<std::string, double> m = s.values();
+  m.erase("sim.parallel_partitions");
+  m.erase("sim.parallel_windows");
+  m.erase("sim.latency_spans");
+  m.erase("sim.latency_spans_dropped");
+  return m;
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelDeterminism, StatsAndMemoryAreByteIdenticalToSerial) {
+  const std::string name = GetParam();
+  for (const bool ff : {true, false}) {
+    SystemConfig cfg = SystemConfig::small_test();  // 4 stacks
+    cfg.fast_forward = ff;
+
+    cfg.parallel_partitions = 1;
+    GlobalMemory serial_mem;
+    Simulator serial_sim(cfg);
+    serial_sim.set_final_memory_sink(&serial_mem);
+    auto wl_s = make_workload(name, ProblemScale::kTiny);
+    const RunResult serial = serial_sim.run(*wl_s);
+    ASSERT_TRUE(serial.completed) << name;
+
+    for (const unsigned parts : {2u, 4u}) {
+      cfg.parallel_partitions = parts;
+      GlobalMemory par_mem;
+      Simulator par_sim(cfg);
+      par_sim.set_final_memory_sink(&par_mem);
+      auto wl_p = make_workload(name, ProblemScale::kTiny);
+      const RunResult par = par_sim.run(*wl_p);
+
+      EXPECT_TRUE(par.completed) << name;
+      EXPECT_TRUE(par.verified) << name;
+      EXPECT_EQ(par.runtime_ps, serial.runtime_ps) << name << " parts=" << parts;
+      EXPECT_EQ(par.sm_cycles, serial.sm_cycles) << name << " parts=" << parts;
+      EXPECT_DOUBLE_EQ(par.stats.get("sim.parallel_partitions"), static_cast<double>(parts));
+      EXPECT_EQ(partition_comparable(par.stats), partition_comparable(serial.stats))
+          << name << " parts=" << parts << " ff=" << ff;
+      Addr diff = 0;
+      EXPECT_TRUE(par_mem.equal_contents(serial_mem, &diff))
+          << name << " parts=" << parts << " first diff @ 0x" << std::hex << diff;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParallelDeterminism,
+                         ::testing::Values("BPROP", "BFS", "BICG", "FWT", "KMN", "MiniFE",
+                                           "SP", "STN", "STCL", "VADD"));
+
+TEST(ParallelSimulation, ThreeStackIncompleteHypercubeMatchesSerial) {
+  // The PR-6 non-power-of-two geometry: 3 stacks ride an incomplete
+  // hypercube, and a partition request above stacks+hub clamps to 4.
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.num_hmcs = 3;
+  for (const char* name : {"VADD", "STN"}) {
+    cfg.parallel_partitions = 1;
+    auto wl_s = make_workload(name, ProblemScale::kTiny);
+    const RunResult serial = Simulator(cfg).run(*wl_s);
+    cfg.parallel_partitions = 8;  // clamps to 3 stacks + hub
+    auto wl_p = make_workload(name, ProblemScale::kTiny);
+    const RunResult par = Simulator(cfg).run(*wl_p);
+    EXPECT_TRUE(par.verified) << name;
+    EXPECT_DOUBLE_EQ(par.stats.get("sim.parallel_partitions"), 4.0);
+    EXPECT_EQ(par.runtime_ps, serial.runtime_ps) << name;
+    EXPECT_EQ(partition_comparable(par.stats), partition_comparable(serial.stats)) << name;
+  }
+}
+
+TEST(ParallelSimulation, ValveStoppedRunMatchesSerial) {
+  // The safety-valve step is a global decision; a valve-stopped parallel
+  // run must stop at the same edge with the same overshoot as serial.
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.max_time_ps = 50'000;
+  cfg.parallel_partitions = 1;
+  auto wl_s = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult serial = Simulator(cfg).run(*wl_s);
+  ASSERT_FALSE(serial.completed);
+  cfg.parallel_partitions = 4;
+  auto wl_p = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult par = Simulator(cfg).run(*wl_p);
+  EXPECT_FALSE(par.completed);
+  EXPECT_EQ(par.runtime_ps, serial.runtime_ps);
+  EXPECT_EQ(partition_comparable(par.stats), partition_comparable(serial.stats));
+}
+
+TEST(ParallelSimulation, FinalFastForwardFlushEpochIsAudited) {
+  // Regression: gpu.finalize() replays the fast-forwarded governor epoch
+  // clock after the last horizon barrier, and can roll one final epoch
+  // there.  Serial mode audits that epoch inline from the observer; the
+  // parallel path defers it, and an early version dropped the deferred
+  // entry by draining the queue before the finalize flush.  A short epoch
+  // makes the boundary land inside the trailing fast-forward region.
+  // FWT/tiny with a 131-cycle epoch leaves exactly one boundary inside the
+  // trailing fast-forward region (serial audits 10 epochs, a parallel run
+  // with the drain misplaced audits 9).
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kDynamicCache;
+  cfg.governor.epoch_cycles = 131;
+  cfg.parallel_partitions = 1;
+  auto wl_s = make_workload("FWT", ProblemScale::kTiny);
+  const RunResult serial = Simulator(cfg).run(*wl_s);
+  ASSERT_TRUE(serial.completed);
+  ASSERT_GE(serial.stats.get("audit.epochs"), 2.0);
+  cfg.parallel_partitions = 4;
+  auto wl_p = make_workload("FWT", ProblemScale::kTiny);
+  const RunResult par = Simulator(cfg).run(*wl_p);
+  EXPECT_EQ(par.stats.get("audit.epochs"), serial.stats.get("audit.epochs"));
+  EXPECT_EQ(partition_comparable(par.stats), partition_comparable(serial.stats));
+}
+
+TEST(ParallelSimulation, MutatingPlacementFallsBackToSerial) {
+  // First-touch / migration placement mutate the page map on lookups from
+  // every partition; the run must fall back to serial rather than race.
+  for (const PlacementPolicyKind policy :
+       {PlacementPolicyKind::kFirstTouch, PlacementPolicyKind::kMigration}) {
+    SystemConfig cfg = SystemConfig::small_test();
+    cfg.placement.policy = policy;
+    cfg.parallel_partitions = 4;
+    auto wl = make_workload("VADD", ProblemScale::kTiny);
+    const RunResult r = Simulator(cfg).run(*wl);
+    EXPECT_TRUE(r.verified);
+    EXPECT_DOUBLE_EQ(r.stats.get("sim.parallel_partitions"), 1.0);
+  }
+}
+
+TEST(ParallelSimulation, AbortPollStopsParallelRun) {
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.parallel_partitions = 4;
+  Simulator sim(cfg);
+  sim.set_abort_poll([] { return true; });  // abort at the first barrier
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = sim.run(*wl);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_FALSE(r.completed);
+}
+
 TEST(SimulatorFacade, EnergyCountersAreConsistent) {
   SystemConfig cfg = SystemConfig::small_test();
   cfg.governor.mode = OffloadMode::kDynamicCache;
