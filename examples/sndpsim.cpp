@@ -39,9 +39,22 @@
 //       --trace FILE        write a Chrome-trace (Perfetto) JSON, including
 //                           per-epoch governor counter series and sampled
 //                           request-latency spans as flow events
+//       --tenants SPEC      multi-tenant serving: run SPEC's workloads as
+//                           concurrent kernel streams in disjoint address
+//                           slices of one memory.  SPEC is a comma list of
+//                           NAME[:WEIGHT[:PRIORITY]], e.g.
+//                           "BFS:2:0,VADD,KMN" (weight default 1, priority
+//                           default 0 = highest).  Incompatible with -w.
+//       --arbiter A         CTA arbiter for --tenants:
+//                           rr | weighted | strict         (default rr)
+//       --nsu-quota N       per-tenant NSU warp-slot quota (0 = off)
+//       --credit-share F    per-tenant NoC credit cap as a fraction of each
+//                           pool (0 = off)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,6 +88,10 @@ struct Options {
   unsigned latency_sample = 64;
   std::string epoch_csv;
   std::string trace_path;
+  std::string tenants;  // non-empty: multi-tenant serving spec
+  TenantArbiter arbiter = TenantArbiter::kRoundRobin;
+  unsigned nsu_quota = 0;
+  double credit_share = 0.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -86,7 +103,9 @@ struct Options {
                "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n"
                "          [--partitions N]\n"
                "          [--no-audit] [--no-latency] [--latency-sample N]\n"
-               "          [--epoch-csv FILE] [--trace FILE]\n",
+               "          [--epoch-csv FILE] [--trace FILE]\n"
+               "          [--tenants NAME[:W[:P]],... [--arbiter rr|weighted|strict]\n"
+               "           [--nsu-quota N] [--credit-share F]]\n",
                argv0);
   std::exit(2);
 }
@@ -183,6 +202,20 @@ Options parse(int argc, char** argv) {
       o.epoch_csv = a.substr(12);
     } else if (a == "--trace") {
       o.trace_path = need_value(i);
+    } else if (a == "--tenants") {
+      o.tenants = need_value(i);
+    } else if (a.rfind("--tenants=", 0) == 0) {
+      o.tenants = a.substr(10);
+    } else if (a == "--arbiter") {
+      const std::string arb = need_value(i);
+      if (arb == "rr") o.arbiter = TenantArbiter::kRoundRobin;
+      else if (arb == "weighted") o.arbiter = TenantArbiter::kWeightedShare;
+      else if (arb == "strict") o.arbiter = TenantArbiter::kStrictPriority;
+      else usage(argv[0]);
+    } else if (a == "--nsu-quota") {
+      o.nsu_quota = static_cast<unsigned>(std::stoul(need_value(i)));
+    } else if (a == "--credit-share") {
+      o.credit_share = std::stod(need_value(i));
     } else {
       usage(argv[0]);
     }
@@ -207,7 +240,97 @@ SystemConfig config_of(const Options& o) {
   cfg.latency_trace = o.latency;
   cfg.latency_sample = o.latency_sample;
   cfg.trace_path = o.trace_path;
+  cfg.tenancy.arbiter = o.arbiter;
+  cfg.tenancy.nsu_warp_quota = o.nsu_quota;
+  cfg.tenancy.credit_share = o.credit_share;
   return cfg;
+}
+
+// --tenants path: NAME[:WEIGHT[:PRIORITY]] entries, one concurrent run.
+int run_tenants_main(const Options& o) {
+  struct Spec {
+    std::string name;
+    double weight = 1.0;
+    unsigned priority = 0;
+  };
+  std::vector<Spec> specs;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = o.tenants.find(',', pos);
+    std::string entry = o.tenants.substr(pos, comma - pos);
+    pos = comma == std::string::npos ? comma : comma + 1;
+    if (entry.empty()) continue;
+    Spec s;
+    const std::size_t c1 = entry.find(':');
+    s.name = entry.substr(0, c1);
+    if (c1 != std::string::npos) {
+      const std::size_t c2 = entry.find(':', c1 + 1);
+      s.weight = std::stod(entry.substr(c1 + 1, c2 - c1 - 1));
+      if (c2 != std::string::npos) {
+        s.priority = static_cast<unsigned>(std::stoul(entry.substr(c2 + 1)));
+      }
+    }
+    specs.push_back(std::move(s));
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "--tenants: empty spec\n");
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<Workload>> wls;
+  std::vector<TenantDesc> descs;
+  std::string mix_name;
+  for (const Spec& s : specs) {
+    wls.push_back(make_workload(s.name, o.scale));
+    descs.push_back(TenantDesc{wls.back().get(), s.weight, s.priority});
+    mix_name += (mix_name.empty() ? "" : "+") + s.name;
+  }
+
+  const SystemConfig cfg = config_of(o);
+  Simulator sim(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r = sim.run_tenants(descs, mix_name);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::printf("%-8s mode=%-9s cycles=%-10llu ipc=%-6.2f verified=%-3s "
+              "gpu-link=%.2fMB network=%.2fMB energy=%.4fJ\n",
+              mix_name.c_str(), mode_name(o.mode),
+              static_cast<unsigned long long>(r.sm_cycles), r.ipc,
+              r.verified ? "yes" : "NO", r.gpu_link_bytes / 1e6,
+              r.cube_link_bytes / 1e6, r.energy.total());
+  for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+    const TenantResult& tr = r.tenants[t];
+    std::printf("  t%zu %-8s weight=%-4.1f prio=%-2u finish=%-10llu issued=%-10llu "
+                "l2(h/m/g)=%llu/%llu/%llu verified=%s\n",
+                t, tr.name.c_str(), specs[t].weight, specs[t].priority,
+                static_cast<unsigned long long>(tr.finish_cycle),
+                static_cast<unsigned long long>(tr.issued),
+                static_cast<unsigned long long>(tr.l2_hits),
+                static_cast<unsigned long long>(tr.l2_misses),
+                static_cast<unsigned long long>(tr.l2_merged),
+                tr.verified ? "yes" : "NO");
+  }
+  if (o.dump_stats) std::fputs(r.stats.to_string().c_str(), stdout);
+  if (o.dump_stats && r.latency_enabled) {
+    std::printf("  request latency by path class:\n");
+    print_latency_table(r.latency, "    ");
+  }
+  if (!o.stats_json.empty()) {
+    SweepOutcome out;
+    out.point.id = mix_name + "/" + mode_name(o.mode);
+    out.point.workload = mix_name;
+    out.point.scale = o.scale;
+    out.point.cfg = cfg;
+    out.result = r;
+    out.ran = true;
+    out.wall_seconds = wall;
+    if (!write_sweep_json(o.stats_json, {out}, 1)) {
+      std::fprintf(stderr, "failed to write stats JSON to '%s'\n", o.stats_json.c_str());
+      return 1;
+    }
+  }
+  return r.verified && r.completed ? 0 : 1;
 }
 
 int report_one(const Options& o, const std::string& name, const RunResult& r) {
@@ -235,6 +358,8 @@ int report_one(const Options& o, const std::string& name, const RunResult& r) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+
+  if (!o.tenants.empty()) return run_tenants_main(o);
 
   // All runs — one or many — go through the sweep runner, so -j parallelism,
   // per-run wall-clock timeouts, and the JSON export behave identically for

@@ -174,6 +174,32 @@ struct GovernorConfig {
 };
 
 // ---------------------------------------------------------------------------
+// Multi-tenant serving (DESIGN.md "Multi-tenant serving").  N kernel streams
+// are resident at once, each with its own program, address-space base, CTA
+// queue, and offload governor.  The arbiter picks which tenant's next CTA a
+// freed SM slot goes to; the QoS knobs bound how much NSU/NoC capacity one
+// tenant can hold.  All defaults are "off": with one tenant every code path
+// below reduces to the single-kernel behavior bit-for-bit (a tested
+// invariant).
+// ---------------------------------------------------------------------------
+enum class TenantArbiter : std::uint8_t {
+  kRoundRobin,      // rotate across tenants with CTAs remaining
+  kWeightedShare,   // argmin of dispatched[t] / weight[t] (tie: lowest id)
+  kStrictPriority,  // lowest priority value wins outright
+};
+
+struct TenancyConfig {
+  TenantArbiter arbiter = TenantArbiter::kRoundRobin;
+  // Per-tenant cap on resident NSU warp slots (head-of-line enforced at
+  // command spawn).  0 = unlimited (single-tenant semantics).
+  unsigned nsu_warp_quota = 0;
+  // Fraction of each NSU's read-data/write-address credit pools one tenant
+  // may hold (0 < share <= 1).  0 = no partitioning (single-tenant
+  // semantics).
+  double credit_share = 0.0;
+};
+
+// ---------------------------------------------------------------------------
 // Data-placement policy (src/mem/placement.*).  kRandom reproduces the
 // paper's seeded page hash bit-for-bit and is the default everywhere.
 // ---------------------------------------------------------------------------
@@ -243,6 +269,7 @@ struct SystemConfig {
   NsuConfig nsu{};
   NdpBufferConfig ndp_buffers{};
   GovernorConfig governor{};
+  TenancyConfig tenancy{};
   EnergyConfig energy{};
 
   // Data page size for the page->HMC placement (§5: 4 KB pages).

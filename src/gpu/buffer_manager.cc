@@ -1,5 +1,6 @@
 #include "gpu/buffer_manager.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace sndp {
@@ -9,7 +10,20 @@ NdpBufferManager::NdpBufferManager(const NdpBufferConfig& cfg, unsigned num_hmcs
                                     cfg.nsu_write_addr_entries});
 }
 
-bool NdpBufferManager::try_reserve(unsigned hmc, unsigned rd, unsigned wta) {
+void NdpBufferManager::set_tenancy(unsigned num_tenants, double credit_share) {
+  if (credit_share <= 0.0 || num_tenants == 0) {
+    tenant_use_.clear();
+    return;
+  }
+  const double share = credit_share > 1.0 ? 1.0 : credit_share;
+  quota_rd_ = static_cast<unsigned>(
+      std::ceil(share * static_cast<double>(cfg_.nsu_read_data_entries)));
+  quota_wta_ = static_cast<unsigned>(
+      std::ceil(share * static_cast<double>(cfg_.nsu_write_addr_entries)));
+  tenant_use_.assign(credits_.size(), std::vector<TenantUse>(num_tenants));
+}
+
+bool NdpBufferManager::try_reserve(unsigned hmc, unsigned rd, unsigned wta, unsigned tenant) {
   Credits& c = credits_.at(hmc);
   if (c.cmd < 1 || c.rd < rd || c.wta < wta) {
     ++denials_;
@@ -18,6 +32,16 @@ bool NdpBufferManager::try_reserve(unsigned hmc, unsigned rd, unsigned wta) {
     if (c.wta < wta) ++denials_wta_;
     return false;
   }
+  if (!tenant_use_.empty()) {
+    TenantUse& u = tenant_use_.at(hmc).at(tenant);
+    if (u.rd + rd > quota_rd_ || u.wta + wta > quota_wta_) {
+      ++denials_;
+      ++denials_qos_;
+      return false;
+    }
+    u.rd += rd;
+    u.wta += wta;
+  }
   c.cmd -= 1;
   c.rd -= rd;
   c.wta -= wta;
@@ -25,7 +49,8 @@ bool NdpBufferManager::try_reserve(unsigned hmc, unsigned rd, unsigned wta) {
   return true;
 }
 
-void NdpBufferManager::release(unsigned hmc, unsigned cmd, unsigned rd, unsigned wta) {
+void NdpBufferManager::release(unsigned hmc, unsigned cmd, unsigned rd, unsigned wta,
+                               unsigned tenant) {
   Credits& c = credits_.at(hmc);
   c.cmd += cmd;
   c.rd += rd;
@@ -33,6 +58,14 @@ void NdpBufferManager::release(unsigned hmc, unsigned cmd, unsigned rd, unsigned
   if (c.cmd > cfg_.nsu_cmd_entries || c.rd > cfg_.nsu_read_data_entries ||
       c.wta > cfg_.nsu_write_addr_entries) {
     throw std::logic_error("NdpBufferManager: credit overflow (double release)");
+  }
+  if (!tenant_use_.empty()) {
+    TenantUse& u = tenant_use_.at(hmc).at(tenant);
+    if (u.rd < rd || u.wta < wta) {
+      throw std::logic_error("NdpBufferManager: tenant credit underflow");
+    }
+    u.rd -= rd;
+    u.wta -= wta;
   }
 }
 
@@ -52,6 +85,9 @@ void NdpBufferManager::export_stats(StatSet& out) const {
   out.set("bufmgr.denials_cmd", static_cast<double>(denials_cmd_));
   out.set("bufmgr.denials_rd", static_cast<double>(denials_rd_));
   out.set("bufmgr.denials_wta", static_cast<double>(denials_wta_));
+  if (!tenant_use_.empty()) {
+    out.set("bufmgr.denials_qos", static_cast<double>(denials_qos_));
+  }
 }
 
 }  // namespace sndp

@@ -20,13 +20,21 @@ class NdpBufferManager {
  public:
   NdpBufferManager(const NdpBufferConfig& cfg, unsigned num_hmcs);
 
-  // Atomically reserve (1 offload command, `rd` read-data entries, `wta`
-  // write-address entries) on `hmc`.  Returns false (reserving nothing)
-  // when any buffer lacks space.
-  bool try_reserve(unsigned hmc, unsigned rd, unsigned wta);
+  // QoS credit partitioning (DESIGN.md "Multi-tenant serving"): cap the
+  // rd/wta entries one tenant may hold per HMC at ceil(share * capacity).
+  // share == 0 (the default) disables partitioning entirely — reserve and
+  // release then ignore the tenant argument, which keeps the single-tenant
+  // path bit-identical.
+  void set_tenancy(unsigned num_tenants, double credit_share);
 
-  // Credits returned by the NSU.
-  void release(unsigned hmc, unsigned cmd, unsigned rd, unsigned wta);
+  // Atomically reserve (1 offload command, `rd` read-data entries, `wta`
+  // write-address entries) on `hmc` for `tenant`.  Returns false (reserving
+  // nothing) when any buffer — or the tenant's QoS share — lacks space.
+  bool try_reserve(unsigned hmc, unsigned rd, unsigned wta, unsigned tenant = 0);
+
+  // Credits returned by the NSU (tenant from the credit/ACK packet).
+  void release(unsigned hmc, unsigned cmd, unsigned rd, unsigned wta,
+               unsigned tenant = 0);
 
   unsigned free_cmd(unsigned hmc) const { return credits_.at(hmc).cmd; }
   unsigned free_read_data(unsigned hmc) const { return credits_.at(hmc).rd; }
@@ -41,17 +49,27 @@ class NdpBufferManager {
 
   void export_stats(StatSet& out) const;
 
+  std::uint64_t qos_denials() const { return denials_qos_; }
+
  private:
   struct Credits {
     unsigned cmd, rd, wta;
   };
+  struct TenantUse {
+    unsigned rd = 0, wta = 0;
+  };
   NdpBufferConfig cfg_;
   std::vector<Credits> credits_;
+  // Per-(hmc, tenant) held entries; empty unless credit partitioning is on.
+  std::vector<std::vector<TenantUse>> tenant_use_;
+  unsigned quota_rd_ = 0;
+  unsigned quota_wta_ = 0;
   std::uint64_t grants_ = 0;
   std::uint64_t denials_ = 0;
   std::uint64_t denials_cmd_ = 0;
   std::uint64_t denials_rd_ = 0;
   std::uint64_t denials_wta_ = 0;
+  std::uint64_t denials_qos_ = 0;
 };
 
 }  // namespace sndp

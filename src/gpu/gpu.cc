@@ -19,11 +19,27 @@ Gpu::Gpu(const SystemContext& ctx)
     : ctx_(ctx), epoch_tick_member_(*this), core_tick_(*this), l2_tick_(*this) {
   const SystemConfig& cfg = *ctx_.cfg;
   fast_forward_ = cfg.fast_forward;
+  const unsigned num_tenants = ctx_.num_tenants();
+  total_ctas_t_.resize(num_tenants);
+  next_cta_t_.assign(num_tenants, 0);
+  dispatched_.assign(num_tenants, 0);
+  tenant_progress_.resize(num_tenants);
+  t_l2_hits_.assign(num_tenants, 0);
+  t_l2_misses_.assign(num_tenants, 0);
+  t_l2_merged_.assign(num_tenants, 0);
+  govs_.resize(num_tenants);
+  for (unsigned t = 0; t < num_tenants; ++t) {
+    total_ctas_t_[t] = ctx_.launch_of(t).num_ctas;
+    tenant_progress_[t].total = total_ctas_t_[t];
+    ctas_left_ += total_ctas_t_[t];
+    govs_[t] = ctx_.governor_of(t);
+  }
   sms_.reserve(cfg.num_sms);
   for (unsigned i = 0; i < cfg.num_sms; ++i) {
     sms_.push_back(std::make_unique<Sm>(i, ctx_));
     sms_.back()->set_l2_wake(&l2_wake_);
     sms_.back()->set_dispatch_wake(&dispatch_wake_);
+    sms_.back()->set_tenant_progress(&tenant_progress_);
   }
   // One L2 slice per HMC link; each slice gets an equal share of the 2 MB.
   CacheConfig slice_cfg = cfg.l2;
@@ -32,11 +48,10 @@ Gpu::Gpu(const SystemContext& ctx)
   for (unsigned s = 0; s < cfg.num_hmcs; ++s) {
     slices_[s].cache = std::make_unique<Cache>(slice_cfg, "l2." + std::to_string(s));
   }
-  total_ctas_ = ctx_.launch.num_ctas;
 }
 
 bool Gpu::idle() const {
-  if (next_cta_ < total_ctas_) return false;
+  if (ctas_left_ != 0) return false;
   for (const auto& sm : sms_) {
     if (sm->busy()) return false;
   }
@@ -67,6 +82,12 @@ std::uint64_t Gpu::total_issued() const {
   return n;
 }
 
+std::uint64_t Gpu::issued_by_tenant(unsigned t) const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->issued_by_tenant().at(t);
+  return n;
+}
+
 void Gpu::epoch_tick(Cycle cycle) {
   // Replay the governor's epoch clock for fast-forwarded SM cycles.  Runs
   // before the SMs tick, so gap-cycle epoch rollovers land ahead of this
@@ -75,46 +96,100 @@ void Gpu::epoch_tick(Cycle cycle) {
   // on_sm_cycle() stays in core_tick() (after the SMs, matching naive
   // registration order).
   if (cycle > epoch_next_expected_) {
-    ctx_.governor->advance_cycles(cycle - epoch_next_expected_);
+    for (OffloadGovernor* g : govs_) g->advance_cycles(cycle - epoch_next_expected_);
   }
   epoch_next_expected_ = cycle + 1;
 }
 
+unsigned Gpu::pick_tenant(const Sm& sm) const {
+  const unsigned num_tenants = static_cast<unsigned>(total_ctas_t_.size());
+  auto eligible = [&](unsigned t) {
+    return next_cta_t_[t] < total_ctas_t_[t] && sm.can_accept_cta(t);
+  };
+  switch (ctx_.cfg->tenancy.arbiter) {
+    case TenantArbiter::kRoundRobin:
+      for (unsigned k = 0; k < num_tenants; ++k) {
+        const unsigned t = (tenant_rr_ + k) % num_tenants;
+        if (eligible(t)) return t;
+      }
+      return kInvalidId;
+    case TenantArbiter::kWeightedShare: {
+      // Argmin of dispatched/weight: the tenant furthest below its share
+      // gets the slot.  Strict < keeps ties on the lowest tenant id, so the
+      // choice is deterministic.
+      unsigned best = kInvalidId;
+      double best_score = 0.0;
+      for (unsigned t = 0; t < num_tenants; ++t) {
+        if (!eligible(t)) continue;
+        const double wt =
+            ctx_.tenants != nullptr && (*ctx_.tenants)[t].weight > 0.0
+                ? (*ctx_.tenants)[t].weight
+                : 1.0;
+        const double score = static_cast<double>(dispatched_[t]) / wt;
+        if (best == kInvalidId || score < best_score) {
+          best = t;
+          best_score = score;
+        }
+      }
+      return best;
+    }
+    case TenantArbiter::kStrictPriority: {
+      unsigned best = kInvalidId;
+      unsigned best_prio = 0;
+      for (unsigned t = 0; t < num_tenants; ++t) {
+        if (!eligible(t)) continue;
+        const unsigned prio = ctx_.tenants != nullptr ? (*ctx_.tenants)[t].priority : 0;
+        if (best == kInvalidId || prio < best_prio) {
+          best = t;
+          best_prio = prio;
+        }
+      }
+      return best;
+    }
+  }
+  return kInvalidId;
+}
+
 void Gpu::core_tick(Cycle /*cycle*/, TimePs /*now*/) {
-  ctx_.governor->on_sm_cycle();
-  // CTA dispatcher: at most one new CTA per SM per cycle, round-robin.
-  if (next_cta_ >= total_ctas_) return;
+  for (OffloadGovernor* g : govs_) g->on_sm_cycle();
+  // CTA dispatcher: at most one new CTA per SM per cycle, round-robin over
+  // SMs; the arbiter picks the tenant each freed slot serves.
+  if (ctas_left_ == 0) return;
   if (dispatch_wake_) {
     dispatch_wake_ = false;
     dispatch_blocked_ = false;
   }
-  // A scan that assigns nothing has no side effects (dispatch_rr_ only moves
-  // on assignment), and can_accept_cta() can only flip true when a CTA
-  // retires — which raises dispatch_wake_.  So skipping scans while blocked
-  // is exact in both stepping modes.
+  // A scan that assigns nothing has no side effects (dispatch_rr_ and the
+  // arbiter state only move on assignment), and can_accept_cta() can only
+  // flip true when a CTA retires — which raises dispatch_wake_.  So
+  // skipping scans while blocked is exact in both stepping modes.
   if (dispatch_blocked_) return;
   const unsigned n = static_cast<unsigned>(sms_.size());
+  const unsigned num_tenants = static_cast<unsigned>(total_ctas_t_.size());
   bool assigned = false;
-  for (unsigned i = 0; i < n && next_cta_ < total_ctas_; ++i) {
+  for (unsigned i = 0; i < n && ctas_left_ != 0; ++i) {
     Sm& sm = *sms_[(dispatch_rr_ + i) % n];
-    if (sm.can_accept_cta()) {
-      sm.assign_cta(next_cta_++);
-      dispatch_rr_ = (dispatch_rr_ + i + 1) % n;
-      assigned = true;
-    }
+    const unsigned t = pick_tenant(sm);
+    if (t == kInvalidId) continue;
+    sm.assign_cta(next_cta_t_[t]++, t);
+    --ctas_left_;
+    ++dispatched_[t];
+    tenant_rr_ = (t + 1) % num_tenants;
+    dispatch_rr_ = (dispatch_rr_ + i + 1) % n;
+    assigned = true;
   }
   if (!assigned) dispatch_blocked_ = true;
 }
 
 TimePs Gpu::core_next_work_ps() const {
-  if (next_cta_ >= total_ctas_) return kTimeNever;   // dispatcher drained
+  if (ctas_left_ == 0) return kTimeNever;   // every tenant's queue drained
   if (dispatch_blocked_ && !dispatch_wake_) return kTimeNever;
   return 0;  // CTAs remain and a slot may be free: dispatch this edge
 }
 
 void Gpu::finalize(Cycle end_cycle) {
   if (end_cycle > epoch_next_expected_) {
-    ctx_.governor->advance_cycles(end_cycle - epoch_next_expected_);
+    for (OffloadGovernor* g : govs_) g->advance_cycles(end_cycle - epoch_next_expected_);
     epoch_next_expected_ = end_cycle;
   }
   for (auto& sm : sms_) sm->finalize(end_cycle);
@@ -232,8 +307,14 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
       }
       const bool in_block = p.oid.block != kNoBlock;
       const unsigned touched = popcount_mask(p.mask) * p.mem_width;
+      // Per-tenant L2 outcomes are counted here, at the same site as
+      // l2_read_reqs_, so the per-tenant sums reconcile exactly with the
+      // fabric total (RDF probes below bump the slice caches' own counters
+      // and would contaminate a cache-counter-based split).
+      OffloadGovernor* gov = ctx_.governor_of(p.tenant);
       if (result == CacheAccessResult::kHit) {
-        if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, true, touched);
+        ++t_l2_hits_.at(p.tenant);
+        if (in_block) gov->cache_table().record_load_line(p.oid.block, true, touched);
         ctx_.energy->gpu_wire_bytes += kLineBytes;
         if (ctx_.latency != nullptr) {
           ctx_.latency->add_cache(p, l2_latency_ps);
@@ -243,7 +324,8 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
         sms_.at(static_cast<std::size_t>(p.token))->deliver_line(p.line_addr,
                                                                  now + l2_latency_ps);
       } else if (result == CacheAccessResult::kMissNew) {
-        if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, false, 0);
+        ++t_l2_misses_.at(p.tenant);
+        if (in_block) gov->cache_table().record_load_line(p.oid.block, false, 0);
         // Pin the destination to this slice's stack: the MSHR lives here, so
         // the fill (src_node of the response) must come back to the same
         // slice even if the page migrates while the miss is outstanding.
@@ -252,7 +334,8 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
       } else {
         // Merged into an existing L2 MSHR: this request's lifetime ends
         // here; the merged-into request's response will serve it.
-        if (in_block) ctx_.governor->cache_table().record_load_line(p.oid.block, false, 0);
+        ++t_l2_merged_.at(p.tenant);
+        if (in_block) gov->cache_table().record_load_line(p.oid.block, false, 0);
         if (ctx_.latency != nullptr) ctx_.latency->cancel(p);
       }
       continue;
@@ -278,7 +361,7 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
         const bool hit = slice.cache->probe(p.line_addr);
         const bool in_block = p.oid.block != kNoBlock;
         if (in_block) {
-          ctx_.governor->cache_table().record_load_line(
+          ctx_.governor_of(p.tenant)->cache_table().record_load_line(
               p.oid.block, hit, hit ? popcount_mask(p.mask) * p.mem_width : 0);
         }
         if (hit) {
@@ -357,7 +440,8 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
     }
     case PacketType::kOfldAck: {
       // Data-buffer credits ride on the ACK (§4.3).
-      ctx_.bufmgr->release(p.target_nsu, 0, p.credit_read_data, p.credit_write_addr);
+      ctx_.bufmgr->release(p.target_nsu, 0, p.credit_read_data, p.credit_write_addr,
+                           p.tenant);
       if (ctx_.latency != nullptr) {
         ctx_.latency->add_link(p, 0, ctx_.cfg->xbar_latency_ps);
         ctx_.latency->finish(p, PathClass::kOfldCmd, now + ctx_.cfg->xbar_latency_ps,
@@ -369,7 +453,7 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
     }
     case PacketType::kCredit: {
       ctx_.bufmgr->release(p.target_nsu, p.credit_cmd, p.credit_read_data,
-                           p.credit_write_addr);
+                           p.credit_write_addr, p.tenant);
       if (ctx_.latency != nullptr) {
         ctx_.latency->finish(p, PathClass::kCredit, now, ctx_.cfg->num_hmcs);
       }
@@ -433,6 +517,19 @@ void Gpu::export_stats(StatSet& out) const {
   out.set("gpu.l1_misses", static_cast<double>(total_l1_misses()));
   out.set("gpu.l2_hits", static_cast<double>(total_l2_hits()));
   out.set("gpu.l2_misses", static_cast<double>(total_l2_misses()));
+  // Tenant-keyed stats only exist on multi-tenant runs, so the classic
+  // single-kernel stat set (golden-stats pins) is byte-identical.
+  if (total_ctas_t_.size() > 1) {
+    for (unsigned t = 0; t < total_ctas_t_.size(); ++t) {
+      const std::string p = "gpu.t" + std::to_string(t);
+      out.set(p + ".issued_instrs", static_cast<double>(issued_by_tenant(t)));
+      out.set(p + ".l2_hits", static_cast<double>(t_l2_hits_[t]));
+      out.set(p + ".l2_misses", static_cast<double>(t_l2_misses_[t]));
+      out.set(p + ".l2_merged", static_cast<double>(t_l2_merged_[t]));
+      out.set(p + ".ctas", static_cast<double>(dispatched_[t]));
+      out.set(p + ".finish_cycle", static_cast<double>(tenant_progress_[t].finish_cycle));
+    }
+  }
   for (unsigned i = 0; i < sms_.size(); ++i) {
     if (i < 4) sms_[i]->export_stats(out, "sm" + std::to_string(i));
   }

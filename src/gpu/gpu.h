@@ -74,7 +74,18 @@ class Gpu {
   void finalize(Cycle end_cycle);
 
   bool idle() const;
-  unsigned ctas_remaining() const { return total_ctas_ - next_cta_; }
+  // CTAs not yet dispatched, summed over ALL tenants — the completion /
+  // valve end-game must wait for every tenant's queue to drain, not just
+  // tenant 0's (DESIGN.md "Multi-tenant serving").
+  unsigned ctas_remaining() const { return ctas_left_; }
+
+  // Per-tenant CTA retirement progress (finish cycles for slowdown tables).
+  const std::vector<TenantCtaProgress>& tenant_progress() const { return tenant_progress_; }
+  // Per-tenant aggregates (index 0 is the whole machine single-tenant).
+  std::uint64_t issued_by_tenant(unsigned t) const;
+  std::uint64_t tenant_l2_hits(unsigned t) const { return t_l2_hits_.at(t); }
+  std::uint64_t tenant_l2_misses(unsigned t) const { return t_l2_misses_.at(t); }
+  std::uint64_t tenant_l2_merged(unsigned t) const { return t_l2_merged_.at(t); }
 
   // Aggregate Fig. 8 stall counters over all SMs.
   std::uint64_t total_stall_dependency() const;
@@ -105,6 +116,11 @@ class Gpu {
  private:
   void epoch_tick(Cycle cycle);
   void core_tick(Cycle cycle, TimePs now);
+  // Arbiter: the tenant whose next CTA the freed slot on `sm` should take,
+  // or kInvalidId when no tenant is dispatchable there.  Stateless on
+  // failure (arbiter state moves only when a CTA is actually assigned), so
+  // the dispatch_blocked_ fast-forward latch stays exact.
+  unsigned pick_tenant(const Sm& sm) const;
   void l2_tick(Cycle cycle, TimePs now);
   void process_slice(unsigned slice, Cycle cycle, TimePs now);
   void handle_rx(Packet&& p, TimePs now);
@@ -126,9 +142,17 @@ class Gpu {
   CoreTick core_tick_;
   L2Tick l2_tick_;
 
-  unsigned total_ctas_ = 0;
-  unsigned next_cta_ = 0;
-  unsigned dispatch_rr_ = 0;
+  // Per-tenant CTA queues (size 1 on the single-tenant path, where the
+  // dispatch order reduces exactly to the classic scalar dispatcher).
+  std::vector<unsigned> total_ctas_t_;
+  std::vector<unsigned> next_cta_t_;
+  unsigned ctas_left_ = 0;   // sum over tenants of (total - next)
+  unsigned dispatch_rr_ = 0; // SM round-robin pointer
+  unsigned tenant_rr_ = 0;   // kRoundRobin arbiter pointer
+  std::vector<std::uint64_t> dispatched_;  // kWeightedShare shares
+  std::vector<class OffloadGovernor*> govs_;  // one per tenant
+  std::vector<TenantCtaProgress> tenant_progress_;
+  std::vector<std::uint64_t> t_l2_hits_, t_l2_misses_, t_l2_merged_;
 
   // Fast-forward state.  `dispatch_blocked_` latches "a full dispatcher scan
   // assigned nothing" (such scans are side-effect-free, so skipping them is

@@ -30,13 +30,14 @@ Sm::Sm(SmId id, const SystemContext& ctx)
   free_warps_ = cfg_.max_warps();
   free_cta_slots_ = cfg_.max_ctas;
   fast_forward_ = ctx.cfg->fast_forward;
+  issued_by_tenant_.resize(ctx.num_tenants(), 0);
 }
 
-bool Sm::can_accept_cta() const {
-  return free_cta_slots_ > 0 && free_warps_ >= ctx_.launch.warps_per_cta();
+bool Sm::can_accept_cta(unsigned tenant) const {
+  return free_cta_slots_ > 0 && free_warps_ >= ctx_.launch_of(tenant).warps_per_cta();
 }
 
-void Sm::assign_cta(unsigned cta_id) {
+void Sm::assign_cta(unsigned cta_id, unsigned tenant) {
   unsigned slot = kInvalidId;
   for (unsigned i = 0; i < ctas_.size(); ++i) {
     if (!ctas_[i].valid) {
@@ -45,9 +46,9 @@ void Sm::assign_cta(unsigned cta_id) {
     }
   }
   if (slot == kInvalidId) throw std::logic_error("Sm: assign_cta with no free slot");
-  const LaunchParams& lp = ctx_.launch;
+  const LaunchParams& lp = ctx_.launch_of(tenant);
   CtaSlot& cta = ctas_[slot];
-  cta = CtaSlot{true, cta_id, lp.warps_per_cta(), 0, 0};
+  cta = CtaSlot{true, cta_id, lp.warps_per_cta(), 0, 0, tenant};
 
   unsigned created = 0;
   for (Warp& w : warps_) {
@@ -58,6 +59,7 @@ void Sm::assign_cta(unsigned cta_id) {
     w.id = wid;
     w.cta_slot = slot;
     w.cta_id = cta_id;
+    w.tenant = tenant;
     w.state = WarpState::kReady;
     w.pc = 0;
     const unsigned warp_in_cta = created;
@@ -162,7 +164,8 @@ void Sm::retry_credit_grants(TimePs now) {
     if (!w.valid() || !w.ofld) continue;
     GpuOffloadCtx& ctx = *w.ofld;
     if (ctx.credits_granted || ctx.target == kInvalidId) continue;
-    if (!ctx_.bufmgr->try_reserve(ctx.target, ctx.info->num_loads, ctx.info->num_stores)) {
+    if (!ctx_.bufmgr->try_reserve(ctx.target, ctx.info->num_loads, ctx.info->num_stores,
+                                  w.tenant)) {
       continue;
     }
     ctx.credits_granted = true;
@@ -243,7 +246,7 @@ void Sm::tick(Cycle cycle, TimePs now) {
     }
     ++ofld_acks_;
     acked_block_instrs_ += info.body_size();
-    ctx_.governor->on_block_complete(info.body_size());
+    ctx_.governor_of(w.tenant)->on_block_complete(info.body_size());
     w.ofld.reset();
     w.cur_block = kNoBlock;
     w.state = WarpState::kReady;
@@ -274,11 +277,13 @@ void Sm::tick(Cycle cycle, TimePs now) {
       case IssueOutcome::kIssued:
         issued = true;
         ++issued_instrs;
+        ++issued_by_tenant_[w.tenant];
         ++w.issue_stamp;  // invalidates the warp's coalesce memo
         return true;
       case IssueOutcome::kDependency:
         saw_dep = true;
-        self_wake = std::min(self_wake, w.scoreboard.ready_cycle(ctx_.image->gpu.at(w.pc)));
+        self_wake = std::min(
+            self_wake, w.scoreboard.ready_cycle(ctx_.image_of(w.tenant)->gpu.at(w.pc)));
         return false;
       case IssueOutcome::kExecBusy:
         saw_busy = true;
@@ -342,7 +347,7 @@ void Sm::tick(Cycle cycle, TimePs now) {
 }
 
 Sm::IssueOutcome Sm::try_issue(Warp& w, Cycle cycle, TimePs now) {
-  const Instr& in = ctx_.image->gpu.at(w.pc);
+  const Instr& in = ctx_.image_of(w.tenant)->gpu.at(w.pc);
 
   if (!w.scoreboard.can_issue(in, cycle)) return IssueOutcome::kDependency;
 
@@ -456,17 +461,22 @@ void Sm::handle_exit(Warp& w) {
       ++free_warps_;
     }
   }
+  const unsigned tenant = cta.tenant;
   cta.valid = false;
   ++free_cta_slots_;
+  if (tenant_progress_ != nullptr && tenant < tenant_progress_->size()) {
+    TenantCtaProgress& tp = (*tenant_progress_)[tenant];
+    if (++tp.done == tp.total) tp.finish_cycle = now_cycle_;
+  }
   if (dispatch_wake_ != nullptr) *dispatch_wake_ = true;
 }
 
 void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs now) {
   const auto block_id = static_cast<unsigned>(in.imm);
-  const OffloadBlockInfo& info = ctx_.image->blocks.at(block_id);
+  const OffloadBlockInfo& info = ctx_.image_of(w.tenant)->blocks.at(block_id);
   w.cur_block = block_id;
 
-  if (!ctx_.governor->decide(info, w.active_count())) {
+  if (!ctx_.governor_of(w.tenant)->decide(info, w.active_count())) {
     ++inline_blocks_;
     ++w.pc;
     return;
@@ -480,6 +490,7 @@ void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs now) {
 
   Packet cmd;
   cmd.type = PacketType::kOfldCmd;
+  cmd.tenant = static_cast<std::uint8_t>(w.tenant);
   cmd.oid = OffloadPacketId{id_, w.id, 0, block_id, w.ofld->instance};
   cmd.line_addr = info.nsu_entry;  // "physical start PC" field (Fig. 4(a))
   cmd.mask = w.active;
@@ -515,10 +526,11 @@ void Sm::begin_offload(Warp& w, const Instr& in, Cycle /*cycle*/, TimePs now) {
 void Sm::end_offload_or_inline(Warp& w, Cycle /*cycle*/, TimePs now) {
   if (!w.ofld) {
     // Inline execution of the block just finished.
+    const KernelImage& image = *ctx_.image_of(w.tenant);
     const OffloadBlockInfo& info =
-        ctx_.image->blocks.at(static_cast<unsigned>(ctx_.image->gpu.at(w.pc).imm));
+        image.blocks.at(static_cast<unsigned>(image.gpu.at(w.pc).imm));
     inline_block_instrs_ += info.body_size();
-    ctx_.governor->on_block_complete(info.body_size());
+    ctx_.governor_of(w.tenant)->on_block_complete(info.body_size());
     w.cur_block = kNoBlock;
     ++w.pc;
     return;
@@ -633,7 +645,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
           // Cache-locality statistics for the governor (§7.3): L1 hits are
           // recorded here, L1 misses at the L2 slice with the L2 outcome.
           if (w.cur_block != kNoBlock) {
-            ctx_.governor->cache_table().record_load_line(
+            ctx_.governor_of(w.tenant)->cache_table().record_load_line(
                 w.cur_block, true, popcount_mask(la.lanes) * in.mem_width);
           }
           break;
@@ -642,6 +654,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
           ++tracker.lines_pending;
           Packet p;
           p.type = PacketType::kMemRead;
+          p.tenant = static_cast<std::uint8_t>(w.tenant);
           p.line_addr = la.line_addr;
           p.token = id_;  // L2-level waiter identity: which SM to wake
           p.oid.sm = id_;
@@ -692,6 +705,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
       ctx_.ro_cache->invalidate(la.line_addr);
       Packet p;
       p.type = PacketType::kMemWrite;
+      p.tenant = static_cast<std::uint8_t>(w.tenant);
       p.line_addr = la.line_addr;
       p.oid.sm = id_;
       p.oid.block = w.cur_block;
@@ -704,7 +718,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
       push_out(std::move(p), now + ctx_.cfg->xbar_latency_ps);
     }
     if (w.cur_block != kNoBlock) {
-      ctx_.governor->cache_table().record_store_bytes(
+      ctx_.governor_of(w.tenant)->cache_table().record_store_bytes(
           w.cur_block, popcount_mask(lanes) * in.mem_width);
     }
   }
@@ -779,10 +793,11 @@ Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, Ti
       ++rdf_packets_;
       const bool hit = l1_.probe(la.line_addr);
       if (hit && w.cur_block != kNoBlock) {
-        ctx_.governor->cache_table().record_load_line(
+        ctx_.governor_of(w.tenant)->cache_table().record_load_line(
             w.cur_block, true, popcount_mask(la.lanes) * in.mem_width);
       }
       Packet p;
+      p.tenant = static_cast<std::uint8_t>(w.tenant);
       p.oid = oid;
       p.line_addr = la.line_addr;
       p.mask = la.lanes;
@@ -835,6 +850,7 @@ Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, Ti
       ctx_.ro_cache->invalidate(la.line_addr);
       Packet p;
       p.type = PacketType::kWta;
+      p.tenant = static_cast<std::uint8_t>(w.tenant);
       p.oid = oid;
       p.line_addr = la.line_addr;
       p.mask = la.lanes;
@@ -852,7 +868,7 @@ Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, Ti
       emit_or_hold(w, std::move(p), now + ctx_.cfg->xbar_latency_ps);
     }
     if (w.cur_block != kNoBlock) {
-      ctx_.governor->cache_table().record_store_bytes(
+      ctx_.governor_of(w.tenant)->cache_table().record_store_bytes(
           w.cur_block, popcount_mask(lanes) * in.mem_width);
     }
   }

@@ -28,6 +28,18 @@ namespace sndp {
 
 inline constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
 
+// Per-tenant CTA retirement progress, owned by the Gpu and updated by the
+// SMs at CTA completion.  `finish_cycle` is the SM cycle at which the
+// tenant's last CTA retired — the per-tenant runtime used for slowdown /
+// fairness reporting (deterministic and fast-forward-invariant: CTA
+// completion happens at an issued EXIT, never on a skipped edge).
+struct TenantCtaProgress {
+  unsigned total = 0;
+  unsigned done = 0;
+  Cycle finish_cycle = 0;
+  bool finished() const { return done >= total; }
+};
+
 class Sm final : public Tickable {
  public:
   Sm(SmId id, const SystemContext& ctx);
@@ -58,10 +70,11 @@ class Sm final : public Tickable {
   // dispatcher.
   void set_l2_wake(TimePs* wake) { l2_wake_ = wake; }
   void set_dispatch_wake(bool* wake) { dispatch_wake_ = wake; }
+  void set_tenant_progress(std::vector<TenantCtaProgress>* p) { tenant_progress_ = p; }
 
   // --- CTA management (driven by the Gpu's dispatcher) --------------------
-  bool can_accept_cta() const;
-  void assign_cta(unsigned cta_id);
+  bool can_accept_cta(unsigned tenant = 0) const;
+  void assign_cta(unsigned cta_id, unsigned tenant = 0);
   // True while any warp is live or memory/NDP operations are in flight.
   bool busy() const;
 
@@ -88,6 +101,10 @@ class Sm final : public Tickable {
   std::uint64_t rdf_probe_packets() const { return rdf_packets_; }
   std::uint64_t rdf_probe_l1_hits() const { return rdf_l1_hits_; }
 
+  // Per-tenant issued-instruction counts (size = ctx.num_tenants(); index 0
+  // is the whole SM on the single-tenant path).
+  const std::vector<std::uint64_t>& issued_by_tenant() const { return issued_by_tenant_; }
+
   // Fig. 8 counters (public for cheap aggregation).
   std::uint64_t issued_instrs = 0;
   std::uint64_t active_cycles = 0;   // cycles with at least one valid warp
@@ -108,6 +125,7 @@ class Sm final : public Tickable {
     unsigned num_warps = 0;
     unsigned at_barrier = 0;
     unsigned finished = 0;
+    unsigned tenant = 0;
   };
 
   enum class IssueOutcome { kIssued, kDependency, kExecBusy };
@@ -175,6 +193,8 @@ class Sm final : public Tickable {
   Cycle retry_cycle_ = 0;
   TimePs* l2_wake_ = nullptr;
   bool* dispatch_wake_ = nullptr;
+  std::vector<TenantCtaProgress>* tenant_progress_ = nullptr;
+  std::vector<std::uint64_t> issued_by_tenant_;
 
   TimedChannel<Packet> out_;       // "ready packet buffer" toward the GPU core
   TimedChannel<Addr> line_fills_;  // lines arriving from L2/DRAM

@@ -62,6 +62,7 @@ struct Warp {
   WarpId id = kInvalidId;
   unsigned cta_slot = kInvalidId;
   unsigned cta_id = 0;
+  unsigned tenant = 0;  // owning kernel stream (0 on the single-tenant path)
   WarpState state = WarpState::kInvalid;
   unsigned pc = 0;
   LaneMask active = 0;  // lanes that hold live threads

@@ -197,6 +197,7 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       resp.line_addr = p.line_addr;
       resp.token = p.token;
       resp.oid = p.oid;
+      resp.tenant = p.tenant;
       resp.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
       resp.size_bytes = mem_read_resp_bytes();
       if (ctx_.latency != nullptr) ctx_.latency->transfer(p, resp);
@@ -219,6 +220,7 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       Packet resp;
       resp.type = PacketType::kRdfResp;
       resp.oid = p.oid;
+      resp.tenant = p.tenant;
       resp.line_addr = p.line_addr;
       resp.mask = p.mask;
       resp.expected_mask = p.expected_mask;
@@ -268,6 +270,7 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       Packet ack;
       ack.type = PacketType::kNsuWriteAck;
       ack.oid = p.oid;
+      ack.tenant = p.tenant;
       ack.size_bytes = small_packet_bytes();
       if (ctx_.latency != nullptr) ctx_.latency->transfer(p, ack);
       const unsigned origin = p.src_node;  // the NSU that issued the write
@@ -287,6 +290,7 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       Packet inval;
       inval.type = PacketType::kCacheInval;
       inval.line_addr = p.line_addr;
+      inval.tenant = p.tenant;
       inval.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
       inval.size_bytes = inval_packet_bytes();
       send_from_stack(std::move(inval), done_ps);

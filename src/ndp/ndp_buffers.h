@@ -99,6 +99,9 @@ class CmdBuffer {
 
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
+  // Head-of-line peek (the NSU's per-tenant warp quota inspects the next
+  // command's tenant without dequeueing it).
+  const Packet& front() const { return queue_.front(); }
   void push(Packet cmd);
   Packet pop();
 

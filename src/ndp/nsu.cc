@@ -123,7 +123,7 @@ void Nsu::tick(Cycle cycle, TimePs now) {
   for (unsigned i = 0; i < n; ++i) {
     NsuWarp& w = warps_[(rr_next_ + i) % n];
     if (!w.valid || w.ready_cycle > cycle) continue;
-    const Instr& next = ctx_.image->nsu.at(w.pc);
+    const Instr& next = ctx_.image_of(w.tenant)->nsu.at(w.pc);
     // Port occupancy: markers are bookkeeping (0 cycles); loads/stores move
     // a full line through the NDP buffer port (1 cycle); lane ALU work pays
     // the temporal-SIMT initiation interval.
@@ -142,6 +142,7 @@ void Nsu::tick(Cycle cycle, TimePs now) {
 }
 
 void Nsu::try_spawn(Cycle cycle, TimePs now) {
+  const unsigned quota = ctx_.cfg->tenancy.nsu_warp_quota;
   while (!cmds_.empty()) {
     NsuWarp* slot = nullptr;
     for (NsuWarp& w : warps_) {
@@ -152,6 +153,19 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
     }
     if (slot == nullptr) return;  // all warp slots busy; commands wait
 
+    // Per-tenant warp-slot quota (QoS knob; 0 = unlimited).  Head-of-line
+    // semantics: if the NEXT command's tenant is at its quota, spawning
+    // stops entirely until one of that tenant's warps retires — simple,
+    // deterministic, and order-preserving (commands are never reordered).
+    if (quota > 0 && ctx_.num_tenants() > 1) {
+      const unsigned head_tenant = cmds_.front().tenant;
+      unsigned resident = 0;
+      for (const NsuWarp& w : warps_) {
+        if (w.valid && w.tenant == head_tenant) ++resident;
+      }
+      if (resident >= quota) return;
+    }
+
     Packet cmd = cmds_.pop();
     // Command-buffer residency (waiting for a free warp slot) is queueing;
     // the stamp then parks on the warp until the ACK is emitted.
@@ -161,6 +175,7 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
     ++valid_warps_;
     slot->lt = cmd.lt;
     slot->oid = cmd.oid;
+    slot->tenant = cmd.tenant;
     slot->pc = static_cast<unsigned>(cmd.line_addr);  // start PC field
     slot->active = cmd.mask;
     slot->ready_cycle = cycle + 1;
@@ -186,13 +201,14 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
     credit.size_bytes = small_packet_bytes();
     credit.target_nsu = static_cast<std::uint8_t>(hmc_id_);
     credit.credit_cmd = 1;
+    credit.tenant = cmd.tenant;
     if (ctx_.latency != nullptr) ctx_.latency->start(credit, now, hmc_id_);
     send_network_(std::move(credit), now);
   }
 }
 
 bool Nsu::step_warp(NsuWarp& warp, Cycle cycle, TimePs now) {
-  const Program& prog = ctx_.image->nsu;
+  const Program& prog = ctx_.image_of(warp.tenant)->nsu;
   const Instr& in = prog.at(warp.pc);
   icache_pcs_.insert(warp.pc);
 
@@ -278,6 +294,7 @@ bool Nsu::step_warp(NsuWarp& warp, Cycle cycle, TimePs now) {
         wr.mem_width = entry.width;
         wr.mem_f32 = entry.f32;
         wr.misaligned = entry.misaligned;
+        wr.tenant = static_cast<std::uint8_t>(warp.tenant);
         wr.size_bytes = nsu_write_packet_bytes(popcount_mask(line_lanes), entry.width,
                                                entry.misaligned);
         wr.lane_addrs.assign(kWarpWidth, 0);
@@ -340,11 +357,12 @@ bool Nsu::step_warp(NsuWarp& warp, Cycle cycle, TimePs now) {
 }
 
 void Nsu::finish_warp(NsuWarp& warp, TimePs now) {
-  const OffloadBlockInfo& info = ctx_.image->blocks.at(warp.oid.block);
+  const OffloadBlockInfo& info = ctx_.image_of(warp.tenant)->blocks.at(warp.oid.block);
 
   Packet ack;
   ack.type = PacketType::kOfldAck;
   ack.oid = warp.oid;
+  ack.tenant = static_cast<std::uint8_t>(warp.tenant);
   ack.src_node = static_cast<std::uint16_t>(hmc_id_);
   ack.dst_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
   ack.mask = warp.active;

@@ -83,6 +83,7 @@ class Nsu final : public Tickable {
   struct NsuWarp {
     bool valid = false;
     OffloadPacketId oid{};  // sm / warp / instance / block of this execution
+    unsigned tenant = 0;    // owning tenant (program + QoS accounting key)
     unsigned pc = 0;
     std::uint32_t seq = 0;
     Cycle ready_cycle = 0;

@@ -88,6 +88,12 @@ struct Packet {
   Addr line_addr = 0;
   std::uint64_t token = 0;  // requester cookie (baseline path, vault round-trip)
 
+  // Originating tenant (DESIGN.md "Multi-tenant serving").  Stamped at
+  // packet creation (SM or NSU), copied onto every response, and used for
+  // tenant-keyed latency/outcome counters and QoS credit accounting.
+  // Always 0 on the single-tenant path.
+  std::uint8_t tenant = 0;
+
   LaneMask mask = 0;           // lanes this packet covers
   LaneMask expected_mask = 0;  // all lanes of the memory instruction (merge test)
   std::uint8_t target_nsu = 0;

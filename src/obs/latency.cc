@@ -76,6 +76,12 @@ void LatencySummary::merge_from(const LatencySummary& o) {
     per_class[c].merge(o.per_class[c]);
     for (std::size_t s = 0; s < kNumLatSegments; ++s) seg_sum_ps[c][s] += o.seg_sum_ps[c][s];
   }
+  if (o.per_tenant.size() > per_tenant.size()) per_tenant.resize(o.per_tenant.size());
+  for (std::size_t t = 0; t < o.per_tenant.size(); ++t) {
+    for (std::size_t c = 0; c < kNumPathClasses; ++c) {
+      per_tenant[t][c].merge(o.per_tenant[t][c]);
+    }
+  }
   started += o.started;
   finished += o.finished;
   cancelled += o.cancelled;
@@ -202,6 +208,9 @@ void LatencyTracer::finish(Packet& p, PathClass cls, TimePs end_ps, unsigned nod
   const auto ci = static_cast<std::size_t>(cls);
   const std::uint64_t total = end_ps > p.lt.origin_ps ? end_ps - p.lt.origin_ps : 0;
   summary_.per_class[ci].record(total);
+  if (p.tenant < summary_.per_tenant.size()) {
+    summary_.per_tenant[p.tenant][ci].record(total);
+  }
   ++summary_.finished;
   auto& segs = summary_.seg_sum_ps[ci];
   const std::uint64_t explicit_ps = p.lt.queue_ps + p.lt.link_ps + p.lt.dram_ps + p.lt.cache_ps;
@@ -249,6 +258,18 @@ void LatencyTracer::export_stats(StatSet& out) const {
     out.set(base + ".p95_ps", h.percentile(0.95));
     out.set(base + ".p99_ps", h.percentile(0.99));
     out.set(base + ".max_ps", static_cast<double>(h.max()));
+  }
+  for (std::size_t t = 0; t < summary_.per_tenant.size(); ++t) {
+    for (std::size_t c = 0; c < kNumPathClasses; ++c) {
+      const Log2Histogram& h = summary_.per_tenant[t][c];
+      if (h.count() == 0) continue;
+      const std::string base = std::string("lat.t") + std::to_string(t) + "." +
+                               path_class_name(static_cast<PathClass>(c));
+      out.set(base + ".count", static_cast<double>(h.count()));
+      out.set(base + ".p50_ps", h.percentile(0.50));
+      out.set(base + ".p95_ps", h.percentile(0.95));
+      out.set(base + ".p99_ps", h.percentile(0.99));
+    }
   }
   for (std::size_t s = 0; s < kNumLatSegments; ++s) {
     std::uint64_t sum = 0;

@@ -110,6 +110,10 @@ class Log2Histogram {
 // per-class per-segment time sums (exact), and global span bookkeeping.
 struct LatencySummary {
   std::array<Log2Histogram, kNumPathClasses> per_class{};
+  // Per-tenant per-class total-latency histograms.  Empty on single-tenant
+  // runs (set_num_tenants() sizes it only when more than one tenant is
+  // resident), so the classic summary and its equality checks are untouched.
+  std::vector<std::array<Log2Histogram, kNumPathClasses>> per_tenant;
   // seg_sum_ps[class][segment]: exact picosecond totals.
   std::array<std::array<std::uint64_t, kNumLatSegments>, kNumPathClasses> seg_sum_ps{};
   std::uint64_t started = 0;    // spans opened (tracked packets created)
@@ -141,6 +145,13 @@ class LatencyTracer {
   explicit LatencyTracer(unsigned sample, std::size_t max_spans = kDefaultMaxSpans);
 
   static constexpr std::size_t kDefaultMaxSpans = 4096;
+
+  // Size the per-tenant histogram table (no-op when n <= 1, keeping the
+  // single-tenant summary bit-identical to a tracer that never heard of
+  // tenants).  Call before the run starts.
+  void set_num_tenants(unsigned n) {
+    if (n > 1) summary_.per_tenant.resize(n);
+  }
 
   // Open a span: stamps origin/last = now and (deterministically) decides
   // whether this request is sampled.  `node` is the originating network

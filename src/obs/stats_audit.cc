@@ -180,6 +180,26 @@ void StatsAudit::instant_checks(std::int64_t epoch, const AuditSnapshot& s) {
   le(s.buf_free_write_addr, s.buf_cap_write_addr, epoch, "buffers",
      "write_addr_free_le_cap");
 
+  // --- Per-tenant splits --------------------------------------------------
+  // Same-callsite identities: each per-tenant counter is bumped at the very
+  // site that bumps the fabric total, so the split must sum to the total at
+  // every instant.  Empty vectors (single-tenant runs) skip the checks.
+  if (!s.tenant_issued.empty()) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : s.tenant_issued) sum += v;
+    eq(sum, s.sm_issued, epoch, "tenants", "issued_sums_to_total");
+  }
+  if (!s.tenant_l2_reads.empty()) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : s.tenant_l2_reads) sum += v;
+    eq(sum, s.l2_read_reqs, epoch, "tenants", "l2_reads_sum_to_total");
+  }
+  if (!s.tenant_gov_instrs.empty()) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : s.tenant_gov_instrs) sum += v;
+    eq(sum, s.gov_block_instrs, epoch, "tenants", "gov_instrs_sum_to_total");
+  }
+
   // --- Latency tracer -----------------------------------------------------
   // Every histogram entry must correspond to a delivered packet the
   // component counters saw.  Classes whose finish site coincides with the

@@ -108,6 +108,13 @@ struct AuditSnapshot {
   // the same note_remote_access call, so they must stay in lock-step.
   std::uint64_t pages_migrated = 0;
   std::uint64_t migration_bytes = 0;
+  // Per-tenant splits (empty on single-tenant runs).  Each vector is keyed
+  // by tenant id and must sum to the matching fabric-wide total — a packet
+  // mis-stamped or double-counted under one tenant breaks the sum even when
+  // the aggregate books still balance.
+  std::vector<std::uint64_t> tenant_issued;     // per-tenant SM instructions
+  std::vector<std::uint64_t> tenant_l2_reads;   // per-tenant L2 read outcomes
+  std::vector<std::uint64_t> tenant_gov_instrs; // per-governor block instrs
   // Geometry.
   unsigned line_bytes = 128;
   unsigned warp_width = 32;

@@ -161,6 +161,114 @@ DiffReport diff_check_workload(const std::string& workload_name, ProblemScale sc
   return report;
 }
 
+DiffReport diff_check_tenants(const std::vector<std::string>& workload_names,
+                              ProblemScale scale, const std::vector<OraclePoint>& points) {
+  DiffReport report;
+  for (const std::string& n : workload_names) {
+    report.workload += (report.workload.empty() ? "" : "+") + n;
+  }
+  if (points.empty() || workload_names.empty()) return report;
+
+  // Shared-image setup, replicating Simulator::run_tenants exactly: one
+  // allocator rounded to a fresh 16 MiB slice per tenant, tenant 0 on the
+  // classic seed, later tenants on the perturbed stream.
+  std::vector<std::unique_ptr<Workload>> wls;
+  GlobalMemory initial;
+  MemoryAllocator alloc;
+  for (unsigned t = 0; t < workload_names.size(); ++t) {
+    wls.push_back(make_workload(workload_names[t], scale));
+    if (t > 0) alloc.alloc(0, kTenantBaseAlign);
+    Rng rng(tenant_setup_seed(points.front().cfg.placement_seed, t));
+    wls[t]->setup(initial, alloc, rng);
+  }
+
+  // Reference: each tenant's program replayed independently on the shared
+  // image.  Address spaces are disjoint, so replay order is immaterial and
+  // the result is the unique interference-free ground truth.
+  GlobalMemory ref_mem = initial;
+  for (unsigned t = 0; t < wls.size(); ++t) {
+    const RefResult ref = ref_run(wls[t]->program(), wls[t]->launch(), ref_mem);
+    if (!ref.completed) {
+      report.ref_error = "tenant " + std::to_string(t) + ": " + ref.error;
+      return report;
+    }
+    if (!wls[t]->verify(ref_mem)) {
+      report.ref_error =
+          "tenant " + std::to_string(t) + " reference image fails the host oracle";
+      return report;
+    }
+  }
+  report.ref_completed = true;
+
+  for (const OraclePoint& point : points) {
+    DiffOutcome out;
+    out.workload = report.workload;
+    out.label = point.label;
+
+    GlobalMemory sim_mem = initial;
+    try {
+      std::vector<KernelImage> images;
+      images.reserve(wls.size());
+      for (const auto& wl : wls) {
+        images.push_back(analyze_and_generate(wl->program(), point.analyzer));
+      }
+      std::vector<TenantJob> jobs;
+      for (unsigned t = 0; t < wls.size(); ++t) {
+        TenantJob job;
+        job.image = &images[t];
+        job.launch = wls[t]->launch();
+        job.name = wls[t]->name();
+        jobs.push_back(std::move(job));
+      }
+      Simulator sim(point.cfg);
+      const RunResult r =
+          sim.run_images(jobs, sim_mem, report.workload + "/" + point.label);
+      out.sim_completed = r.completed;
+      if (!r.completed) {
+        out.detail = r.aborted ? "aborted" : "hit the simulated-time safety valve";
+        report.outcomes.push_back(std::move(out));
+        continue;
+      }
+    } catch (const std::exception& e) {
+      out.detail = std::string("simulator threw: ") + e.what();
+      report.outcomes.push_back(std::move(out));
+      continue;
+    }
+
+    out.sim_verified = true;
+    for (const auto& wl : wls) out.sim_verified = out.sim_verified && wl->verify(sim_mem);
+
+    char buf[160];
+    Addr where = 0;
+    out.outputs_match = true;
+    for (unsigned t = 0; t < wls.size() && out.outputs_match; ++t) {
+      for (const OutputRegion& region : wls[t]->output_regions()) {
+        if (!sim_mem.equal_range(ref_mem, region.base, region.bytes, &where)) {
+          out.outputs_match = false;
+          std::snprintf(buf, sizeof(buf),
+                        "tenant %u region '%s' differs at 0x%llx (ref %02x, sim %02x)", t,
+                        region.name.c_str(), static_cast<unsigned long long>(where),
+                        static_cast<unsigned>(ref_mem.read(where, 1)),
+                        static_cast<unsigned>(sim_mem.read(where, 1)));
+          out.detail = buf;
+          break;
+        }
+      }
+    }
+    out.image_matches = sim_mem.equal_contents(ref_mem, &where);
+    if (!out.image_matches && out.detail.empty()) {
+      std::snprintf(buf, sizeof(buf),
+                    "memory image differs at 0x%llx (ref byte %02x, sim byte %02x)",
+                    static_cast<unsigned long long>(where),
+                    static_cast<unsigned>(ref_mem.read(where, 1)),
+                    static_cast<unsigned>(sim_mem.read(where, 1)));
+      out.detail = buf;
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+  return report;
+}
+
 std::string to_string(const DiffReport& report) {
   std::ostringstream os;
   if (!report.ref_completed) {

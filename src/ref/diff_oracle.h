@@ -77,6 +77,17 @@ struct DiffReport {
 DiffReport diff_check_workload(const std::string& workload_name, ProblemScale scale,
                                const std::vector<OraclePoint>& points);
 
+// Multi-tenant axis: set up all `workload_names` in one shared memory image
+// (the exact per-tenant bases and setup seeds Simulator::run_tenants uses),
+// replay each tenant's program INDEPENDENTLY through the reference
+// interpreter — tenants never share state, so sequential replay is the
+// semantic ground truth for concurrent execution — and compare against one
+// concurrent timing-simulator run per point: per-tenant output regions and
+// the whole final image must be byte-identical.  Locality-profile points
+// are run without a profile (the auto-profile is per-kernel).
+DiffReport diff_check_tenants(const std::vector<std::string>& workload_names,
+                              ProblemScale scale, const std::vector<OraclePoint>& points);
+
 // Formats a report as an aligned human-readable table (one line per point).
 std::string to_string(const DiffReport& report);
 

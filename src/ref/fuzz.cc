@@ -104,18 +104,27 @@ FuzzSpec generate_spec(std::uint64_t seed) {
       rng.bernoulli(0.5)) {
     spec.partitions = rng.bernoulli(0.5) ? 4 : 2;
   }
+
+  // Tenant axis, drawn last of all so pre-tenant seeds keep their shape.
+  // A quarter of the cases run 2-3 concurrent copies of the kernel in
+  // disjoint address slices, under a random arbiter policy.
+  if (rng.bernoulli(0.25)) {
+    spec.tenants = 2 + static_cast<unsigned>(rng.next_below(2));
+    spec.arbiter = static_cast<unsigned>(rng.next_below(3));
+  }
   return spec;
 }
 
-Program build_fuzz_program(const FuzzSpec& spec) {
+Program build_fuzz_program(const FuzzSpec& spec, unsigned tenant) {
   ProgramBuilder pb;
   const unsigned total = spec.launch.total_threads();
+  const Addr toff = static_cast<Addr>(tenant) * kFuzzTenantStride;
 
-  pb.movi(kBaseRegA, static_cast<std::int64_t>(kBaseA))
-      .movi(kBaseRegB, static_cast<std::int64_t>(kBaseB))
-      .movi(kBaseRegI, static_cast<std::int64_t>(kBaseI))
-      .movi(kBaseRegOut, static_cast<std::int64_t>(kBaseOut))
-      .movi(kBaseRegOut2, static_cast<std::int64_t>(kBaseOut2))
+  pb.movi(kBaseRegA, static_cast<std::int64_t>(kBaseA + toff))
+      .movi(kBaseRegB, static_cast<std::int64_t>(kBaseB + toff))
+      .movi(kBaseRegI, static_cast<std::int64_t>(kBaseI + toff))
+      .movi(kBaseRegOut, static_cast<std::int64_t>(kBaseOut + toff))
+      .movi(kBaseRegOut2, static_cast<std::int64_t>(kBaseOut2 + toff))
       .movi(kFaccReg, 0)      // facc = +0.0
       .mov(kIaccReg, 0)       // iacc starts as the thread id
       .movi(kLoopReg, 0)
@@ -227,10 +236,18 @@ Program build_fuzz_program(const FuzzSpec& spec) {
 }
 
 void init_fuzz_memory(const FuzzSpec& spec, GlobalMemory& mem) {
-  for (std::uint64_t i = 0; i < kFuzzElems; ++i) {
-    mem.write_f64(kBaseA + 8 * i, wl::value(i, spec.seed ^ 0xA));
-    mem.write_f64(kBaseB + 8 * i, wl::value(i, spec.seed ^ 0xB) * 2.0);
-    mem.write_u64(kBaseI + 8 * i, wl::index(i, kFuzzElems, spec.seed ^ 0x1));
+  // Tenant 0's salt is zero, so single-tenant images are byte-identical to
+  // the pre-tenant layout.  Later tenants get distinct data: if the fabric
+  // ever routes one tenant's traffic into another's slice, bytes differ.
+  for (unsigned t = 0; t < std::max(1u, spec.tenants); ++t) {
+    const Addr toff = static_cast<Addr>(t) * kFuzzTenantStride;
+    const std::uint64_t salt = static_cast<std::uint64_t>(t) << 40;
+    for (std::uint64_t i = 0; i < kFuzzElems; ++i) {
+      mem.write_f64(kBaseA + toff + 8 * i, wl::value(i, spec.seed ^ 0xA ^ salt));
+      mem.write_f64(kBaseB + toff + 8 * i, wl::value(i, spec.seed ^ 0xB ^ salt) * 2.0);
+      mem.write_u64(kBaseI + toff + 8 * i,
+                    wl::index(i, kFuzzElems, spec.seed ^ 0x1 ^ salt));
+    }
   }
 }
 
@@ -244,13 +261,17 @@ SystemConfig fuzz_config(const FuzzSpec& spec) {
   cfg.placement.policy = spec.placement;
   cfg.placement.migration_threshold = spec.migration_threshold;
   cfg.parallel_partitions = spec.partitions;
+  if (spec.tenants > 1) {
+    cfg.tenancy.arbiter = static_cast<TenantArbiter>(spec.arbiter % 3);
+  }
   return cfg;
 }
 
 std::optional<std::string> run_fuzz_case(const FuzzSpec& spec) {
-  Program prog;
+  const unsigned tenants = std::max(1u, spec.tenants);
+  std::vector<Program> progs;
   try {
-    prog = build_fuzz_program(spec);
+    for (unsigned t = 0; t < tenants; ++t) progs.push_back(build_fuzz_program(spec, t));
   } catch (const std::exception& e) {
     return std::string("program build failed: ") + e.what();
   }
@@ -258,24 +279,48 @@ std::optional<std::string> run_fuzz_case(const FuzzSpec& spec) {
   GlobalMemory initial;
   init_fuzz_memory(spec, initial);
 
+  // Reference: each tenant's program replayed independently — disjoint
+  // slices make sequential replay the ground truth for concurrent runs.
   GlobalMemory ref_mem = initial;
-  const RefResult ref = ref_run(prog, spec.launch, ref_mem);
-  if (!ref.completed) {
-    return "reference failed: " + (ref.error.empty() ? "budget exhausted" : ref.error);
+  for (unsigned t = 0; t < tenants; ++t) {
+    const RefResult ref = ref_run(progs[t], spec.launch, ref_mem);
+    if (!ref.completed) {
+      return "tenant " + std::to_string(t) + " reference failed: " +
+             (ref.error.empty() ? "budget exhausted" : ref.error);
+    }
   }
 
   GlobalMemory sim_mem = initial;
   try {
-    const KernelImage image = analyze_and_generate(prog);
     SystemConfig cfg = fuzz_config(spec);
     // run_image() bypasses Simulator::run's auto-profiling; locality cases
-    // build their profile here from the same pristine image.
-    if (cfg.placement.policy == PlacementPolicyKind::kLocality) {
+    // build their profile here from the same pristine image (single-tenant
+    // only — the profile is per-kernel, so tenant mixes run unprofiled).
+    if (cfg.placement.policy == PlacementPolicyKind::kLocality && tenants == 1) {
       cfg.placement.locality_profile =
-          build_placement_profile(prog, spec.launch, initial, cfg);
+          build_placement_profile(progs[0], spec.launch, initial, cfg);
     }
+    std::vector<KernelImage> images;
+    images.reserve(tenants);
+    for (const Program& p : progs) images.push_back(analyze_and_generate(p));
     Simulator sim(cfg);
-    const RunResult r = sim.run_image(image, spec.launch, sim_mem, "fuzz");
+    RunResult r;
+    if (tenants == 1) {
+      r = sim.run_image(images[0], spec.launch, sim_mem, "fuzz");
+    } else {
+      std::vector<TenantJob> jobs;
+      for (unsigned t = 0; t < tenants; ++t) {
+        TenantJob job;
+        job.image = &images[t];
+        job.launch = spec.launch;
+        job.name = "fuzz-t" + std::to_string(t);
+        // Give the weighted/strict arbiters distinct knobs to act on.
+        job.weight = 1.0 + t;
+        job.priority = t;
+        jobs.push_back(std::move(job));
+      }
+      r = sim.run_images(jobs, sim_mem, "fuzz");
+    }
     if (!r.completed) {
       return std::string("simulator did not complete: ") +
              (r.aborted ? "aborted" : "hit the simulated-time safety valve");
@@ -328,6 +373,21 @@ FuzzSpec shrink_fuzz_case(const FuzzSpec& spec) {
   }
 
   // Structural simplifications, kept only if the failure persists.
+  // Tenants first: a mix that still fails single-tenant is a classic bug
+  // and every later shrink gets cheaper; otherwise walk the count down
+  // toward the smallest failing mix.
+  while (cur.tenants > 1 && budget > 0) {
+    FuzzSpec candidate = cur;
+    candidate.tenants = 1;
+    if (still_fails(candidate)) {
+      cur = std::move(candidate);
+      break;
+    }
+    candidate = cur;
+    candidate.tenants = cur.tenants - 1;
+    if (!still_fails(candidate)) break;
+    cur = std::move(candidate);
+  }
   if (cur.loop_trips > 0) {
     FuzzSpec candidate = cur;
     candidate.loop_trips = 0;
@@ -357,6 +417,7 @@ std::string FuzzSpec::to_text() const {
   os << "placement " << static_cast<int>(placement) << " " << migration_threshold
      << "\n";
   os << "partitions " << partitions << "\n";
+  os << "tenants " << tenants << " " << arbiter << "\n";
   for (const FuzzOp& op : ops) {
     os << "op " << static_cast<int>(op.kind) << " " << op.a << " " << op.b << " " << op.c
        << "\n";
@@ -397,6 +458,9 @@ std::optional<FuzzSpec> FuzzSpec::from_text(const std::string& text) {
     } else if (key == "partitions") {
       // Optional (absent in pre-parallel reproducers, which ran serial).
       ls >> spec.partitions;
+    } else if (key == "tenants") {
+      // Optional (absent in pre-tenant reproducers, which ran one kernel).
+      ls >> spec.tenants >> spec.arbiter;
     } else if (key == "op") {
       int kind = 0;
       FuzzOp op;

@@ -65,6 +65,8 @@ struct FuzzSpec {
   PlacementPolicyKind placement = PlacementPolicyKind::kRandom;
   unsigned migration_threshold = 64;  // only meaningful for kMigration
   unsigned partitions = 1;   // parallel-in-time shards (1 = serial)
+  unsigned tenants = 1;      // concurrent copies of the kernel (1 = classic)
+  unsigned arbiter = 0;      // TenantArbiter as int (tenants > 1 only)
 
   std::string to_text() const;                           // reproducer format
   static std::optional<FuzzSpec> from_text(const std::string& text);
@@ -74,13 +76,24 @@ struct FuzzSpec {
 // counts so index masking is a single AND).
 inline constexpr std::uint64_t kFuzzElems = 1024;
 
-// Derives a random spec from `seed` (pure function of the seed).
+// Address-space stride between tenants.  Every tenant's arrays live at
+// the classic bases plus tenant * stride; the whole single-tenant layout
+// fits well below the stride, so tenant slices never overlap.
+inline constexpr Addr kFuzzTenantStride = 0x100000;
+
+// Derives a random spec from `seed` (pure function of the seed).  The
+// tenant axis is drawn LAST, so every pre-tenant seed keeps the exact
+// kernel/config shape it had before the axis existed.
 FuzzSpec generate_spec(std::uint64_t seed);
 
-// Builds the kernel program for a spec.  Deterministic.
-Program build_fuzz_program(const FuzzSpec& spec);
+// Builds the kernel program for a spec.  Deterministic.  `tenant` shifts
+// every array base by tenant * kFuzzTenantStride; tenant 0 is the classic
+// single-kernel program byte-for-byte.
+Program build_fuzz_program(const FuzzSpec& spec, unsigned tenant = 0);
 
 // Populates the input arrays for a spec (pure function of spec.seed).
+// Covers every tenant's slice; each tenant's data is salted with its id so
+// cross-tenant address confusion changes observable bytes.
 void init_fuzz_memory(const FuzzSpec& spec, GlobalMemory& mem);
 
 // The SystemConfig a spec runs under.

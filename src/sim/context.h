@@ -3,6 +3,8 @@
 // and outlive the components.
 #pragma once
 
+#include <vector>
+
 #include "common/config.h"
 #include "common/types.h"
 
@@ -30,6 +32,18 @@ struct LaunchParams {
   unsigned warps_per_cta() const { return (cta_threads + kWarpWidth - 1) / kWarpWidth; }
 };
 
+// One resident kernel stream (DESIGN.md "Multi-tenant serving").  The
+// Simulator owns the images and governors; the table is shared read-only by
+// every component via SystemContext.  Tenant 0 of a single-tenant run is
+// the classic single-kernel path.
+struct TenantInfo {
+  const KernelImage* image = nullptr;
+  LaunchParams launch{};
+  OffloadGovernor* governor = nullptr;
+  double weight = 1.0;     // kWeightedShare arbiter share
+  unsigned priority = 0;   // kStrictPriority rank (lower wins)
+};
+
 struct SystemContext {
   const SystemConfig* cfg = nullptr;
   AddressMap* amap = nullptr;  // non-const: placement lookups may assign/migrate
@@ -49,6 +63,26 @@ struct SystemContext {
   LatencyTracer* latency = nullptr;
   const KernelImage* image = nullptr;
   LaunchParams launch{};
+
+  // Tenant table (null or size 1 = single-tenant: every helper falls back
+  // to the legacy image/launch/governor fields, so components written
+  // against the helpers behave identically on the classic path).
+  const std::vector<TenantInfo>* tenants = nullptr;
+
+  unsigned num_tenants() const {
+    return tenants ? static_cast<unsigned>(tenants->size()) : 1u;
+  }
+  const KernelImage* image_of(unsigned t) const {
+    return (tenants && t < tenants->size()) ? (*tenants)[t].image : image;
+  }
+  const LaunchParams& launch_of(unsigned t) const {
+    return (tenants && t < tenants->size()) ? (*tenants)[t].launch : launch;
+  }
+  OffloadGovernor* governor_of(unsigned t) const {
+    return (tenants && t < tenants->size() && (*tenants)[t].governor)
+               ? (*tenants)[t].governor
+               : governor;
+  }
 };
 
 }  // namespace sndp

@@ -51,6 +51,65 @@ RunResult Simulator::run(Workload& workload) {
 
 RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& launch,
                                GlobalMemory& gmem, const std::string& name) {
+  TenantJob job;
+  job.image = &image;
+  job.launch = launch;
+  job.name = name;
+  return run_images({job}, gmem, name);
+}
+
+RunResult Simulator::run_tenants(const std::vector<TenantDesc>& tenants,
+                                 const std::string& name) {
+  if (tenants.empty()) throw std::invalid_argument("run_tenants: no tenants");
+  GlobalMemory gmem;
+  MemoryAllocator alloc;
+  std::vector<KernelImage> images;
+  images.reserve(tenants.size());
+  std::vector<TenantJob> jobs;
+  jobs.reserve(tenants.size());
+  for (unsigned t = 0; t < tenants.size(); ++t) {
+    Workload& wl = *tenants[t].workload;
+    // Round the shared allocator up to a fresh 16 MiB slice so tenant
+    // address spaces are disjoint; tenant 0 starts at the classic base with
+    // the classic seed, so its layout and contents are byte-identical to a
+    // solo run of the same workload.
+    if (t > 0) alloc.alloc(0, kTenantBaseAlign);
+    Rng rng(tenant_setup_seed(cfg_.placement_seed, t));
+    wl.setup(gmem, alloc, rng);
+    images.push_back(analyze_and_generate(wl.program(), analyzer_opts_));
+  }
+  // (No locality auto-profile here: the profile is per-kernel, and the
+  // placement policy takes one profile per run.  Multi-tenant locality
+  // placement needs an explicitly supplied merged profile.)
+  for (unsigned t = 0; t < tenants.size(); ++t) {
+    TenantJob job;
+    job.image = &images[t];
+    job.launch = tenants[t].workload->launch();
+    job.name = tenants[t].workload->name();
+    job.weight = tenants[t].weight;
+    job.priority = tenants[t].priority;
+    jobs.push_back(std::move(job));
+  }
+  RunResult result = run_images(jobs, gmem, name);
+  bool all_ok = true;
+  for (unsigned t = 0; t < tenants.size(); ++t) {
+    const bool ok = tenants[t].workload->verify(gmem);
+    if (t < result.tenants.size()) result.tenants[t].verified = ok;
+    all_ok = all_ok && ok;
+  }
+  result.verified = all_ok;
+  if (final_memory_sink_ != nullptr) *final_memory_sink_ = gmem;
+  return result;
+}
+
+RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory& gmem,
+                                const std::string& name) {
+  if (jobs.empty() || jobs[0].image == nullptr) {
+    throw std::invalid_argument("run_images: no tenant jobs");
+  }
+  const KernelImage& image = *jobs[0].image;
+  const LaunchParams& launch = jobs[0].launch;
+  const unsigned num_tenants = static_cast<unsigned>(jobs.size());
   RunResult result;
   result.workload = name;
 
@@ -108,10 +167,12 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   std::vector<std::unique_ptr<LatencyTracer>> lat_shards;  // partitions 1..P-1
   if (cfg_.latency_trace) {
     latency = std::make_unique<LatencyTracer>(parallel ? 0 : cfg_.latency_sample);
+    latency->set_num_tenants(num_tenants);
     net.set_latency(latency.get());
     if (parallel) {
       for (unsigned g = 0; g < num_groups; ++g) {
         lat_shards.push_back(std::make_unique<LatencyTracer>(0));
+        lat_shards.back()->set_num_tenants(num_tenants);
       }
     }
   }
@@ -122,7 +183,32 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   std::vector<EnergyCounters> energy_shards(parallel ? num_parts : 0);
   OffloadGovernor governor(cfg_.governor, static_cast<unsigned>(image.blocks.size()),
                            cfg_.l2.line_bytes, cfg_.placement_seed ^ 0x60BE44);
+  // One governor per tenant: each climbs its own offload ratio from its own
+  // completion signal, so one tenant's phase change cannot contaminate
+  // another's epoch stats.  Tenant 0 keeps the exact classic seed/ctor;
+  // later tenants perturb the seed by their index.
+  std::vector<std::unique_ptr<OffloadGovernor>> extra_govs;
+  std::vector<OffloadGovernor*> all_govs{&governor};
+  for (unsigned t = 1; t < num_tenants; ++t) {
+    extra_govs.push_back(std::make_unique<OffloadGovernor>(
+        cfg_.governor, static_cast<unsigned>(jobs[t].image->blocks.size()), cfg_.l2.line_bytes,
+        (cfg_.placement_seed ^ 0x60BE44) ^ (static_cast<std::uint64_t>(t) << 32)));
+    all_govs.push_back(extra_govs.back().get());
+  }
+  std::vector<TenantInfo> tenant_table;
+  if (num_tenants > 1) {
+    for (unsigned t = 0; t < num_tenants; ++t) {
+      TenantInfo ti;
+      ti.image = jobs[t].image;
+      ti.launch = jobs[t].launch;
+      ti.governor = all_govs[t];
+      ti.weight = jobs[t].weight;
+      ti.priority = jobs[t].priority;
+      tenant_table.push_back(ti);
+    }
+  }
   NdpBufferManager bufmgr(cfg_.ndp_buffers, cfg_.num_hmcs);
+  if (num_tenants > 1) bufmgr.set_tenancy(num_tenants, cfg_.tenancy.credit_share);
   RoCacheMirror ro_cache(cfg_.num_hmcs, cfg_.nsu, cfg_.l2.line_bytes);
   WtaInflightTracker wta_tracker(cfg_.num_hmcs);
   // Under a volatile mapping (migration) a WTA's generation-time stack and
@@ -153,6 +239,7 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
                                         : (cfg_.latency_trace ? lat_shards[p - 1].get() : nullptr);
     ctx.image = &image;
     ctx.launch = launch;
+    if (num_tenants > 1) ctx.tenants = &tenant_table;
   }
   gmem.set_concurrent(parallel);
 
@@ -210,7 +297,18 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
     s.rdf_l2_hits = gpu.rdf_l2_hits();
     s.mem_read_resps = gpu.mem_read_resps();
     s.gpu_rx_packets = gpu.rx_packets();
-    s.gov_block_instrs = governor.total_block_instrs();
+    for (const OffloadGovernor* g : all_govs) s.gov_block_instrs += g->total_block_instrs();
+    if (num_tenants > 1) {
+      s.tenant_issued.resize(num_tenants);
+      s.tenant_l2_reads.resize(num_tenants);
+      s.tenant_gov_instrs.resize(num_tenants);
+      for (unsigned t = 0; t < num_tenants; ++t) {
+        s.tenant_issued[t] = gpu.issued_by_tenant(t);
+        s.tenant_l2_reads[t] =
+            gpu.tenant_l2_hits(t) + gpu.tenant_l2_misses(t) + gpu.tenant_l2_merged(t);
+        s.tenant_gov_instrs[t] = all_govs[t]->total_block_instrs();
+      }
+    }
     s.net_injected = net.packets_injected();
     s.net_in_flight = net.in_flight_packets();
     s.link_bytes = net.total_link_bytes();
@@ -522,6 +620,24 @@ RunResult Simulator::run_image(const KernelImage& image, const LaunchParams& lau
   }
   if (completed && !wta_tracker.all_quiescent()) {
     throw std::logic_error("Simulator: in-flight WTA counter leaked");
+  }
+
+  // Per-tenant results + stats (multi-tenant runs only: single-tenant stat
+  // sets and golden pins stay byte-identical).
+  if (num_tenants > 1) {
+    for (unsigned t = 0; t < num_tenants; ++t) {
+      TenantResult tr;
+      tr.name = jobs[t].name;
+      tr.finish_cycle = gpu.tenant_progress()[t].finish_cycle;
+      tr.issued = gpu.issued_by_tenant(t);
+      tr.l2_hits = gpu.tenant_l2_hits(t);
+      tr.l2_misses = gpu.tenant_l2_misses(t);
+      tr.l2_merged = gpu.tenant_l2_merged(t);
+      tr.gov_block_instrs = all_govs[t]->total_block_instrs();
+      result.stats.set("gov.t" + std::to_string(t) + ".block_instrs",
+                       static_cast<double>(tr.gov_block_instrs));
+      result.tenants.push_back(std::move(tr));
+    }
   }
 
   // Export stats.

@@ -29,6 +29,49 @@ namespace sndp {
 
 class Workload;
 
+// One resident kernel stream in a multi-tenant run: a pre-built kernel image
+// plus its launch geometry and arbiter inputs (weight for kWeightedShare,
+// priority for kStrictPriority; both ignored by kRoundRobin).
+struct TenantJob {
+  const KernelImage* image = nullptr;
+  LaunchParams launch{};
+  std::string name;
+  double weight = 1.0;
+  unsigned priority = 0;
+};
+
+// A tenant described at the workload level (run_tenants builds the image and
+// address space itself).  The workload object must outlive the call.
+struct TenantDesc {
+  Workload* workload = nullptr;
+  double weight = 1.0;
+  unsigned priority = 0;
+};
+
+// Per-tenant slice of a multi-tenant run (RunResult::tenants; empty on
+// single-tenant runs so classic results are unchanged).
+struct TenantResult {
+  std::string name;
+  bool verified = false;     // only set by the run_tenants path
+  Cycle finish_cycle = 0;    // SM cycle at which the tenant's last CTA retired
+  std::uint64_t issued = 0;  // SM instructions issued on this tenant's warps
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l2_merged = 0;
+  std::uint64_t gov_block_instrs = 0;  // this tenant's governor climb signal
+};
+
+// Deterministic per-tenant setup parameters, shared by the timing path
+// (Simulator::run_tenants) and the reference replay (diff_check_tenants):
+// tenant 0 uses the exact classic seed (so its address space and contents
+// are byte-identical to a solo run); later tenants perturb it by a
+// golden-ratio stride.  Address spaces are kept disjoint by rounding the
+// shared allocator up to a 16 MiB boundary before each tenant's setup.
+inline std::uint64_t tenant_setup_seed(std::uint64_t placement_seed, unsigned tenant) {
+  return (placement_seed ^ 0xABCDEFull) + 0x9E3779B97F4A7C15ull * tenant;
+}
+inline constexpr std::uint64_t kTenantBaseAlign = std::uint64_t{1} << 24;  // 16 MiB
+
 struct RunResult {
   std::string workload;
   bool completed = false;  // false: hit the simulated-time safety valve
@@ -63,6 +106,9 @@ struct RunResult {
   bool latency_enabled = false;
   LatencySummary latency;
 
+  // Per-tenant results; empty on single-tenant runs.
+  std::vector<TenantResult> tenants;
+
   double speedup_vs(const RunResult& baseline) const {
     return static_cast<double>(baseline.sm_cycles) / static_cast<double>(sm_cycles);
   }
@@ -76,9 +122,24 @@ class Simulator {
   RunResult run(Workload& workload);
 
   // For tests: run a pre-built kernel image directly (the workload's setup
-  // must already have populated `gmem`).
+  // must already have populated `gmem`).  Delegates to run_images with a
+  // single job, so the single-tenant path is the one-job multi-tenant path.
   RunResult run_image(const KernelImage& image, const LaunchParams& launch,
                       class GlobalMemory& gmem, const std::string& name);
+
+  // Multi-tenant core: N kernel streams resident at once, CTAs co-scheduled
+  // under cfg.tenancy.arbiter, each tenant with its own offload governor.
+  // All tenants share `gmem` (their address spaces must be disjoint for the
+  // isolation invariants to hold — run_tenants arranges this).  One job is
+  // bit-identical to the classic run_image path.
+  RunResult run_images(const std::vector<TenantJob>& jobs, class GlobalMemory& gmem,
+                       const std::string& name);
+
+  // Workload-level multi-tenant entry: sets up each tenant in its own
+  // 16 MiB-aligned slice of one shared GlobalMemory (tenant 0 laid out
+  // exactly as a solo run would), builds each image, runs them
+  // concurrently, and verifies every tenant's output region.
+  RunResult run_tenants(const std::vector<TenantDesc>& tenants, const std::string& name);
 
   const AnalyzerOptions& analyzer_options() const { return analyzer_opts_; }
   void set_analyzer_options(const AnalyzerOptions& opts) { analyzer_opts_ = opts; }

@@ -146,6 +146,23 @@ void outcome_to_json(JsonWriter& w, const SweepOutcome& o) {
     w.key(name).value(value);
   }
   w.end_object();
+  // Per-tenant results (multi-tenant runs only; deterministic sim content).
+  if (!r.tenants.empty()) {
+    w.key("tenants").begin_array();
+    for (const TenantResult& t : r.tenants) {
+      w.begin_object();
+      w.key("name").value(t.name);
+      w.key("verified").value(t.verified);
+      w.key("finish_cycle").value(static_cast<std::uint64_t>(t.finish_cycle));
+      w.key("issued_instrs").value(t.issued);
+      w.key("l2_hits").value(t.l2_hits);
+      w.key("l2_misses").value(t.l2_misses);
+      w.key("l2_merged").value(t.l2_merged);
+      w.key("gov_block_instrs").value(t.gov_block_instrs);
+      w.end_object();
+    }
+    w.end_array();
+  }
   // Wall-clock metadata: the ONLY per-point content allowed to differ
   // between serial and parallel runs of the same sweep.
   w.key("timing").begin_object();

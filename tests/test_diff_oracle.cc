@@ -64,6 +64,38 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, DiffOracle,
                            return n;
                          });
 
+// Multi-tenant axis: representative slice of the matrix (full breadth is
+// covered single-tenant above; tenancy changes scheduling, not semantics,
+// so the interesting points are the ones with the most concurrency and
+// placement churn).
+std::vector<OraclePoint> tenant_points() {
+  const auto all = oracle_matrix(oracle_base());
+  const std::vector<std::string> keep = {
+      "baseline",           "ndp@0.50",           "dyn-cache",
+      "ndp@1.00/1-stack",   "ndp@1.00/migration", "dyn-cache/2-part"};
+  std::vector<OraclePoint> points;
+  for (const auto& p : all) {
+    if (std::find(keep.begin(), keep.end(), p.label) != keep.end()) points.push_back(p);
+  }
+  return points;
+}
+
+TEST(DiffOracleTenants, HomogeneousPairMatchesIndependentReplay) {
+  const DiffReport report =
+      diff_check_tenants({"VADD", "VADD"}, ProblemScale::kTiny, tenant_points());
+  ASSERT_TRUE(report.ref_completed) << report.ref_error;
+  EXPECT_TRUE(report.ok()) << to_string(report);
+  EXPECT_EQ(report.outcomes.size(), 6u);
+}
+
+TEST(DiffOracleTenants, HeterogeneousTripleMatchesIndependentReplay) {
+  const DiffReport report =
+      diff_check_tenants({"BFS", "VADD", "KMN"}, ProblemScale::kTiny, tenant_points());
+  ASSERT_TRUE(report.ref_completed) << report.ref_error;
+  EXPECT_TRUE(report.ok()) << to_string(report);
+  EXPECT_EQ(report.outcomes.size(), 6u);
+}
+
 TEST(DiffOracle, IncompleteSimulationIsReportedNotMasked) {
   // A point whose run hits the safety valve must surface as a failed
   // outcome with a diagnosis, never as a vacuous "match".
