@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (selected.empty()) selected = workload_names();
+  if (selected.empty()) selected = all_workload_names();
 
   SystemConfig base = SystemConfig::paper();
   base.governor.epoch_cycles = bench::kScaledEpoch;

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   const std::vector<std::string> workloads =
-      opt.quick ? std::vector<std::string>{"VADD", "BFS", "KMN"} : workload_names();
+      opt.quick ? std::vector<std::string>{"VADD", "GEMM", "KMN"} : all_workload_names();
   const ProblemScale scale = opt.quick ? ProblemScale::kTiny : ProblemScale::kSmall;
   const std::vector<OffloadMode> modes = {OffloadMode::kOff, OffloadMode::kDynamicCache};
 

@@ -101,7 +101,7 @@ Options parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (o.workloads.empty()) o.workloads = workload_names();
+  if (o.workloads.empty()) o.workloads = all_workload_names();
   if (o.policies.empty()) {
     o.policies = {PlacementPolicyKind::kRandom, PlacementPolicyKind::kFirstTouch,
                   PlacementPolicyKind::kLocality, PlacementPolicyKind::kMigration};

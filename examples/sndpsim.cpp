@@ -5,7 +5,9 @@
 //   sndpsim -w BFS -m always --nsu-mhz 175 --csv results.csv
 //
 // Options:
-//   -w, --workload NAME     Table 1 workload (default VADD); "all" runs all.
+//   -w, --workload NAME     Table 1 workload or operator-library generator
+//                           (GEMM/SPMV/REDUCE/ATTN; default VADD); "all"
+//                           runs every kernel and operator.
 //   -s, --scale S           tiny | small | large          (default small)
 //   -m, --mode M            off | always | static | dyn | dyn-cache (default dyn-cache)
 //   -r, --ratio R           static offload ratio           (default 0.5)
@@ -366,7 +368,7 @@ int main(int argc, char** argv) {
   // a single workload and for `-w all`.
   std::vector<std::string> names;
   if (o.workload == "all") {
-    names = workload_names();
+    names = all_workload_names();
   } else {
     names.push_back(o.workload);
   }

@@ -35,7 +35,7 @@ Hmc::Hmc(HmcId id, const SystemContext& ctx) : id_(id), ctx_(ctx) {
 }
 
 bool Hmc::idle() const {
-  if (!inflight_.empty()) return false;
+  if (!inflight_.empty() || !pending_copies_.empty()) return false;
   for (const auto& v : vaults_) {
     if (!v->idle()) return false;
   }
@@ -110,8 +110,9 @@ void Hmc::tick(Cycle cycle, TimePs now) {
       Packet p = backlog.pop();
       if (ctx_.latency != nullptr) ctx_.latency->queue_hop(p, now, "vault_queue", id_);
       const DramCoord coord = ctx_.amap->decode_at(p.line_addr, id_);
-      const bool is_write =
-          p.type == PacketType::kMemWrite || p.type == PacketType::kNsuWrite;
+      const bool is_write = p.type == PacketType::kMemWrite ||
+                            p.type == PacketType::kNsuWrite ||
+                            p.type == PacketType::kPageCopyWrite;
       const std::uint64_t token = next_token_++;
       vaults_[v]->enqueue(DramRequest{p.line_addr, is_write, token, coord, now});
       inflight_.emplace(token, std::move(p));
@@ -143,6 +144,28 @@ void Hmc::route_packet(Packet&& p, TimePs now) {
       if (ctx_.latency != nullptr) ctx_.latency->add_link(p, 0, noc_latency_ps_);
       nsu_->receive(std::move(p), now + noc_latency_ps_);
       break;
+    case PacketType::kPageCopyRead:
+      // A re-home triggered at a stack that no longer holds the page: the
+      // lines live here, so the copy reads start here.
+      ctx_.energy->hmc_noc_bytes += p.size_bytes;
+      start_page_copy(p.line_addr / ctx_.amap->page_bytes(),
+                      static_cast<HmcId>(p.target_nsu), now);
+      break;
+    case PacketType::kPageCopy: {
+      // Bulk page arrival at the new home: write it back line-by-line
+      // through the vaults, competing with demand traffic.
+      ctx_.energy->hmc_noc_bytes += p.size_bytes;
+      const unsigned line_bytes = ctx_.amap->line_bytes();
+      const std::uint64_t page_bytes = ctx_.amap->page_bytes();
+      for (std::uint64_t off = 0; off < page_bytes; off += line_bytes) {
+        Packet wr;
+        wr.type = PacketType::kPageCopyWrite;
+        wr.line_addr = p.line_addr + off;
+        wr.size_bytes = mem_write_req_bytes(line_bytes);
+        enqueue_vault(std::move(wr), now + noc_latency_ps_);
+      }
+      break;
+    }
     default:
       throw std::logic_error(std::string("Hmc: unexpected packet: ") +
                              packet_type_name(p.type));
@@ -249,10 +272,11 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       } else {
         // Remote forward: the consuming NSU pulls from a page homed here —
         // the migration policy's signal to move the page toward it.
-        ctx_.amap->policy().note_remote_access(p.line_addr / ctx_.amap->page_bytes(),
-                                               static_cast<HmcId>(p.target_nsu));
+        const PageMove mv = ctx_.amap->policy().note_remote_access(
+            p.line_addr / ctx_.amap->page_bytes(), static_cast<HmcId>(p.target_nsu));
         resp.dst_node = p.target_nsu;
         send_from_stack(std::move(resp), done_ps);
+        if (mv.moved) begin_page_copy(mv.page_id, mv.from, mv.to, done_ps);
       }
       break;
     }
@@ -281,10 +305,11 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       } else {
         // Remote NSU write into a page homed here: same migration signal as
         // the RDF remote-forward path.
-        ctx_.amap->policy().note_remote_access(p.line_addr / ctx_.amap->page_bytes(),
-                                               static_cast<HmcId>(origin));
+        const PageMove mv = ctx_.amap->policy().note_remote_access(
+            p.line_addr / ctx_.amap->page_bytes(), static_cast<HmcId>(origin));
         ack.dst_node = static_cast<std::uint16_t>(origin);
         send_from_stack(std::move(ack), done_ps);
+        if (mv.moved) begin_page_copy(mv.page_id, mv.from, mv.to, done_ps);
       }
 
       Packet inval;
@@ -296,8 +321,70 @@ void Hmc::on_vault_complete(const DramRequest& req, TimePs done_ps) {
       send_from_stack(std::move(inval), done_ps);
       break;
     }
+    case PacketType::kPageCopyRead: {
+      // One line of a migrating page read at the old home; when the page is
+      // fully up, one bulk packet carries it to the new home (route_packet
+      // splits it back into vault writes there).
+      ++page_copy_reads_completed_;
+      ctx_.energy->dram_read_bytes += line_bytes;
+      ctx_.energy->hmc_noc_bytes += line_bytes;
+      auto pc = pending_copies_.find(p.token);
+      if (pc == pending_copies_.end()) {
+        throw std::logic_error("Hmc: page-copy read without a pending copy");
+      }
+      if (--pc->second.lines_left == 0) {
+        Packet bulk;
+        bulk.type = PacketType::kPageCopy;
+        bulk.line_addr = pc->second.page_id * ctx_.amap->page_bytes();
+        bulk.dst_node = static_cast<std::uint16_t>(pc->second.to);
+        bulk.size_bytes = static_cast<std::uint32_t>(kPktHeaderBytes + kAddrBytes +
+                                                     ctx_.amap->page_bytes());
+        pending_copies_.erase(pc);
+        send_from_stack(std::move(bulk), done_ps);
+      }
+      break;
+    }
+    case PacketType::kPageCopyWrite: {
+      ++page_copy_writes_completed_;
+      ctx_.energy->dram_write_bytes += line_bytes;
+      break;
+    }
     default:
       throw std::logic_error("Hmc: unexpected completed request type");
+  }
+}
+
+void Hmc::begin_page_copy(std::uint64_t page_id, HmcId from, HmcId to, TimePs now) {
+  if (from == id_) {
+    start_page_copy(page_id, to, now);
+    return;
+  }
+  // The threshold crossed on a stale in-flight access served here after the
+  // page had already moved away: kick the copy off at the stack whose
+  // vaults actually hold the lines.
+  Packet req;
+  req.type = PacketType::kPageCopyRead;
+  req.line_addr = page_id * ctx_.amap->page_bytes();
+  req.target_nsu = static_cast<std::uint8_t>(to);
+  req.dst_node = static_cast<std::uint16_t>(from);
+  req.size_bytes = small_packet_bytes();
+  send_from_stack(std::move(req), now);
+}
+
+void Hmc::start_page_copy(std::uint64_t page_id, HmcId to, TimePs now) {
+  const unsigned line_bytes = ctx_.amap->line_bytes();
+  const std::uint64_t page_bytes = ctx_.amap->page_bytes();
+  const std::uint64_t cookie = next_copy_++;
+  pending_copies_.emplace(
+      cookie, PageCopy{page_id, to, static_cast<unsigned>(page_bytes / line_bytes)});
+  for (std::uint64_t off = 0; off < page_bytes; off += line_bytes) {
+    Packet rd;
+    rd.type = PacketType::kPageCopyRead;
+    rd.line_addr = page_id * page_bytes + off;
+    rd.token = cookie;
+    rd.size_bytes = mem_read_req_bytes();
+    ctx_.energy->hmc_noc_bytes += rd.size_bytes;
+    enqueue_vault(std::move(rd), now + noc_latency_ps_);
   }
 }
 
@@ -326,6 +413,8 @@ void Hmc::export_stats(StatSet& out, const std::string& prefix) const {
   out.set(prefix + ".mem_writes_completed", static_cast<double>(mem_writes_completed_));
   out.set(prefix + ".rdf_completed", static_cast<double>(rdf_completed_));
   out.set(prefix + ".nsu_writes_completed", static_cast<double>(nsu_writes_completed_));
+  out.set(prefix + ".page_copy_reads", static_cast<double>(page_copy_reads_completed_));
+  out.set(prefix + ".page_copy_writes", static_cast<double>(page_copy_writes_completed_));
   nsu_->export_stats(out, prefix + ".nsu");
 }
 

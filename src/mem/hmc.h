@@ -51,6 +51,8 @@ class Hmc final : public Tickable {
   std::uint64_t mem_writes_completed() const { return mem_writes_completed_; }
   std::uint64_t rdf_completed() const { return rdf_completed_; }
   std::uint64_t nsu_writes_completed() const { return nsu_writes_completed_; }
+  std::uint64_t page_copy_reads_completed() const { return page_copy_reads_completed_; }
+  std::uint64_t page_copy_writes_completed() const { return page_copy_writes_completed_; }
   std::uint64_t packets_routed() const { return packets_routed_; }
 
   void export_stats(StatSet& out, const std::string& prefix) const;
@@ -66,6 +68,12 @@ class Hmc final : public Tickable {
   TimePs compute_internal_wake() const;
   void on_vault_complete(const DramRequest& req, TimePs done_ps);
   void send_from_stack(Packet&& p, TimePs now);
+  // Page-migration copy flow: begin_page_copy dispatches the move reported
+  // by the placement policy (local start, or a cross-stack kick when the
+  // page's lines live elsewhere); start_page_copy enqueues the per-line
+  // vault reads here and ships the bulk packet once they all complete.
+  void begin_page_copy(std::uint64_t page_id, HmcId from, HmcId to, TimePs now);
+  void start_page_copy(std::uint64_t page_id, HmcId to, TimePs now);
 
   HmcId id_;
   const SystemContext& ctx_;
@@ -77,6 +85,17 @@ class Hmc final : public Tickable {
   // In-flight DRAM requests: vault token -> originating packet.
   std::unordered_map<std::uint64_t, Packet> inflight_;
   std::uint64_t next_token_ = 1;
+
+  // Outstanding page copies this stack is reading for: copy cookie ->
+  // remaining line reads + destination.  The bulk packet ships when the
+  // last read completes.
+  struct PageCopy {
+    std::uint64_t page_id = 0;
+    HmcId to = 0;
+    unsigned lines_left = 0;
+  };
+  std::unordered_map<std::uint64_t, PageCopy> pending_copies_;
+  std::uint64_t next_copy_ = 1;
 
   // The intra-stack NoC latency between logic layer and a vault / the NSU.
   TimePs noc_latency_ps_ = 0;
@@ -92,6 +111,8 @@ class Hmc final : public Tickable {
   std::uint64_t mem_writes_completed_ = 0;
   std::uint64_t rdf_completed_ = 0;
   std::uint64_t nsu_writes_completed_ = 0;
+  std::uint64_t page_copy_reads_completed_ = 0;
+  std::uint64_t page_copy_writes_completed_ = 0;
 };
 
 }  // namespace sndp

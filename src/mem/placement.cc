@@ -89,13 +89,14 @@ class MigrationPlacement final : public PlacementPolicy {
     return it != moved_.end() ? it->second : random_page_home(page_id, seed_, num_hmcs_);
   }
 
-  void note_remote_access(std::uint64_t page_id, HmcId accessor) override {
-    if (accessor >= num_hmcs_) return;
-    if (accessor == home_of_page(page_id)) return;  // in-flight before a move
+  PageMove note_remote_access(std::uint64_t page_id, HmcId accessor) override {
+    if (accessor >= num_hmcs_) return {};
+    const HmcId old_home = home_of_page(page_id);
+    if (accessor == old_home) return {};  // in-flight before a move
     PageHeat& heat = heat_[page_id];
     if (heat.votes.empty()) heat.votes.assign(num_hmcs_, 0);
     ++heat.votes[accessor];
-    if (++heat.total < threshold_) return;
+    if (++heat.total < threshold_) return {};
     // Re-home onto the majority remote accessor (ties: lowest stack id) and
     // restart the page's counters from zero.
     HmcId best = 0;
@@ -103,10 +104,12 @@ class MigrationPlacement final : public PlacementPolicy {
       if (heat.votes[h] > heat.votes[best]) best = static_cast<HmcId>(h);
     }
     heat_.erase(page_id);
-    if (best == home_of_page(page_id)) return;
+    if (best == old_home) return {};
     moved_[page_id] = best;
     ++pages_migrated_;
     migration_bytes_ += page_bytes_;
+    // The mapping has flipped; the caller owes the fabric the actual copy.
+    return {true, page_id, old_home, best};
   }
 
   bool volatile_mapping() const override { return true; }

@@ -57,6 +57,17 @@ const char* placement_policy_name(PlacementPolicyKind kind);
 // "first-touch").  Returns false on anything else.
 bool parse_placement_policy(const std::string& text, PlacementPolicyKind* out);
 
+// A re-home completed by a note_remote_access call.  The policy only flips
+// the mapping; the caller (the stack that served the access) must charge the
+// physical page copy `from` -> `to` through the fabric (Hmc page-copy flow),
+// so a migration is never a free re-home.  `from != to` always.
+struct PageMove {
+  bool moved = false;
+  std::uint64_t page_id = 0;
+  HmcId from = 0;
+  HmcId to = 0;
+};
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
@@ -70,8 +81,13 @@ class PlacementPolicy {
 
   // Migration feed, called at the pinned serving-stack completion sites
   // (Hmc::on_vault_complete) for every RDF / NSU-write whose consuming NSU
-  // is not the serving stack.  Static policies ignore it.
-  virtual void note_remote_access(std::uint64_t /*page_id*/, HmcId /*accessor*/) {}
+  // is not the serving stack.  Static policies ignore it.  When the call
+  // crosses the migration threshold the returned PageMove tells the caller
+  // to start the page-copy traffic (reads at `from`, bulk hop, writes at
+  // `to`); `moved` is false otherwise.
+  virtual PageMove note_remote_access(std::uint64_t /*page_id*/, HmcId /*accessor*/) {
+    return {};
+  }
 
   // True when home_of_page can change over a run (migration).  Callers that
   // resolve a lookup and act on it later must carry the resolved value in

@@ -20,6 +20,9 @@ const char* packet_type_name(PacketType t) {
     case PacketType::kCacheInval: return "INVAL";
     case PacketType::kOfldAck: return "OFLD_ACK";
     case PacketType::kCredit: return "CREDIT";
+    case PacketType::kPageCopyRead: return "PGCP_RD";
+    case PacketType::kPageCopy: return "PGCP";
+    case PacketType::kPageCopyWrite: return "PGCP_WR";
   }
   return "?";
 }
@@ -35,11 +38,14 @@ bool is_control_packet(PacketType t) {
     case PacketType::kCacheInval:
     case PacketType::kOfldAck:
     case PacketType::kCredit:
+    case PacketType::kPageCopyRead:
       return true;
     case PacketType::kMemReadResp:
     case PacketType::kMemWrite:
     case PacketType::kRdfResp:
     case PacketType::kNsuWrite:
+    case PacketType::kPageCopy:
+    case PacketType::kPageCopyWrite:
       return false;
   }
   return false;

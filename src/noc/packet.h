@@ -32,11 +32,19 @@ enum class PacketType : std::uint8_t {
   kCacheInval,   // vault -> GPU: invalidate stale cached line (§4.2)
   kOfldAck,      // NSU -> GPU SM: block done, live-out registers
   kCredit,       // NSU -> GPU buffer manager: freed buffer entries (§4.3)
+  // Page-migration copy flow (migration placement policy): a re-homed page
+  // is read line-by-line at the old home, shipped as one bulk packet over
+  // the cube links, and written line-by-line at the new home.
+  kPageCopyRead,   // vault read of one page line at the old home; also the
+                   // (rare) cross-stack kick when the re-home was triggered
+                   // at a stack that no longer holds the page
+  kPageCopy,       // old home -> new home: the full page payload
+  kPageCopyWrite,  // vault write of one page line at the new home
 };
 
 const char* packet_type_name(PacketType t);
 
-inline constexpr std::size_t kNumPacketTypes = 14;  // kMemRead..kCredit
+inline constexpr std::size_t kNumPacketTypes = 17;  // kMemRead..kPageCopyWrite
 
 // Request-lifecycle latency stamp (src/obs/latency.*).  Rides along with the
 // packet (and across request->response transfers) accumulating per-segment

@@ -46,6 +46,8 @@ constexpr CumulativeField kCumulative[] = {
     {"rdf_completions", &AuditSnapshot::rdf_completions},
     {"mem_write_completions", &AuditSnapshot::mem_write_completions},
     {"nsu_write_completions", &AuditSnapshot::nsu_write_completions},
+    {"page_copy_read_completions", &AuditSnapshot::page_copy_read_completions},
+    {"page_copy_write_completions", &AuditSnapshot::page_copy_write_completions},
     {"dram_read_bytes", &AuditSnapshot::dram_read_bytes},
     {"dram_write_bytes", &AuditSnapshot::dram_write_bytes},
     {"nsu_blocks_completed", &AuditSnapshot::nsu_blocks_completed},
@@ -144,18 +146,22 @@ void StatsAudit::instant_checks(std::int64_t epoch, const AuditSnapshot& s) {
      "read_completions_le_l2_misses");
   // Vault service counters are incremented when a burst is scheduled, which
   // precedes the completion callback.
-  le(s.mem_read_completions + s.rdf_completions, s.vault_reads, epoch,
-     "vault", "read_completions_le_serviced");
-  le(s.mem_write_completions + s.nsu_write_completions, s.vault_writes, epoch,
-     "vault", "write_completions_le_serviced");
+  le(s.mem_read_completions + s.rdf_completions + s.page_copy_read_completions,
+     s.vault_reads, epoch, "vault", "read_completions_le_serviced");
+  le(s.mem_write_completions + s.nsu_write_completions +
+         s.page_copy_write_completions,
+     s.vault_writes, epoch, "vault", "write_completions_le_serviced");
   // DRAM byte counters are incremented in the same completion handler as the
   // per-type completion counters (reads always move a full line; writes move
   // at most a line of payload).
   eq(s.dram_read_bytes,
-     (s.mem_read_completions + s.rdf_completions) * s.line_bytes, epoch,
-     "dram", "read_bytes_pairing");
+     (s.mem_read_completions + s.rdf_completions + s.page_copy_read_completions) *
+         s.line_bytes,
+     epoch, "dram", "read_bytes_pairing");
   le(s.dram_write_bytes,
-     (s.mem_write_completions + s.nsu_write_completions) * s.line_bytes,
+     (s.mem_write_completions + s.nsu_write_completions +
+      s.page_copy_write_completions) *
+         s.line_bytes,
      epoch, "dram", "write_bytes_bound");
 
   // --- Placement migration ------------------------------------------------
@@ -163,6 +169,17 @@ void StatsAudit::instant_checks(std::int64_t epoch, const AuditSnapshot& s) {
   // of traffic per migration.
   eq(s.migration_bytes, s.pages_migrated * s.page_bytes, epoch, "mem",
      "migration_bytes_pairing");
+  // The copy traffic behind that charge: each migration owes the fabric one
+  // page of line reads at the old home and one page of line writes at the
+  // new one.  Migration counters lead the copy (the policy flips before the
+  // reads enqueue) and reads lead writes (the bulk packet ships only when
+  // the page is fully read), so both are <= at every instant and tie out
+  // exactly once drained (check_final).
+  const std::uint64_t lines_per_page = s.page_bytes / s.line_bytes;
+  le(s.page_copy_read_completions, s.pages_migrated * lines_per_page, epoch,
+     "mem", "copy_reads_le_migrations");
+  le(s.page_copy_write_completions, s.page_copy_read_completions, epoch,
+     "mem", "copy_writes_le_reads");
 
   // --- NoC ----------------------------------------------------------------
   // Packet conservation: everything injected is sitting in a receive
@@ -276,10 +293,20 @@ void StatsAudit::check_final(const AuditSnapshot& s, bool drained) {
      "drained_acks_eq_started");
   eq(s.acked_block_instrs, s.nsu_finished_block_instrs, -1, "offload",
      "drained_acked_instrs_eq_finished");
-  eq(s.vault_reads, s.mem_read_completions + s.rdf_completions, -1, "vault",
-     "drained_reads_eq_completions");
-  eq(s.vault_writes, s.mem_write_completions + s.nsu_write_completions, -1,
-     "vault", "drained_writes_eq_completions");
+  eq(s.vault_reads,
+     s.mem_read_completions + s.rdf_completions + s.page_copy_read_completions,
+     -1, "vault", "drained_reads_eq_completions");
+  eq(s.vault_writes,
+     s.mem_write_completions + s.nsu_write_completions +
+         s.page_copy_write_completions,
+     -1, "vault", "drained_writes_eq_completions");
+  // Drained, every migration's copy has landed: exactly one page of vault
+  // reads and one page of vault writes per re-home.
+  const std::uint64_t lines_per_page = s.page_bytes / s.line_bytes;
+  eq(s.page_copy_read_completions, s.pages_migrated * lines_per_page, -1,
+     "mem", "drained_copy_reads_eq_migrations");
+  eq(s.page_copy_write_completions, s.pages_migrated * lines_per_page, -1,
+     "mem", "drained_copy_writes_eq_migrations");
   eq(s.buf_free_cmd, s.buf_cap_cmd, -1, "buffers", "drained_cmd_credits");
   eq(s.buf_free_read_data, s.buf_cap_read_data, -1, "buffers",
      "drained_read_data_credits");

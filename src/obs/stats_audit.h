@@ -75,6 +75,8 @@ struct AuditSnapshot {
   std::uint64_t rdf_completions = 0;
   std::uint64_t mem_write_completions = 0;
   std::uint64_t nsu_write_completions = 0;
+  std::uint64_t page_copy_read_completions = 0;
+  std::uint64_t page_copy_write_completions = 0;
   std::uint64_t dram_read_bytes = 0;
   std::uint64_t dram_write_bytes = 0;
   // NSUs.
@@ -105,7 +107,10 @@ struct AuditSnapshot {
   std::uint64_t lat_finished = 0;
   std::uint64_t lat_cancelled = 0;
   // Placement policy (mem/placement.*): migration counters are paired in
-  // the same note_remote_access call, so they must stay in lock-step.
+  // the same note_remote_access call, so they must stay in lock-step, and
+  // every migration must show up in the fabric as page_bytes/line_bytes
+  // vault reads at the old home plus the same count of writes at the new
+  // home (the Hmc page-copy flow) — a re-home is never free.
   std::uint64_t pages_migrated = 0;
   std::uint64_t migration_bytes = 0;
   // Per-tenant splits (empty on single-tenant runs).  Each vector is keyed

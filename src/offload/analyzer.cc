@@ -116,16 +116,43 @@ std::optional<BlockCandidate> classify(const Program& prog, unsigned begin, unsi
   // because marking a producer only adds requirements further upstream.
   auto backward_needs = [&prog](unsigned lo, unsigned hi, std::vector<bool>& nsu_flags) {
     RegSet needed;
+    // Guard context of each need: under which guard do the readers of this
+    // value run?  kUncond when any reader is unguarded (or readers disagree);
+    // otherwise the encoded (pred, sense) shared by every reader so far.
+    constexpr std::int16_t kUncond = -1;
+    std::array<std::int16_t, kNumRegs> need_guard{};
+    need_guard.fill(kUncond);
+    auto encode = [](const Instr& in) {
+      return static_cast<std::int16_t>(in.guard_pred * 2 + (in.guard_sense ? 1 : 0));
+    };
+    auto add_need = [&](const Instr& reader, std::uint8_t r) {
+      const std::int16_t g = reader.guard_pred == kNoPred ? kUncond : encode(reader);
+      if (!needed.test(r)) {
+        needed.set(r);
+        need_guard[r] = g;
+      } else if (need_guard[r] != g) {
+        need_guard[r] = kUncond;
+      }
+    };
     for (unsigned i = hi; i-- > lo;) {
       const Instr& in = prog.at(i);
       if (in.writes_reg() && needed.test(in.dst)) {
-        needed.reset(in.dst);
+        // An unguarded write satisfies the need outright.  A guarded write
+        // defines only its active lanes, so it satisfies the need only when
+        // every reader runs under that same guard; otherwise the inactive
+        // lanes still read the value from before the region, and the need
+        // (hence the live-in) survives.  Mirrors the live-out rule below.
+        if (in.guard_pred == kNoPred || need_guard[in.dst] == encode(in)) {
+          needed.reset(in.dst);
+        }
         // Loads materialize in NSU registers already; ALU producers are
         // pulled onto the NSU (duplicated there if also address-slice).
         if (in.is_alu() && !in.writes_pred()) nsu_flags[i - lo] = true;
       }
-      if (nsu_flags[i - lo]) needed |= read_set(in);
-      if (in.op == Opcode::kSt) needed.set(in.src[1]);  // store data operand
+      if (nsu_flags[i - lo]) {
+        for_each_src_reg(in, [&](std::uint8_t r) { add_need(in, r); });
+      }
+      if (in.op == Opcode::kSt) add_need(in, in.src[1]);  // store data operand
     }
     return needed;
   };

@@ -8,6 +8,8 @@
 #include "ref/placement_profile.h"
 #include "ref/ref_interp.h"
 #include "sim/simulator.h"
+#include "workloads/ops/ops.h"
+#include "workloads/registry.h"
 #include "workloads/wl_util.h"
 
 namespace sndp {
@@ -111,6 +113,17 @@ FuzzSpec generate_spec(std::uint64_t seed) {
   if (rng.bernoulli(0.25)) {
     spec.tenants = 2 + static_cast<unsigned>(rng.next_below(2));
     spec.arbiter = static_cast<unsigned>(rng.next_below(3));
+  }
+
+  // Operator axis, drawn after everything else so pre-operator seeds keep
+  // their shape.  A fifth of the cases swap the generated kernel for an
+  // operator-library workload (GEMM/SpMV/reduction/attention) at a random
+  // tile config, reusing the config axes above — real address patterns and
+  // guarded epilogues the synthetic op soup cannot produce.
+  if (rng.bernoulli(0.2)) {
+    const auto& names = operator_names();
+    spec.op_workload = names[rng.next_below(names.size())];
+    spec.op_variant = static_cast<unsigned>(rng.next_below(4));
   }
   return spec;
 }
@@ -267,7 +280,94 @@ SystemConfig fuzz_config(const FuzzSpec& spec) {
   return cfg;
 }
 
+std::unique_ptr<Workload> make_fuzz_operator(const std::string& name, unsigned variant) {
+  const unsigned v = variant % 4;
+  // Variants chosen to straddle the analyzer's accept/reject boundary
+  // (GEMM tile_k=1 and REDUCE unroll<8 score non-positive and run on the
+  // GPU; the rest offload) and to vary indirection depth and masking.
+  if (name == "GEMM") {
+    static constexpr GemmConfig kV[] = {
+        {16, 16, 16, 2}, {16, 16, 16, 1}, {8, 16, 32, 8}, {24, 8, 16, 4}};
+    return std::make_unique<GemmOperator>(ProblemScale::kTiny, kV[v]);
+  }
+  if (name == "SPMV") {
+    static constexpr SpmvConfig kV[] = {
+        {128, 2, 64}, {256, 4, 128}, {64, 8, 32}, {512, 3, 256}};
+    return std::make_unique<SpmvOperator>(ProblemScale::kTiny, kV[v]);
+  }
+  if (name == "REDUCE") {
+    static constexpr ReduceConfig kV[] = {
+        {128, 8, 2, false}, {64, 16, 4, true}, {256, 4, 4, false}, {64, 8, 8, true}};
+    return std::make_unique<ReduceOperator>(ProblemScale::kTiny, kV[v]);
+  }
+  if (name == "ATTN") {
+    static constexpr AttnConfig kV[] = {
+        {64, 4, 32, true}, {64, 2, 32, false}, {128, 8, 64, true}, {64, 4, 16, false}};
+    return std::make_unique<AttnOperator>(ProblemScale::kTiny, kV[v]);
+  }
+  throw std::invalid_argument("make_fuzz_operator: unknown operator " + name);
+}
+
+namespace {
+
+// Operator-mode differential case: the operator brings its own kernel,
+// launch, and host verify(); the spec contributes the config axes.  Runs
+// single-tenant regardless of the tenant axis (operators join tenant mixes
+// through the diff oracle and test_operators instead).
+std::optional<std::string> run_operator_case(const FuzzSpec& spec) {
+  std::unique_ptr<Workload> wl;
+  GlobalMemory initial;
+  try {
+    wl = make_fuzz_operator(spec.op_workload, spec.op_variant);
+    MemoryAllocator alloc;
+    Rng rng(spec.seed ^ 0x0Bul);
+    wl->setup(initial, alloc, rng);
+  } catch (const std::exception& e) {
+    return std::string("operator setup failed: ") + e.what();
+  }
+
+  GlobalMemory ref_mem = initial;
+  const RefResult ref = ref_run(wl->program(), wl->launch(), ref_mem);
+  if (!ref.completed) {
+    return "reference failed: " + (ref.error.empty() ? "budget exhausted" : ref.error);
+  }
+
+  GlobalMemory sim_mem = initial;
+  try {
+    SystemConfig cfg = fuzz_config(spec);
+    if (cfg.placement.policy == PlacementPolicyKind::kLocality) {
+      cfg.placement.locality_profile =
+          build_placement_profile(wl->program(), wl->launch(), initial, cfg);
+    }
+    const KernelImage image = analyze_and_generate(wl->program());
+    Simulator sim(cfg);
+    const RunResult r = sim.run_image(image, wl->launch(), sim_mem, spec.op_workload);
+    if (!r.completed) {
+      return std::string("simulator did not complete: ") +
+             (r.aborted ? "aborted" : "hit the simulated-time safety valve");
+    }
+  } catch (const std::exception& e) {
+    return std::string("simulator threw: ") + e.what();
+  }
+
+  if (!wl->verify(sim_mem)) return "operator host verify failed on the sim image";
+  Addr where = 0;
+  if (!sim_mem.equal_contents(ref_mem, &where)) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "memory mismatch at 0x%llx: ref byte %02x, sim byte %02x",
+                  static_cast<unsigned long long>(where),
+                  static_cast<unsigned>(ref_mem.read(where, 1)),
+                  static_cast<unsigned>(sim_mem.read(where, 1)));
+    return std::string(buf);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::optional<std::string> run_fuzz_case(const FuzzSpec& spec) {
+  if (!spec.op_workload.empty()) return run_operator_case(spec);
   const unsigned tenants = std::max(1u, spec.tenants);
   std::vector<Program> progs;
   try {
@@ -388,6 +488,14 @@ FuzzSpec shrink_fuzz_case(const FuzzSpec& spec) {
     if (!still_fails(candidate)) break;
     cur = std::move(candidate);
   }
+  // Operator cases: try the default tile config before the kernel-shape
+  // shrinks (which are no-ops for them — the operator brings its own
+  // kernel, so the op-list pass above already emptied the unused list).
+  if (!cur.op_workload.empty() && cur.op_variant != 0) {
+    FuzzSpec candidate = cur;
+    candidate.op_variant = 0;
+    if (still_fails(candidate)) cur = std::move(candidate);
+  }
   if (cur.loop_trips > 0) {
     FuzzSpec candidate = cur;
     candidate.loop_trips = 0;
@@ -418,6 +526,7 @@ std::string FuzzSpec::to_text() const {
      << "\n";
   os << "partitions " << partitions << "\n";
   os << "tenants " << tenants << " " << arbiter << "\n";
+  if (!op_workload.empty()) os << "opwl " << op_workload << " " << op_variant << "\n";
   for (const FuzzOp& op : ops) {
     os << "op " << static_cast<int>(op.kind) << " " << op.a << " " << op.b << " " << op.c
        << "\n";
@@ -461,6 +570,10 @@ std::optional<FuzzSpec> FuzzSpec::from_text(const std::string& text) {
     } else if (key == "tenants") {
       // Optional (absent in pre-tenant reproducers, which ran one kernel).
       ls >> spec.tenants >> spec.arbiter;
+    } else if (key == "opwl") {
+      // Optional (absent in pre-operator reproducers, which ran the
+      // generated kernel).
+      ls >> spec.op_workload >> spec.op_variant;
     } else if (key == "op") {
       int kind = 0;
       FuzzOp op;
@@ -483,7 +596,22 @@ bool write_fuzz_reproducer(const std::string& path, const FuzzSpec& spec,
   out << "# detail: " << detail << "\n";
   out << "# replay: SNDP_FUZZ_REPRO=<this file> ./sndp_fuzz_tests\n";
   out << "# disassembly:\n";
-  std::istringstream dis(build_fuzz_program(spec).disassemble());
+  std::string disasm;
+  if (spec.op_workload.empty()) {
+    disasm = build_fuzz_program(spec).disassemble();
+  } else {
+    try {
+      auto wl = make_fuzz_operator(spec.op_workload, spec.op_variant);
+      GlobalMemory mem;
+      MemoryAllocator alloc;
+      Rng rng(spec.seed ^ 0x0Bul);
+      wl->setup(mem, alloc, rng);
+      disasm = wl->program().disassemble();
+    } catch (const std::exception& e) {
+      disasm = std::string("(operator setup failed: ") + e.what() + ")";
+    }
+  }
+  std::istringstream dis(disasm);
   std::string line;
   while (std::getline(dis, line)) out << "#   " << line << "\n";
   return static_cast<bool>(out);

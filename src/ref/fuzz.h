@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "isa/program.h"
 #include "memfunc/global_memory.h"
 #include "sim/context.h"
+#include "workloads/workload.h"
 
 namespace sndp {
 
@@ -68,6 +70,14 @@ struct FuzzSpec {
   unsigned tenants = 1;      // concurrent copies of the kernel (1 = classic)
   unsigned arbiter = 0;      // TenantArbiter as int (tenants > 1 only)
 
+  // Operator axis (src/workloads/ops): when non-empty, the case runs this
+  // operator-library workload ("GEMM"/"SPMV"/"REDUCE"/"ATTN") at the tile
+  // config `op_variant` selects instead of the generated kernel.  The op
+  // list / launch / loop / tenant fields are ignored for such cases — the
+  // operator brings its own kernel and launch geometry.
+  std::string op_workload;
+  unsigned op_variant = 0;
+
   std::string to_text() const;                           // reproducer format
   static std::optional<FuzzSpec> from_text(const std::string& text);
 };
@@ -98,6 +108,11 @@ void init_fuzz_memory(const FuzzSpec& spec, GlobalMemory& mem);
 
 // The SystemConfig a spec runs under.
 SystemConfig fuzz_config(const FuzzSpec& spec);
+
+// Builds the operator-library workload an operator-mode spec selects:
+// `variant` (mod 4) picks among hand-chosen tile/size configs per operator,
+// covering accept and reject analyzer outcomes.  Throws on unknown names.
+std::unique_ptr<Workload> make_fuzz_operator(const std::string& name, unsigned variant);
 
 // Runs one differential case: reference vs timing simulator on identical
 // images.  Returns std::nullopt when the images are byte-identical, or a

@@ -322,6 +322,8 @@ RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory
       s.rdf_completions += hmc->rdf_completed();
       s.mem_write_completions += hmc->mem_writes_completed();
       s.nsu_write_completions += hmc->nsu_writes_completed();
+      s.page_copy_read_completions += hmc->page_copy_reads_completed();
+      s.page_copy_write_completions += hmc->page_copy_writes_completed();
       s.nsu_blocks_completed += hmc->nsu().blocks_completed();
       s.nsu_instrs += hmc->nsu().instrs();
       s.nsu_lane_ops += hmc->nsu().lane_ops();

@@ -1,0 +1,152 @@
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/ops/ops.h"
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+AttnOperator::AttnOperator(ProblemScale scale) : Workload(scale) {
+  cfg_ = pick<AttnConfig>({256, 4, 128, true}, {4096, 8, 1024, true}, {16384, 16, 4096, true});
+}
+
+AttnOperator::AttnOperator(ProblemScale scale, const AttnConfig& cfg)
+    : Workload(scale), cfg_(cfg) {
+  if (cfg_.ctx == 0 || cfg_.keys < 2) {
+    throw std::invalid_argument("AttnConfig: need ctx >= 1 and keys >= 2");
+  }
+}
+
+unsigned AttnOperator::valid_keys() const {
+  return cfg_.masked ? cfg_.keys - cfg_.keys / 4 : cfg_.keys;
+}
+
+std::string AttnOperator::description() const {
+  std::ostringstream os;
+  os << "Attention-shaped gather-softmax-scatter, " << cfg_.queries << " queries x "
+     << cfg_.ctx << " ctx over " << cfg_.keys << " keys"
+     << (cfg_.masked ? " (masked)" : "");
+  return os.str();
+}
+
+void AttnOperator::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  const std::uint64_t q = cfg_.queries, c = cfg_.ctx, keys = cfg_.keys;
+  idx_ = alloc.alloc(q * c * 8);
+  s_ = alloc.alloc(keys * 8);
+  v_ = alloc.alloc(keys * 8);
+  out_ = alloc.alloc(q * 8);
+  for (std::uint64_t i = 0; i < q * c; ++i) {
+    mem.write_u64(idx_ + 8 * i, wl::index(i, keys, 27));
+  }
+  for (std::uint64_t i = 0; i < keys; ++i) {
+    mem.write_f64(s_ + 8 * i, wl::value(i, 28));
+    mem.write_f64(v_ + 8 * i, wl::value(i, 29));
+  }
+
+  // One thread per query, two uniform passes over its ctx window: a FMAX
+  // pass for m, then w = 1/(1 + m - s) weights (FDIV), normalized at the
+  // end.  Both passes gather S/V through the index table, so the gathered
+  // addresses come from load data.  In the masked variant a guarded MOVI
+  // zeroes the weight of out-of-range entries, and a query whose window is
+  // entirely masked (denom == 0) falls back to out = 0.0 through a second
+  // guarded MOVI in the scatter epilogue.  That epilogue MOVI is a guarded
+  // producer fed only by pre-region values — the exact shape that exposed
+  // the analyzer's backward_needs live-in bug (the un-fixed analyzer
+  // offloads the scatter with an empty live-in set and every unmasked
+  // query stores NSU garbage instead of acc/denom).
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(idx_))
+      .movi(17, static_cast<std::int64_t>(s_))
+      .movi(18, static_cast<std::int64_t>(v_))
+      .movi(19, static_cast<std::int64_t>(out_))
+      .movi(6, static_cast<std::int64_t>(q))
+      .movi(14, static_cast<std::int64_t>(c))
+      .movi(24, ops::f64_bits(1.0))
+      .movi(30, static_cast<std::int64_t>(valid_keys()))
+      .mov(7, 0)  // q = gtid
+      .label("query")
+      .alu(Opcode::kIMul, 9, 7, 14)
+      .madi(8, 9, 8, 16)  // &idx[q*ctx]
+      .movi(5, 0)         // m = 0.0 (scores are >= 0)
+      .movi(12, 0)        // j = 0
+      .label("mx")
+      .ld(10, 8)            // k = idx[...]
+      .madi(11, 10, 8, 17)  // &S[k]
+      .ld(13, 11)           // s
+      .alu(Opcode::kFMax, 5, 5, 13)
+      .alui(Opcode::kIAdd, 8, 8, 8)
+      .alui(Opcode::kIAdd, 12, 12, 1)
+      .isetp(0, CmpOp::kLt, 12, 14)
+      .pred(0)
+      .bra("mx")
+      .madi(8, 9, 8, 16)  // rewind the index pointer
+      .movi(26, 0)        // denom = 0.0
+      .movi(28, 0)        // acc = 0.0
+      .movi(12, 0)
+      .label("wsum")
+      .ld(10, 8)
+      .madi(11, 10, 8, 17)
+      .ld(13, 11)                      // s
+      .alu(Opcode::kFSub, 20, 5, 13)   // m - s
+      .alui(Opcode::kFAdd, 20, 20, 1)  // 1 + m - s
+      .alu(Opcode::kFDiv, 21, 24, 20);  // w
+  if (cfg_.masked) {
+    pb.isetp(1, CmpOp::kLt, 10, 30)  // P1: k below the mask limit
+        .pred(1, /*sense=*/false)
+        .movi(21, 0);  // masked entries get zero weight
+  }
+  pb.alu(Opcode::kFAdd, 26, 26, 21)  // denom += w
+      .madi(22, 10, 8, 18)           // &V[k]
+      .ld(23, 22)
+      .fma(28, 21, 23, 28)  // acc += w * v
+      .alui(Opcode::kIAdd, 8, 8, 8)
+      .alui(Opcode::kIAdd, 12, 12, 1)
+      .isetp(0, CmpOp::kLt, 12, 14)
+      .pred(0)
+      .bra("wsum");
+  pb.alu(Opcode::kFDiv, 29, 28, 26);  // out = acc / denom
+  if (cfg_.masked) {
+    pb.movi(31, 0)                     // 0.0 for the compare
+        .fsetp(2, CmpOp::kGt, 26, 31)  // P2: any weight survived the mask
+        .pred(2, /*sense=*/false)
+        .movi(29, 0);  // fully-masked window: out = 0.0 (not 0/0)
+  }
+  pb.madi(27, 7, 8, 19)
+      .st(27, 29)
+      .alu(Opcode::kIAdd, 7, 7, 1)  // q += total threads
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("query")
+      .exit();
+  program_ = pb.build();
+  launch_ = ops::pick_launch(q);
+}
+
+bool AttnOperator::verify(const GlobalMemory& mem) const {
+  const std::uint64_t c = cfg_.ctx, keys = cfg_.keys;
+  const std::uint64_t valid = valid_keys();
+  for (std::uint64_t qi = 0; qi < cfg_.queries; ++qi) {
+    auto key_at = [&](std::uint64_t j) { return wl::index(qi * c + j, keys, 27); };
+    double m = 0.0;
+    for (std::uint64_t j = 0; j < c; ++j) m = std::fmax(m, wl::value(key_at(j), 28));
+    double denom = 0.0, acc = 0.0;
+    for (std::uint64_t j = 0; j < c; ++j) {
+      const std::uint64_t k = key_at(j);
+      double w = 1.0 / ((m - wl::value(k, 28)) + 1.0);
+      if (cfg_.masked && k >= valid) w = 0.0;
+      denom = denom + w;
+      acc = w * wl::value(k, 29) + acc;  // unfused FFMA order
+    }
+    const double expect = denom > 0.0 ? acc / denom : 0.0;
+    if (mem.read_f64(out_ + 8 * qi) != expect) return false;
+  }
+  return true;
+}
+
+std::vector<OutputRegion> AttnOperator::output_regions() const {
+  return {{"out", out_, std::uint64_t{cfg_.queries} * 8}};
+}
+
+}  // namespace sndp

@@ -1,0 +1,120 @@
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/ops/ops.h"
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+namespace ops {
+
+LaunchParams pick_launch(std::uint64_t work_items) {
+  if (work_items == 0 || work_items % kGridStride != 0) {
+    throw std::invalid_argument("operator work size must be a positive multiple of kGridStride");
+  }
+  const std::uint64_t threads = work_items / kGridStride;
+  for (unsigned cta : {256u, 128u, 64u, 32u, 16u}) {
+    if (threads % cta == 0) {
+      return LaunchParams{cta, static_cast<unsigned>(threads / cta)};
+    }
+  }
+  throw std::invalid_argument("operator thread count has no CTA-sized divisor");
+}
+
+std::int64_t f64_bits(double v) {
+  std::int64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace ops
+
+GemmOperator::GemmOperator(ProblemScale scale) : Workload(scale) {
+  cfg_ = pick<GemmConfig>({16, 16, 16, 2}, {32, 32, 32, 4}, {64, 64, 64, 4});
+}
+
+GemmOperator::GemmOperator(ProblemScale scale, const GemmConfig& cfg)
+    : Workload(scale), cfg_(cfg) {
+  if (cfg_.tile_k == 0 || cfg_.k % cfg_.tile_k != 0) {
+    throw std::invalid_argument("GemmConfig: tile_k must divide k");
+  }
+}
+
+std::string GemmOperator::description() const {
+  std::ostringstream os;
+  os << "Tiled GEMM " << cfg_.m << "x" << cfg_.n << "x" << cfg_.k
+     << " (K-unroll " << cfg_.tile_k << ")";
+  return os.str();
+}
+
+void GemmOperator::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  const std::uint64_t m = cfg_.m, n = cfg_.n, k = cfg_.k;
+  a_ = alloc.alloc(m * k * 8);
+  b_ = alloc.alloc(k * n * 8);
+  c_ = alloc.alloc(m * n * 8);
+  for (std::uint64_t i = 0; i < m * k; ++i) mem.write_f64(a_ + 8 * i, wl::value(i, 21));
+  for (std::uint64_t i = 0; i < k * n; ++i) mem.write_f64(b_ + 8 * i, wl::value(i, 22));
+
+  // One thread per C element: row = i / N, col = i % N (IDIV/IREM), then a
+  // K loop unrolled by tile_k walking A by 8 B and B by a row (N * 8 B).
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(a_))
+      .movi(17, static_cast<std::int64_t>(b_))
+      .movi(18, static_cast<std::int64_t>(c_))
+      .movi(6, static_cast<std::int64_t>(m * n))
+      .movi(20, static_cast<std::int64_t>(k))
+      .movi(21, static_cast<std::int64_t>(n))
+      .mov(7, 0)  // i = gtid
+      .label("elem")
+      .alu(Opcode::kIDiv, 8, 7, 21)  // row
+      .alu(Opcode::kIRem, 9, 7, 21)  // col
+      .alu(Opcode::kIMul, 10, 8, 20)
+      .madi(10, 10, 8, 16)  // &A[row][0]
+      .madi(11, 9, 8, 17)   // &B[0][col]
+      .movi(5, 0)           // acc = 0.0
+      .movi(12, 0)          // kk = 0
+      .label("kloop");
+  for (unsigned u = 0; u < cfg_.tile_k; ++u) {
+    pb.ld(22, 10, 8 * u)
+        .ld(23, 11, static_cast<std::int64_t>(8 * n) * u)
+        .fma(5, 22, 23, 5);
+  }
+  pb.alui(Opcode::kIAdd, 10, 10, 8 * cfg_.tile_k)
+      .alui(Opcode::kIAdd, 11, 11, static_cast<std::int64_t>(8 * n) * cfg_.tile_k)
+      .alui(Opcode::kIAdd, 12, 12, cfg_.tile_k)
+      .isetp(0, CmpOp::kLt, 12, 20)
+      .pred(0)
+      .bra("kloop")
+      .madi(14, 7, 8, 18)  // &C[i]
+      .st(14, 5)
+      .alu(Opcode::kIAdd, 7, 7, 1)  // i += total threads
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("elem")
+      .exit();
+  program_ = pb.build();
+  launch_ = ops::pick_launch(m * n);
+}
+
+bool GemmOperator::verify(const GlobalMemory& mem) const {
+  const std::uint64_t n = cfg_.n, k = cfg_.k;
+  for (std::uint64_t i = 0; i < std::uint64_t{cfg_.m} * n; ++i) {
+    const std::uint64_t row = i / n, col = i % n;
+    double acc = 0.0;
+    for (std::uint64_t kk = 0; kk < k; ++kk) {
+      // FFMA evaluates as an unfused multiply-add; mirror that exactly.
+      acc = wl::value(row * k + kk, 21) * wl::value(kk * n + col, 22) + acc;
+    }
+    if (mem.read_f64(c_ + 8 * i) != acc) return false;
+  }
+  return true;
+}
+
+std::vector<OutputRegion> GemmOperator::output_regions() const {
+  return {{"C", c_, std::uint64_t{cfg_.m} * cfg_.n * 8}};
+}
+
+}  // namespace sndp

@@ -1,0 +1,152 @@
+// Operator library (ROADMAP "Operator-level workloads"): real operators —
+// tiled GEMM, SpMV over CSR, batched reduction, and an attention-shaped
+// gather-softmax-scatter — emitted as mini-ISA programs from tile/size
+// configs.  Each operator is an ordinary Workload: it allocates and
+// initializes its arrays, builds the kernel with ProgramBuilder, names its
+// result ranges via output_regions(), and recomputes the answer in verify()
+// with bit-exact operation order, so the differential oracle and the host
+// oracle both gate it for free.
+//
+// Unlike the ten Table-1 kernels (which mimic the paper's signatures), the
+// operators are built to be adversarial for the offload pipeline: K-loop
+// unrolling changes the Eq.1 score sign, CSR gathers feed addresses and
+// predicates from load data (conflict splits + §4.4 salvage), reductions
+// carry fat accumulator live-in/live-out sets, and the masked attention
+// variant guards non-self-reading producers (the shape that exposed the
+// backward_needs live-in bug).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace sndp {
+
+// GEMM: C[M x N] = A[M x K] * B[K x N], doubles, one thread per C element
+// over a grid-stride loop.  Row/column are recovered from the flat element
+// index with IDIV/IREM (opcodes no Table-1 kernel emits), and the K loop is
+// unrolled by tile_k — tile_k = 1 scores 0 and stays on the GPU, larger
+// tiles offload.
+struct GemmConfig {
+  unsigned m = 32, n = 32, k = 32;
+  unsigned tile_k = 4;  // K-loop unroll factor; must divide k
+};
+
+class GemmOperator final : public Workload {
+ public:
+  explicit GemmOperator(ProblemScale scale);
+  GemmOperator(ProblemScale scale, const GemmConfig& cfg);
+  std::string name() const override { return "GEMM"; }
+  std::string description() const override;
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
+  const GemmConfig& config() const { return cfg_; }
+
+ private:
+  GemmConfig cfg_;
+  Addr a_ = 0, b_ = 0, c_ = 0;
+};
+
+// SpMV over CSR: y[r] = sum_k val[k] * x[col[k]] for k in
+// [row_ptr[r], row_ptr[r+1]).  One thread per row; the inner loop runs a
+// warp-uniform max_nnz trips and masks the tail with predication, so short
+// rows contribute explicit +0.0 terms.  The column gather feeds both an
+// address (indirect load) and, via the row bounds, a predicate — the two
+// flows the conflict splitter exists for.
+struct SpmvConfig {
+  unsigned rows = 4096;
+  unsigned max_nnz = 8;  // uniform trip count; row lengths are 1..max_nnz
+  unsigned cols = 1024;  // x-vector length
+};
+
+class SpmvOperator final : public Workload {
+ public:
+  explicit SpmvOperator(ProblemScale scale);
+  SpmvOperator(ProblemScale scale, const SpmvConfig& cfg);
+  std::string name() const override { return "SPMV"; }
+  std::string description() const override;
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
+  const SpmvConfig& config() const { return cfg_; }
+
+ private:
+  SpmvConfig cfg_;
+  std::vector<std::uint64_t> row_len_;  // filled at setup; oracle reuses it
+  Addr val_ = 0, col_ = 0, row_ptr_ = 0, x_ = 0, y_ = 0;
+};
+
+// Batched reduction: one thread per batch folds `len` elements into three
+// accumulators (sum / min / max), unrolled by `unroll`.  The accumulators
+// ride the block boundary as live-in AND live-out registers, so the Eq.1
+// score only turns positive at unroll = 8 — below that the analyzer must
+// reject the block.  `interleaved` switches the element stride from
+// contiguous (batch-major) to batch-interleaved, which defeats coalescing
+// and spreads each batch across placement pages.
+struct ReduceConfig {
+  unsigned batches = 4096;
+  unsigned len = 16;    // elements per batch; must be a multiple of unroll
+  unsigned unroll = 4;  // inner-loop unroll factor
+  bool interleaved = false;
+};
+
+class ReduceOperator final : public Workload {
+ public:
+  explicit ReduceOperator(ProblemScale scale);
+  ReduceOperator(ProblemScale scale, const ReduceConfig& cfg);
+  std::string name() const override { return "REDUCE"; }
+  std::string description() const override;
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
+  const ReduceConfig& config() const { return cfg_; }
+
+ private:
+  ReduceConfig cfg_;
+  Addr in_ = 0, sum_ = 0, min_ = 0, max_ = 0;
+};
+
+// Attention-shaped gather-softmax-scatter: per query q, gather `ctx` scores
+// through an index table, compute softmax-shaped weights w = 1/(1 + m - s)
+// (the mini-ISA has no exp; FDIV stands in), and scatter the weighted,
+// normalized sum of the gathered values.  Two uniform passes (max, then
+// weight/accumulate).  With `masked`, index entries >= valid keys get their
+// weight zeroed by a guarded MOVI — a guarded producer that does NOT read
+// its own destination, which is exactly the shape the analyzer's backward
+// walk used to mishandle (see Analyzer.GuardedProducerKeepsLiveIn).
+struct AttnConfig {
+  unsigned queries = 4096;
+  unsigned ctx = 8;      // gathered entries per query (uniform trip count)
+  unsigned keys = 1024;  // score/value table size
+  bool masked = true;    // zero weights for index entries >= 3/4 * keys
+};
+
+class AttnOperator final : public Workload {
+ public:
+  explicit AttnOperator(ProblemScale scale);
+  AttnOperator(ProblemScale scale, const AttnConfig& cfg);
+  std::string name() const override { return "ATTN"; }
+  std::string description() const override;
+  void setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& rng) override;
+  bool verify(const GlobalMemory& mem) const override;
+  std::vector<OutputRegion> output_regions() const override;
+  const AttnConfig& config() const { return cfg_; }
+  unsigned valid_keys() const;
+
+ private:
+  AttnConfig cfg_;
+  Addr idx_ = 0, s_ = 0, v_ = 0, out_ = 0;
+};
+
+namespace ops {
+
+// Grid-stride launch geometry shared by the generators: `work_items` must
+// be a multiple of kGridStride; each thread covers exactly kGridStride
+// items, so the do-while grid-stride loop never over-runs.
+LaunchParams pick_launch(std::uint64_t work_items);
+
+// Raw bit pattern of a double, for MOVI-materialized float constants.
+std::int64_t f64_bits(double v);
+
+}  // namespace ops
+
+}  // namespace sndp

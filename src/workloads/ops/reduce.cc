@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/ops/ops.h"
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+ReduceOperator::ReduceOperator(ProblemScale scale) : Workload(scale) {
+  cfg_ = pick<ReduceConfig>({256, 8, 2, false}, {4096, 16, 4, false}, {8192, 32, 8, false});
+}
+
+ReduceOperator::ReduceOperator(ProblemScale scale, const ReduceConfig& cfg)
+    : Workload(scale), cfg_(cfg) {
+  if (cfg_.unroll == 0 || cfg_.len % cfg_.unroll != 0) {
+    throw std::invalid_argument("ReduceConfig: unroll must divide len");
+  }
+}
+
+std::string ReduceOperator::description() const {
+  std::ostringstream os;
+  os << "Batched sum/min/max reduction, " << cfg_.batches << " x " << cfg_.len
+     << " (unroll " << cfg_.unroll << (cfg_.interleaved ? ", interleaved)" : ")");
+  return os.str();
+}
+
+void ReduceOperator::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  const std::uint64_t batches = cfg_.batches, len = cfg_.len;
+  in_ = alloc.alloc(batches * len * 8);
+  sum_ = alloc.alloc(batches * 8);
+  min_ = alloc.alloc(batches * 8);
+  max_ = alloc.alloc(batches * 8);
+  for (std::uint64_t i = 0; i < batches * len; ++i) mem.write_f64(in_ + 8 * i, wl::value(i, 31));
+
+  // One thread per batch.  Element j of batch b lives at b*len+j
+  // (contiguous) or j*batches+b (interleaved); all data is in [0, 1), so
+  // sum/min/max start at 0.0 / 1.0 / 0.0.  The three accumulators are both
+  // live-in and live-out of the unrolled inner block, which prices the
+  // block at 8*unroll - 48 bytes: unroll 8 offloads, anything less must be
+  // rejected by the analyzer.
+  const std::int64_t stride = cfg_.interleaved ? static_cast<std::int64_t>(batches) * 8 : 8;
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(in_))
+      .movi(17, static_cast<std::int64_t>(sum_))
+      .movi(18, static_cast<std::int64_t>(min_))
+      .movi(19, static_cast<std::int64_t>(max_))
+      .movi(6, static_cast<std::int64_t>(batches))
+      .movi(14, static_cast<std::int64_t>(len))
+      .mov(7, 0)  // b = gtid
+      .label("batch");
+  if (cfg_.interleaved) {
+    pb.madi(8, 7, 8, 16);  // &in[b]
+  } else {
+    pb.alu(Opcode::kIMul, 9, 7, 14).madi(8, 9, 8, 16);  // &in[b*len]
+  }
+  pb.movi(5, 0)                       // sum = 0.0
+      .movi(11, ops::f64_bits(1.0))   // min = 1.0 (all data < 1)
+      .movi(12, 0)                    // max = 0.0 (all data >= 0)
+      .movi(13, 0)                    // j = 0
+      .label("elems");
+  for (unsigned u = 0; u < cfg_.unroll; ++u) {
+    pb.ld(20, 8, stride * u)
+        .alu(Opcode::kFAdd, 5, 5, 20)
+        .alu(Opcode::kFMin, 11, 11, 20)
+        .alu(Opcode::kFMax, 12, 12, 20);
+  }
+  pb.alui(Opcode::kIAdd, 8, 8, stride * cfg_.unroll)
+      .alui(Opcode::kIAdd, 13, 13, cfg_.unroll)
+      .isetp(0, CmpOp::kLt, 13, 14)
+      .pred(0)
+      .bra("elems")
+      .madi(21, 7, 8, 17)
+      .st(21, 5)
+      .madi(22, 7, 8, 18)
+      .st(22, 11)
+      .madi(23, 7, 8, 19)
+      .st(23, 12)
+      .alu(Opcode::kIAdd, 7, 7, 1)  // b += total threads
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("batch")
+      .exit();
+  program_ = pb.build();
+  launch_ = ops::pick_launch(batches);
+}
+
+bool ReduceOperator::verify(const GlobalMemory& mem) const {
+  for (std::uint64_t b = 0; b < cfg_.batches; ++b) {
+    double sum = 0.0, mn = 1.0, mx = 0.0;
+    for (std::uint64_t j = 0; j < cfg_.len; ++j) {
+      const std::uint64_t i = cfg_.interleaved ? j * cfg_.batches + b : b * cfg_.len + j;
+      const double v = wl::value(i, 31);
+      sum = sum + v;
+      mn = std::fmin(mn, v);
+      mx = std::fmax(mx, v);
+    }
+    if (mem.read_f64(sum_ + 8 * b) != sum) return false;
+    if (mem.read_f64(min_ + 8 * b) != mn) return false;
+    if (mem.read_f64(max_ + 8 * b) != mx) return false;
+  }
+  return true;
+}
+
+std::vector<OutputRegion> ReduceOperator::output_regions() const {
+  const std::uint64_t bytes = std::uint64_t{cfg_.batches} * 8;
+  return {{"sum", sum_, bytes}, {"min", min_, bytes}, {"max", max_, bytes}};
+}
+
+}  // namespace sndp

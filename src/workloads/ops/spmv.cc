@@ -1,0 +1,124 @@
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/ops/ops.h"
+#include "workloads/wl_util.h"
+#include "workloads/workloads.h"
+
+namespace sndp {
+
+SpmvOperator::SpmvOperator(ProblemScale scale) : Workload(scale) {
+  cfg_ = pick<SpmvConfig>({512, 4, 256}, {4096, 8, 1024}, {16384, 8, 4096});
+}
+
+SpmvOperator::SpmvOperator(ProblemScale scale, const SpmvConfig& cfg)
+    : Workload(scale), cfg_(cfg) {
+  if (cfg_.max_nnz == 0 || cfg_.cols == 0) {
+    throw std::invalid_argument("SpmvConfig: max_nnz and cols must be positive");
+  }
+}
+
+std::string SpmvOperator::description() const {
+  std::ostringstream os;
+  os << "CSR SpMV, " << cfg_.rows << " rows x <=" << cfg_.max_nnz << " nnz, "
+     << cfg_.cols << "-entry x";
+  return os.str();
+}
+
+void SpmvOperator::setup(GlobalMemory& mem, MemoryAllocator& alloc, Rng& /*rng*/) {
+  const std::uint64_t rows = cfg_.rows;
+  row_len_.resize(rows);
+  std::uint64_t nnz = 0;
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    row_len_[r] = 1 + wl::index(r, cfg_.max_nnz, 26);
+    nnz += row_len_[r];
+  }
+  val_ = alloc.alloc(nnz * 8);
+  col_ = alloc.alloc(nnz * 8);
+  row_ptr_ = alloc.alloc((rows + 1) * 8);
+  x_ = alloc.alloc(std::uint64_t{cfg_.cols} * 8);
+  y_ = alloc.alloc(rows * 8);
+  std::uint64_t k = 0;
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    mem.write_u64(row_ptr_ + 8 * r, k);
+    for (std::uint64_t j = 0; j < row_len_[r]; ++j, ++k) {
+      mem.write_f64(val_ + 8 * k, wl::value(k, 24));
+      mem.write_u64(col_ + 8 * k, wl::index(k, cfg_.cols, 25));
+    }
+  }
+  mem.write_u64(row_ptr_ + 8 * rows, k);
+  for (std::uint64_t i = 0; i < cfg_.cols; ++i) mem.write_f64(x_ + 8 * i, wl::value(i, 23));
+
+  // One thread per row.  The inner loop runs a warp-uniform max_nnz trips;
+  // the loaded row bounds feed a per-lane predicate that masks the tail,
+  // and the loaded column index feeds the x-gather's address — both flows
+  // force conflict splits, and short rows contribute explicit +0.0 terms
+  // through the @!P1 MOVI.
+  ProgramBuilder pb;
+  pb.movi(16, static_cast<std::int64_t>(val_))
+      .movi(17, static_cast<std::int64_t>(col_))
+      .movi(18, static_cast<std::int64_t>(row_ptr_))
+      .movi(19, static_cast<std::int64_t>(x_))
+      .movi(15, static_cast<std::int64_t>(y_))
+      .movi(6, static_cast<std::int64_t>(rows))
+      .movi(14, static_cast<std::int64_t>(cfg_.max_nnz))
+      .mov(7, 0)  // r = gtid
+      .label("row")
+      .madi(8, 7, 8, 18)
+      .ld(9, 8)      // start = row_ptr[r]
+      .ld(10, 8, 8)  // end   = row_ptr[r+1]
+      .movi(5, 0)    // acc = 0.0
+      .movi(12, 0)   // j = 0
+      .label("nz")
+      .alu(Opcode::kIAdd, 13, 9, 12)   // k = start + j
+      .isetp(1, CmpOp::kLt, 13, 10)    // P1: k inside the row
+      .madi(20, 13, 8, 17)
+      .pred(1)
+      .ld(21, 20)           // c = col[k]
+      .madi(22, 21, 8, 19)  // &x[c] — address from load data
+      .pred(1)
+      .ld(23, 22)  // xv = x[c]
+      .madi(24, 13, 8, 16)
+      .pred(1)
+      .ld(25, 24)                      // v = val[k]
+      .alu(Opcode::kFMul, 26, 25, 23)  // term = v * xv
+      .pred(1, /*sense=*/false)
+      .movi(26, 0)  // masked lanes contribute +0.0
+      .alu(Opcode::kFAdd, 5, 5, 26)
+      .alui(Opcode::kIAdd, 12, 12, 1)
+      .isetp(0, CmpOp::kLt, 12, 14)
+      .pred(0)
+      .bra("nz")
+      .madi(27, 7, 8, 15)
+      .st(27, 5)
+      .alu(Opcode::kIAdd, 7, 7, 1)  // r += total threads
+      .isetp(0, CmpOp::kLt, 7, 6)
+      .pred(0)
+      .bra("row")
+      .exit();
+  program_ = pb.build();
+  launch_ = ops::pick_launch(rows);
+}
+
+bool SpmvOperator::verify(const GlobalMemory& mem) const {
+  std::uint64_t start = 0;
+  for (std::uint64_t r = 0; r < cfg_.rows; ++r) {
+    const std::uint64_t end = start + row_len_[r];
+    double acc = 0.0;
+    for (std::uint64_t j = 0; j < cfg_.max_nnz; ++j) {
+      const std::uint64_t k = start + j;
+      const double term =
+          k < end ? wl::value(k, 24) * wl::value(wl::index(k, cfg_.cols, 25), 23) : 0.0;
+      acc = acc + term;
+    }
+    if (mem.read_f64(y_ + 8 * r) != acc) return false;
+    start = end;
+  }
+  return true;
+}
+
+std::vector<OutputRegion> SpmvOperator::output_regions() const {
+  return {{"y", y_, std::uint64_t{cfg_.rows} * 8}};
+}
+
+}  // namespace sndp

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "workloads/ops/ops.h"
 #include "workloads/workloads.h"
 
 namespace sndp {
@@ -9,6 +10,21 @@ namespace sndp {
 const std::vector<std::string>& workload_names() {
   static const std::vector<std::string> kNames = {"BPROP", "BFS",    "BICG", "FWT",  "KMN",
                                                   "MiniFE", "SP",    "STN",  "STCL", "VADD"};
+  return kNames;
+}
+
+const std::vector<std::string>& operator_names() {
+  static const std::vector<std::string> kNames = {"GEMM", "SPMV", "REDUCE", "ATTN"};
+  return kNames;
+}
+
+const std::vector<std::string>& all_workload_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = workload_names();
+    const auto& ops = operator_names();
+    names.insert(names.end(), ops.begin(), ops.end());
+    return names;
+  }();
   return kNames;
 }
 
@@ -23,6 +39,10 @@ std::unique_ptr<Workload> make_workload(const std::string& name, ProblemScale sc
   if (name == "STN") return std::make_unique<StnWorkload>(scale);
   if (name == "STCL") return std::make_unique<StclWorkload>(scale);
   if (name == "VADD") return std::make_unique<VaddWorkload>(scale);
+  if (name == "GEMM") return std::make_unique<GemmOperator>(scale);
+  if (name == "SPMV") return std::make_unique<SpmvOperator>(scale);
+  if (name == "REDUCE") return std::make_unique<ReduceOperator>(scale);
+  if (name == "ATTN") return std::make_unique<AttnOperator>(scale);
   throw std::invalid_argument("make_workload: unknown workload '" + name + "'");
 }
 

@@ -213,6 +213,42 @@ TEST(Analyzer, PredDefinedInRegionSplitsGuardedUse) {
   EXPECT_GE(r.accepted[0].begin, 3u);  // after the ISETP
 }
 
+// Regression (found by the GEMM/ATTN operator library): a *guarded*
+// producer pulled onto the NSU only defines the active lanes, so the
+// register's pre-block value is still needed for the inactive ones and
+// must be marshalled in.  The old backward walk reset the need at any
+// write, guarded or not, so regs_in lost R5 and the NSU's inactive lanes
+// computed with garbage.  (Never seen before: every guarded producer in
+// the seed workloads reads its own destination, which re-adds the need.)
+TEST(Analyzer, GuardedProducerKeepsLiveIn) {
+  const Program p = assemble(R"(
+    MOVI R16, 0x10000
+    ISETP P1, LT, R0, 100
+    BAR
+    IMAD R8, R0, 8, R16
+    @P1 MOVI R5, 0
+    FADD R7, R5, R5
+    ST   [R8+0], R7
+    ST   [R8+8], R7
+    ST   [R8+16], R7
+    ST   [R8+24], R7
+    EXIT
+  )");
+  const AnalysisResult r = analyze(p);
+  ASSERT_EQ(r.accepted.size(), 1u);
+  const BlockCandidate& c = r.accepted[0];
+  // The guarded MOVI is NSU-side (it feeds store data through the FADD)...
+  bool movi_on_nsu = false;
+  for (unsigned i = c.begin; i < c.end; ++i) {
+    if (p.at(i).op == Opcode::kMovI && c.on_nsu[i - c.begin]) movi_on_nsu = true;
+  }
+  EXPECT_TRUE(movi_on_nsu);
+  // ...but R5's pre-block value must still arrive as a live-in for the
+  // lanes where P1 is false.
+  EXPECT_TRUE(std::find(c.regs_in.begin(), c.regs_in.end(), 5) != c.regs_in.end())
+      << to_string(c);
+}
+
 TEST(Analyzer, ComputeOnlyRegionRejected) {
   const Program p = assemble(R"(
     IADD R1, R0, 1

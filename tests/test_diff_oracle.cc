@@ -64,6 +64,21 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, DiffOracle,
                            return n;
                          });
 
+// Operator library (src/workloads/ops): same full matrix as the Table-1
+// kernels.  The operators are built to stress the offload pipeline (IDIV
+// index math, data-dependent gathers, fat accumulator boundaries, guarded
+// non-self-reading producers), so byte-identity here is the strongest
+// analyzer/codegen gate in the tier.
+INSTANTIATE_TEST_SUITE_P(Operators, DiffOracle,
+                         ::testing::ValuesIn(operator_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return n;
+                         });
+
 // Multi-tenant axis: representative slice of the matrix (full breadth is
 // covered single-tenant above; tenancy changes scheduling, not semantics,
 // so the interesting points are the ones with the most concurrency and

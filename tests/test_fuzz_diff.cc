@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -140,6 +141,53 @@ TEST(FuzzDiff, TenantMixesMatchReference) {
   EXPECT_EQ(checked, 6u);
 }
 
+TEST(FuzzDiff, OperatorLineRoundTripsAndDefaultsToEmpty) {
+  // New reproducers carry the operator axis...
+  FuzzSpec spec = generate_spec(42);
+  spec.op_workload = "GEMM";
+  spec.op_variant = 2;
+  const auto parsed = FuzzSpec::from_text(spec.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op_workload, "GEMM");
+  EXPECT_EQ(parsed->op_variant, 2u);
+  // ...while pre-operator reproducers (no `opwl` line) still parse and
+  // replay the generated kernel, as those runs actually executed.
+  const auto legacy = FuzzSpec::from_text(
+      "sndp-fuzz-repro-v1\nseed 5\nlaunch 32 1\nloop 0\nmode 1 1\nhmcs 2\n"
+      "op 3 1 2 4\nend\n");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_TRUE(legacy->op_workload.empty());
+  // The axis is drawn last: the generator picks operator cases often enough
+  // to matter, and drawing it never perturbs the pre-operator shape.
+  unsigned op_cases = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FuzzSpec s = generate_spec(seed);
+    if (!s.op_workload.empty()) ++op_cases;
+  }
+  EXPECT_GE(op_cases, 6u);
+}
+
+TEST(FuzzDiff, OperatorKernelsMatchReference) {
+  // Every operator x every tile-config variant, over a few organically
+  // generated config shapes (placement / offload mode / stack count vary
+  // with the seed; the operator replaces the generated kernel).
+  unsigned checked = 0;
+  for (const std::string& name : operator_names()) {
+    for (unsigned variant = 0; variant < 4; ++variant) {
+      const std::uint64_t seed = 11 + 7 * variant;
+      FuzzSpec spec = generate_spec(seed);
+      spec.op_workload = name;
+      spec.op_variant = variant;
+      const auto divergence = run_fuzz_case(spec);
+      EXPECT_FALSE(divergence.has_value())
+          << name << " variant " << variant << ": " << *divergence
+          << "\nspec:\n" << spec.to_text();
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 4u * static_cast<unsigned>(operator_names().size()));
+}
+
 TEST(FuzzDiff, ReproducerFileIsReplayable) {
   const FuzzSpec spec = generate_spec(9);
   const std::string path = ::testing::TempDir() + "/sndp_fuzz_repro_test.txt";
@@ -217,6 +265,31 @@ TEST(FuzzDiff, RandomKernelsMatchReference) {
                   << " ops) written to " << path << "\nspec:\n"
                   << minimal.to_text();
   }
+}
+
+// Committed reproducers (tests/repros/*.txt): every shrunk divergence that
+// led to a fix is kept as a replay file and must stay green.
+TEST(FuzzDiff, CommittedReproducersReplayClean) {
+#ifndef SNDP_COMMITTED_REPRO_DIR
+  GTEST_SKIP() << "SNDP_COMMITTED_REPRO_DIR not defined";
+#else
+  unsigned replayed = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SNDP_COMMITTED_REPRO_DIR)) {
+    if (entry.path().extension() != ".txt") continue;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in) << "cannot open " << entry.path();
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto spec = FuzzSpec::from_text(ss.str());
+    ASSERT_TRUE(spec.has_value()) << "unparseable reproducer " << entry.path();
+    const auto divergence = run_fuzz_case(*spec);
+    EXPECT_FALSE(divergence.has_value())
+        << entry.path() << ": " << *divergence << "\nspec:\n" << spec->to_text();
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 1u);
+#endif
 }
 
 TEST(FuzzDiff, ReplayEnvReproducer) {

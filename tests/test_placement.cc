@@ -169,6 +169,29 @@ TEST(Placement, MigrationRehomesAtTheThreshold) {
   EXPECT_EQ(policy->pages_migrated(), 1u);
 }
 
+// A re-home is not a free map flip: the policy reports the completed move
+// so the serving stack can charge the page-copy traffic (reads at the old
+// home, a bulk cube-link hop, writes at the new home).
+TEST(Placement, MigrationReportsTheMoveForTheCopyCharge) {
+  SystemConfig cfg = config_with(PlacementPolicyKind::kMigration, 4);
+  cfg.placement.migration_threshold = 2;
+  const auto policy = make_placement_policy(cfg);
+  const std::uint64_t page = 42;
+  const HmcId home = policy->home_of_page(page);
+  const HmcId mover = static_cast<HmcId>((home + 1) % 4);
+  EXPECT_FALSE(policy->note_remote_access(page, mover).moved);  // below threshold
+  const PageMove mv = policy->note_remote_access(page, mover);
+  ASSERT_TRUE(mv.moved);
+  EXPECT_EQ(mv.page_id, page);
+  EXPECT_EQ(mv.from, home);
+  EXPECT_EQ(mv.to, mover);
+  // Post-move accesses from the new home are local again: no further move.
+  EXPECT_FALSE(policy->note_remote_access(page, mover).moved);
+  // Static policies never report one.
+  const auto random = make_placement_policy(config_with(PlacementPolicyKind::kRandom));
+  EXPECT_FALSE(random->note_remote_access(page, 1).moved);
+}
+
 TEST(Placement, MigrationPicksTheMajorityAccessor) {
   SystemConfig cfg = config_with(PlacementPolicyKind::kMigration, 4);
   cfg.placement.migration_threshold = 5;

@@ -313,6 +313,31 @@ TEST(SimulatorFacade, NsuLaneOpsFoldIntoEnergy) {
             r.stats.sum_matching("hmc", ".nsu.lane_ops"));
 }
 
+TEST(SimulatorFacade, MigrationChargesPageCopyTraffic) {
+  // Regression: a migration re-home used to flip the page map for free.
+  // Now the old home reads the page line-by-line, ships one bulk packet
+  // over the cube links, and the new home writes the lines back through
+  // its vaults — and the flow audit pairs that traffic with
+  // mem.pages_migrated exactly on a drained run.
+  SystemConfig cfg = SystemConfig::small_test();
+  cfg.governor.mode = OffloadMode::kAlways;
+  cfg.placement.policy = PlacementPolicyKind::kMigration;
+  cfg.placement.migration_threshold = 1;
+  auto wl = make_workload("VADD", ProblemScale::kTiny);
+  const RunResult r = Simulator(cfg).run(*wl);
+  ASSERT_TRUE(r.verified);
+  ASSERT_TRUE(r.completed);
+  const double migrated = r.stats.get("mem.pages_migrated");
+  ASSERT_GT(migrated, 0.0);
+  const double lines = static_cast<double>(cfg.page_bytes / cfg.l2.line_bytes);
+  EXPECT_EQ(r.stats.sum_matching("hmc", ".page_copy_reads"), migrated * lines);
+  EXPECT_EQ(r.stats.sum_matching("hmc", ".page_copy_writes"), migrated * lines);
+  // Each migrated page crosses the inter-stack links at least once.
+  EXPECT_GE(static_cast<double>(r.cube_link_bytes),
+            migrated * static_cast<double>(cfg.page_bytes));
+  EXPECT_EQ(r.stats.get("audit.violations"), 0.0);
+}
+
 TEST(SimulatorFacade, TraceWriteFailureIsSurfacedInStats) {
   SystemConfig cfg = SystemConfig::small_test();
   cfg.trace_path = ::testing::TempDir() + "/no_such_dir_sndp/trace.json";
