@@ -120,10 +120,11 @@ int main(int argc, char** argv) {
   for (const std::string& w : workloads) {
     for (OffloadMode mode : modes) {
       SystemConfig cfg = paper_config(mode);
-      // Throughput baseline: latency tracing off, so the recorded
-      // edges-per-second measures the simulator core (and the ≤2%
-      // tracing-disabled regression budget is checked against it).
+      // Throughput baseline: latency tracing and the cycle-stack profiler
+      // off, so the recorded edges-per-second measures the simulator core
+      // (the profiler's own cost is measured separately below).
       cfg.latency_trace = false;
+      cfg.profile = false;
       cfg.fast_forward = true;
       RunResult ff;
       const double wall_ff = timed_run(w, scale, cfg, &ff);
@@ -172,6 +173,7 @@ int main(int argc, char** argv) {
   for (const std::string& w : workloads) {
     SystemConfig cfg = paper_config(OffloadMode::kDynamicCache);
     cfg.latency_trace = false;
+    cfg.profile = false;
     cfg.fast_forward = true;
 
     ParRow pr;
@@ -208,6 +210,39 @@ int main(int argc, char** argv) {
   std::printf("geomean parallel speedup: %.2fx (2 partitions), %.2fx (4 partitions)\n", gm_p2,
               gm_p4);
   if (!par_all_identical) std::printf("PARTITION COUNTS DIVERGED — see errors above\n");
+
+  // --- cycle-stack profiler A/B: on-vs-off overhead -----------------------
+  // Every timed row above pins cfg.profile = false; this axis measures what
+  // turning the profiler back on (the shipping default) costs per workload.
+  std::printf("\nCycle-stack profiler overhead (dyn-cache, fast-forward on)\n");
+  std::printf("%-8s %11s %11s %9s\n", "workload", "wall_off_s", "wall_on_s", "overhead");
+  struct ProfRow {
+    std::string workload;
+    double wall_off_s = 0.0;
+    double wall_on_s = 0.0;
+  };
+  std::vector<ProfRow> prof_rows;
+  for (const std::string& w : workloads) {
+    SystemConfig cfg = paper_config(OffloadMode::kDynamicCache);
+    cfg.latency_trace = false;
+    cfg.fast_forward = true;
+
+    ProfRow pf;
+    pf.workload = w;
+    cfg.profile = false;
+    RunResult off;
+    pf.wall_off_s = timed_run(w, scale, cfg, &off);
+    cfg.profile = true;
+    RunResult on;
+    pf.wall_on_s = timed_run(w, scale, cfg, &on);
+    std::printf("%-8s %11.3f %11.3f %8.2fx\n", w.c_str(), pf.wall_off_s, pf.wall_on_s,
+                pf.wall_on_s / pf.wall_off_s);
+    prof_rows.push_back(std::move(pf));
+  }
+  std::vector<double> overheads;
+  for (const ProfRow& pf : prof_rows) overheads.push_back(pf.wall_on_s / pf.wall_off_s);
+  const double gm_prof = geomean(overheads);
+  std::printf("geomean profiler overhead over %zu rows: %.2fx\n", prof_rows.size(), gm_prof);
 
   if (!opt.stats_json.empty()) {
     JsonWriter j;
@@ -248,6 +283,20 @@ int main(int argc, char** argv) {
       j.key("speedup_p2").value(pr.wall_s1 / pr.wall_s2);
       j.key("speedup_p4").value(pr.wall_s1 / pr.wall_s4);
       j.key("identical").value(pr.identical);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    j.key("profiling").begin_object();
+    j.key("mode").value("dyn-cache");
+    j.key("geomean_overhead").value(gm_prof);
+    j.key("rows").begin_array();
+    for (const ProfRow& pf : prof_rows) {
+      j.begin_object();
+      j.key("workload").value(pf.workload);
+      j.key("wall_off_s").value(pf.wall_off_s);
+      j.key("wall_on_s").value(pf.wall_on_s);
+      j.key("overhead").value(pf.wall_on_s / pf.wall_off_s);
       j.end_object();
     }
     j.end_array();

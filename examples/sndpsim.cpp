@@ -31,6 +31,13 @@
 //       --no-ff             disable idle fast-forward (naive edge-by-edge
 //                           stepping; results are bit-identical, only slower)
 //       --no-audit          disable the flow-conservation stats audit
+//       --no-profile        disable the cycle-stack profiler (no cyc.* stats,
+//                           no cycle_stack JSON object; bucket counters are
+//                           never touched)
+//       --profile-csv FILE  write the per-tenant cycle stacks as CSV
+//                           (component,row,bucket,cycles; "-" = stdout; with
+//                           -w all the workload name is appended like
+//                           --epoch-csv)
 //       --no-latency        disable request-lifecycle latency tracing
 //       --latency-sample N  sample every Nth tracked request per type for a
 //                           full per-hop span (default 64; 0 = histograms
@@ -85,6 +92,8 @@ struct Options {
   double timeout_s = 0.0;
   bool fast_forward = true;
   bool audit = true;
+  bool profile = true;
+  std::string profile_csv;
   bool latency = true;
   unsigned partitions = 1;
   unsigned latency_sample = 64;
@@ -104,7 +113,8 @@ struct Options {
                "[--ro-cache] [--optimal-target] [--stats] [--csv FILE]\n"
                "          [-j JOBS] [--stats-json FILE] [--timeout SECONDS] [--no-ff]\n"
                "          [--partitions N]\n"
-               "          [--no-audit] [--no-latency] [--latency-sample N]\n"
+               "          [--no-audit] [--no-profile] [--profile-csv FILE]\n"
+               "          [--no-latency] [--latency-sample N]\n"
                "          [--epoch-csv FILE] [--trace FILE]\n"
                "          [--tenants NAME[:W[:P]],... [--arbiter rr|weighted|strict]\n"
                "           [--nsu-quota N] [--credit-share F]]\n",
@@ -121,6 +131,43 @@ std::string epoch_csv_path(const std::string& base, const std::string& name, boo
     return base + "-" + name;
   }
   return base.substr(0, dot) + "-" + name + base.substr(dot);
+}
+
+// Cycle-stack dump: one CSV row per (component, tenant row, bucket).  Writes
+// only the header when the run had profiling disabled.
+bool write_profile_csv(const std::string& path, const CycleStackSummary& cs) {
+  std::FILE* out = (path.empty() || path == "-") ? stdout : std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "component,row,bucket,cycles\n");
+  if (cs.enabled) {
+    auto row_name = [&](unsigned row) {
+      return row == cs.tenants ? std::string("shared") : "t" + std::to_string(row);
+    };
+    for (unsigned row = 0; row < cs.sm.rows.size(); ++row) {
+      for (std::size_t b = 0; b < kNumSmBuckets; ++b) {
+        std::fprintf(out, "sm,%s,%s,%llu\n", row_name(row).c_str(),
+                     sm_bucket_name(static_cast<SmBucket>(b)),
+                     static_cast<unsigned long long>(cs.sm.rows[row][b]));
+      }
+    }
+    for (unsigned row = 0; row < cs.nsu.rows.size(); ++row) {
+      for (std::size_t b = 0; b < kNumNsuBuckets; ++b) {
+        std::fprintf(out, "nsu,%s,%s,%llu\n", row_name(row).c_str(),
+                     nsu_bucket_name(static_cast<NsuBucket>(b)),
+                     static_cast<unsigned long long>(cs.nsu.rows[row][b]));
+      }
+    }
+    for (unsigned row = 0; row < cs.vault.rows.size(); ++row) {
+      for (std::size_t b = 0; b < kNumVaultBuckets; ++b) {
+        std::fprintf(out, "vault,%s,%s,%llu\n", row_name(row).c_str(),
+                     vault_bucket_name(static_cast<VaultBucket>(b)),
+                     static_cast<unsigned long long>(cs.vault.rows[row][b]));
+      }
+    }
+  }
+  const bool ok = std::ferror(out) == 0;
+  if (out != stdout) std::fclose(out);
+  return ok;
 }
 
 const char* mode_name(OffloadMode m) {
@@ -192,6 +239,12 @@ Options parse(int argc, char** argv) {
       o.partitions = static_cast<unsigned>(std::stoul(a.substr(13)));
     } else if (a == "--no-audit") {
       o.audit = false;
+    } else if (a == "--no-profile") {
+      o.profile = false;
+    } else if (a == "--profile-csv") {
+      o.profile_csv = need_value(i);
+    } else if (a.rfind("--profile-csv=", 0) == 0) {
+      o.profile_csv = a.substr(14);
     } else if (a == "--no-latency") {
       o.latency = false;
     } else if (a == "--latency-sample") {
@@ -239,6 +292,7 @@ SystemConfig config_of(const Options& o) {
   cfg.fast_forward = o.fast_forward;
   cfg.parallel_partitions = o.partitions;
   cfg.audit = o.audit;
+  cfg.profile = o.profile;
   cfg.latency_trace = o.latency;
   cfg.latency_sample = o.latency_sample;
   cfg.trace_path = o.trace_path;
@@ -317,6 +371,10 @@ int run_tenants_main(const Options& o) {
   if (o.dump_stats && r.latency_enabled) {
     std::printf("  request latency by path class:\n");
     print_latency_table(r.latency, "    ");
+  }
+  if (!o.profile_csv.empty() && !write_profile_csv(o.profile_csv, r.cycle_stack)) {
+    std::fprintf(stderr, "failed to write profile CSV to '%s'\n", o.profile_csv.c_str());
+    return 1;
   }
   if (!o.stats_json.empty()) {
     SweepOutcome out;
@@ -402,6 +460,13 @@ int main(int argc, char** argv) {
       const std::string path = epoch_csv_path(o.epoch_csv, names[i], names.size() > 1);
       if (!write_epoch_csv(path, out.result.timeline)) {
         std::fprintf(stderr, "failed to write epoch CSV to '%s'\n", path.c_str());
+        rc = 1;
+      }
+    }
+    if (!o.profile_csv.empty()) {
+      const std::string path = epoch_csv_path(o.profile_csv, names[i], names.size() > 1);
+      if (!write_profile_csv(path, out.result.cycle_stack)) {
+        std::fprintf(stderr, "failed to write profile CSV to '%s'\n", path.c_str());
         rc = 1;
       }
     }

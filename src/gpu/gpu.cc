@@ -195,6 +195,30 @@ void Gpu::finalize(Cycle end_cycle) {
   for (auto& sm : sms_) sm->finalize(end_cycle);
 }
 
+void Gpu::sync_cycle_stacks(Cycle end_cycle) {
+  // Sm::finalize is idempotent and clamps to end_cycle, so a mid-run flush
+  // just splits the gap the next awake tick would have replayed in one go.
+  for (auto& sm : sms_) sm->finalize(end_cycle);
+}
+
+SmCycleStack Gpu::cycle_stack() const {
+  SmCycleStack agg;
+  agg.init(ctx_.num_tenants());
+  if (!ctx_.cfg->profile) return agg;
+  for (const auto& sm : sms_) {
+    agg.accumulate(sm->cycle_stack());
+    agg.move(agg.shared_row(), static_cast<std::size_t>(SmBucket::kDispatchIdle),
+             static_cast<std::size_t>(SmBucket::kDrained), sm->no_warp_drained_cycles());
+  }
+  return agg;
+}
+
+std::uint64_t Gpu::total_counted_cycles() const {
+  std::uint64_t n = 0;
+  for (const auto& sm : sms_) n += sm->counted_cycles();
+  return n;
+}
+
 void Gpu::send_to_network(Packet&& p, TimePs now) {
   p.src_node = static_cast<std::uint16_t>(ctx_.net->gpu_node());
   ctx_.net->send(std::move(p), now);
@@ -321,8 +345,8 @@ void Gpu::process_slice(unsigned slice_idx, Cycle /*cycle*/, TimePs now) {
           ctx_.latency->finish(p, PathClass::kGpuReadL2, now + l2_latency_ps,
                                ctx_.cfg->num_hmcs);
         }
-        sms_.at(static_cast<std::size_t>(p.token))->deliver_line(p.line_addr,
-                                                                 now + l2_latency_ps);
+        sms_.at(static_cast<std::size_t>(p.token))
+            ->deliver_line(p.line_addr, now + l2_latency_ps, LineServe::kL2);
       } else if (result == CacheAccessResult::kMissNew) {
         ++t_l2_misses_.at(p.tenant);
         if (in_block) gov->cache_table().record_load_line(p.oid.block, false, 0);
@@ -415,10 +439,16 @@ void Gpu::handle_rx(Packet&& p, TimePs now) {
       // slice after a migration and strand the MSHR tokens.
       const unsigned slice_idx = p.src_node;
       ++ctx_.energy->l2_accesses;
+      // Dep-stall attribution: a fill from the line's current home stack is
+      // local DRAM; anything else (possible under volatile mappings, where
+      // the home moved while the miss was outstanding) is remote.
+      const LineServe serve = p.src_node == ctx_.amap->hmc_of(p.line_addr)
+                                  ? LineServe::kDramLocal
+                                  : LineServe::kDramRemote;
       for (std::uint64_t token : slices_.at(slice_idx).cache->fill(p.line_addr)) {
         ctx_.energy->gpu_wire_bytes += kLineBytes;
         sms_.at(static_cast<std::size_t>(token))
-            ->deliver_line(p.line_addr, now + ctx_.cfg->xbar_latency_ps);
+            ->deliver_line(p.line_addr, now + ctx_.cfg->xbar_latency_ps, serve);
       }
       break;
     }

@@ -11,6 +11,14 @@
 
 namespace sndp {
 
+// Cycle-stack profiler classification of a timed producer: which machine
+// level the consumer's dep-stall cycles are waiting on.  Pending loads are
+// classified retroactively by the fill's serve class instead.
+enum class DepSource : std::uint8_t {
+  kPipe,  // ALU / SFU pipeline latency
+  kL1,    // L1 hit / shared-memory / constant access latency
+};
+
 class Scoreboard {
  public:
   // A register still waiting on a memory fill has no known ready cycle.
@@ -19,6 +27,7 @@ class Scoreboard {
   void reset() {
     reg_ready_.fill(0);
     pred_ready_.fill(0);
+    reg_src_.fill(static_cast<std::uint8_t>(DepSource::kPipe));
   }
 
   bool reg_ready(unsigned r, Cycle now) const { return reg_ready_[r] <= now; }
@@ -63,14 +72,44 @@ class Scoreboard {
     return c;
   }
 
+  // The producer class behind the binding constraint: among the registers /
+  // predicates `instr` needs that are not ready at `now` (excluding pending
+  // loads), the DepSource tag of the one with the latest ready cycle — the
+  // producer the stall actually waits out.  kPipe when nothing qualifies
+  // (predicates are always ALU-produced).
+  DepSource blocking_source(const Instr& instr, Cycle now) const {
+    Cycle worst = now;
+    DepSource src = DepSource::kPipe;
+    const auto fold = [&](Cycle when, DepSource tag) {
+      if (when == kPendingLoad || when <= worst) return;
+      worst = when;
+      src = tag;
+    };
+    for_each_src_reg(instr,
+                     [&](std::uint8_t r) { fold(reg_ready_[r], reg_source(r)); });
+    if (instr.writes_reg()) fold(reg_ready_[instr.dst], reg_source(instr.dst));
+    if (instr.guard_pred != kNoPred) {
+      fold(pred_ready_[static_cast<unsigned>(instr.guard_pred)], DepSource::kPipe);
+    }
+    if (instr.writes_pred()) fold(pred_ready_[instr.pred_dst], DepSource::kPipe);
+    return src;
+  }
+
   void set_reg_ready_at(unsigned r, Cycle when) { reg_ready_[r] = when; }
+  void set_reg_ready_at(unsigned r, Cycle when, DepSource tag) {
+    reg_ready_[r] = when;
+    reg_src_[r] = static_cast<std::uint8_t>(tag);
+  }
   void set_pred_ready_at(unsigned p, Cycle when) { pred_ready_[p] = when; }
   void mark_load_pending(unsigned r) { reg_ready_[r] = kPendingLoad; }
   void complete_load(unsigned r, Cycle now) { reg_ready_[r] = now; }
 
  private:
+  DepSource reg_source(unsigned r) const { return static_cast<DepSource>(reg_src_[r]); }
+
   std::array<Cycle, kNumRegs> reg_ready_{};
   std::array<Cycle, kNumPreds> pred_ready_{};
+  std::array<std::uint8_t, kNumRegs> reg_src_{};
 };
 
 }  // namespace sndp

@@ -31,6 +31,12 @@ Sm::Sm(SmId id, const SystemContext& ctx)
   free_cta_slots_ = cfg_.max_ctas;
   fast_forward_ = ctx.cfg->fast_forward;
   issued_by_tenant_.resize(ctx.num_tenants(), 0);
+  profile_ = ctx.cfg->profile;
+  if (profile_) {
+    cyc_.init(ctx.num_tenants());
+    pending_dep_cycles_.assign(cfg_.max_warps(), 0);
+    warp_worst_serve_.assign(cfg_.max_warps(), 0);
+  }
 }
 
 bool Sm::can_accept_cta(unsigned tenant) const {
@@ -89,8 +95,8 @@ bool Sm::busy() const {
          !out_.empty() || !line_fills_.empty() || !acks_in_.empty() || pending_count_ != 0;
 }
 
-void Sm::deliver_line(Addr line_addr, TimePs ready_ps) {
-  line_fills_.push(line_addr, ready_ps);
+void Sm::deliver_line(Addr line_addr, TimePs ready_ps, LineServe serve) {
+  line_fills_.push(LineFill{line_addr, serve}, ready_ps);
   const TimePs t = line_fills_.back_ready_ps();
   if (t < wake_ps_) wake_ps_ = t;
 }
@@ -114,9 +120,15 @@ unsigned Sm::free_trackers() const {
   return n;
 }
 
-void Sm::complete_tracker(unsigned idx, Cycle cycle) {
+void Sm::complete_tracker(unsigned idx, Cycle cycle, LineServe serve) {
   LoadTracker& t = trackers_.at(idx);
   if (!t.valid || t.lines_pending == 0) throw std::logic_error("Sm: bad tracker completion");
+  if (profile_) {
+    // Remember the deepest level that served any of this warp's fills; the
+    // warp's parked dep-pending cycles are re-billed to it at next issue.
+    auto& worst = warp_worst_serve_[t.warp];
+    worst = std::max(worst, static_cast<std::uint8_t>(serve));
+  }
   if (--t.lines_pending > 0) return;
   Warp& w = warps_.at(t.warp);
   w.scoreboard.complete_load(t.dst, cycle);
@@ -203,9 +215,96 @@ void Sm::apply_gap(Cycle gap) {
       active_cycles += gap;
       stall_warp_idle += gap;
       break;
+    case GapClass::kNoWarp:
+      if (profile_) {
+        no_warp_cycles_ += gap;
+        cyc_.add(cyc_.shared_row(), static_cast<std::size_t>(SmBucket::kDispatchIdle), gap);
+      }
+      return;
     case GapClass::kNone:
-      break;
+      return;
   }
+  // The blocked state a sleeping SM froze in is constant across the gap, so
+  // the refined bucket recorded at the sleep decision replays verbatim.
+  if (profile_) add_stall_cycles(gap);
+}
+
+// Account `n` stall cycles to the bucket classify_stall_cycle() chose.
+void Sm::add_stall_cycles(Cycle n) {
+  cyc_.add(gap_row_, static_cast<std::size_t>(gap_bucket_), n);
+  if (gap_pending_warp_ != kInvalidId) pending_dep_cycles_[gap_pending_warp_] += n;
+}
+
+// Pick the refined bucket (and owning tenant row) for one no-issue cycle
+// with at least one valid warp, mirroring the Fig. 8 priority exactly:
+// dependency before exec-busy before warp-idle.  The result is stored in
+// gap_{bucket,row,pending_warp}_ so the sleep path replays the same class.
+void Sm::classify_stall_cycle(Cycle cycle, bool saw_dep, bool saw_busy) {
+  gap_pending_warp_ = kInvalidId;
+  if (saw_dep) {
+    const Warp& w = warps_[dep_warp_];
+    gap_row_ = w.tenant;
+    const Instr& in = ctx_.image_of(w.tenant)->gpu.at(w.pc);
+    if (w.scoreboard.blocked_on_pending_load(in)) {
+      // In-flight load: park the cycle; re-billed to the serving level
+      // (L2 / local DRAM / remote DRAM) when the warp issues again.
+      gap_bucket_ = SmBucket::kDepPending;
+      gap_pending_warp_ = dep_warp_;
+    } else {
+      gap_bucket_ = w.scoreboard.blocking_source(in, cycle) == DepSource::kL1
+                        ? SmBucket::kDepL1
+                        : SmBucket::kDepPipe;
+    }
+  } else if (saw_busy) {
+    gap_row_ = warps_[busy_warp_].tenant;
+    gap_bucket_ = busy_warp_cause_ == BusyCause::kCredit ? SmBucket::kCreditWait
+                                                         : SmBucket::kExecBusy;
+  } else {
+    // Warp idle: attribute to the first valid warp in slot order, with any
+    // warp parked on an offload ACK taking precedence over one parked at a
+    // barrier, and either over a finished (draining) warp.
+    const Warp* first = nullptr;
+    const Warp* ack = nullptr;
+    const Warp* barrier = nullptr;
+    for (const Warp& w : warps_) {
+      if (!w.valid()) continue;
+      if (first == nullptr) first = &w;
+      if (w.state == WarpState::kWaitAck) {
+        ack = &w;
+        break;
+      }
+      if (barrier == nullptr && w.state == WarpState::kWaitBarrier) barrier = &w;
+    }
+    if (ack != nullptr) {
+      gap_bucket_ = SmBucket::kOfldParked;
+      gap_row_ = ack->tenant;
+    } else if (barrier != nullptr) {
+      gap_bucket_ = SmBucket::kBarrier;
+      gap_row_ = barrier->tenant;
+    } else {
+      gap_bucket_ = SmBucket::kWarpDrain;
+      gap_row_ = first != nullptr ? first->tenant : cyc_.shared_row();
+    }
+  }
+  add_stall_cycles(1);
+}
+
+// Re-bill a warp's parked dep-pending cycles to the deepest level that
+// served its fills.  Called at the warp's next issue (the stall just ended)
+// — a sum-preserving move inside the warp's tenant row.
+void Sm::flush_pending_dep(Warp& w) {
+  std::uint64_t& parked = pending_dep_cycles_[w.id];
+  if (parked == 0) return;
+  SmBucket to = SmBucket::kDepL2;
+  switch (static_cast<LineServe>(warp_worst_serve_[w.id])) {
+    case LineServe::kL2: to = SmBucket::kDepL2; break;
+    case LineServe::kDramLocal: to = SmBucket::kDepDramLocal; break;
+    case LineServe::kDramRemote: to = SmBucket::kDepDramRemote; break;
+  }
+  cyc_.move(w.tenant, static_cast<std::size_t>(SmBucket::kDepPending),
+            static_cast<std::size_t>(to), parked);
+  parked = 0;
+  warp_worst_serve_[w.id] = 0;
 }
 
 void Sm::finalize(Cycle end_cycle) {
@@ -223,8 +322,8 @@ void Sm::tick(Cycle cycle, TimePs now) {
 
   // Line fills (L2 hits and DRAM fills) wake trackers through the L1 MSHRs.
   while (auto line = line_fills_.pop_ready(now)) {
-    for (std::uint64_t token : l1_.fill(*line)) {
-      complete_tracker(static_cast<unsigned>(token), cycle);
+    for (std::uint64_t token : l1_.fill(line->line_addr)) {
+      complete_tracker(static_cast<unsigned>(token), cycle, line->serve);
     }
   }
 
@@ -258,7 +357,16 @@ void Sm::tick(Cycle cycle, TimePs now) {
   // --- Issue stage (GTO: greedy warp first, then oldest by slot id). -------
   bool any_warp = false;
   for (const Warp& w : warps_) any_warp = any_warp || w.valid();
-  if (any_warp) ++active_cycles;
+  if (any_warp) {
+    ++active_cycles;
+    // The no-warp total is constant across any contiguous active period, so
+    // refreshing the snapshot at every active tick is fast-forward-invariant
+    // and leaves it holding the pre-last-activity share (dispatch idle).
+    if (profile_) no_warp_snapshot_ = no_warp_cycles_;
+  } else if (profile_) {
+    ++no_warp_cycles_;
+    cyc_.add(cyc_.shared_row(), static_cast<std::size_t>(SmBucket::kDispatchIdle), 1);
+  }
 
   bool saw_dep = false;
   bool saw_busy = false;
@@ -270,6 +378,11 @@ void Sm::tick(Cycle cycle, TimePs now) {
   // which is the only case the sleep decision reads it.
   Cycle self_wake = kCycleNever;
 
+  if (profile_) {
+    dep_warp_ = kInvalidId;
+    busy_warp_ = kInvalidId;
+  }
+
   auto consider = [&](Warp& w) -> bool {
     if (w.state != WarpState::kReady) return false;
     any_ready = true;
@@ -279,14 +392,23 @@ void Sm::tick(Cycle cycle, TimePs now) {
         ++issued_instrs;
         ++issued_by_tenant_[w.tenant];
         ++w.issue_stamp;  // invalidates the warp's coalesce memo
+        if (profile_) {
+          cyc_.add(w.tenant, static_cast<std::size_t>(SmBucket::kIssue), 1);
+          flush_pending_dep(w);
+        }
         return true;
       case IssueOutcome::kDependency:
         saw_dep = true;
+        if (profile_ && dep_warp_ == kInvalidId) dep_warp_ = w.id;
         self_wake = std::min(
             self_wake, w.scoreboard.ready_cycle(ctx_.image_of(w.tenant)->gpu.at(w.pc)));
         return false;
       case IssueOutcome::kExecBusy:
         saw_busy = true;
+        if (profile_ && busy_warp_ == kInvalidId) {
+          busy_warp_ = w.id;
+          busy_warp_cause_ = busy_cause_;
+        }
         self_wake = std::min(self_wake, retry_cycle_);
         return false;
     }
@@ -312,6 +434,7 @@ void Sm::tick(Cycle cycle, TimePs now) {
       ++stall_warp_idle;
       (void)any_ready;
     }
+    if (profile_) classify_stall_cycle(cycle, saw_dep, saw_busy);
   }
 
   // Decide whether the SM can sleep (hints are maintained in both stepping
@@ -327,6 +450,8 @@ void Sm::tick(Cycle cycle, TimePs now) {
   if (!busy()) {
     // Fully drained (the last warp may have exited this very cycle): only a
     // new CTA re-arms the SM, and assign_cta lowers the hint directly.
+    // Slept edges carry no warps: no-warp cycles for the profiler.
+    gap_class_ = GapClass::kNoWarp;
     wake_ps_ = kTimeNever;
     return;
   }
@@ -336,6 +461,10 @@ void Sm::tick(Cycle cycle, TimePs now) {
     gap_class_ = saw_dep ? GapClass::kDependency : GapClass::kExecBusy;
   } else if (any_warp) {
     gap_class_ = GapClass::kWarpIdle;
+  } else {
+    // Busy (trackers / egress draining) but no resident warp: the profiler
+    // still has to account these cycles somewhere — no-warp.
+    gap_class_ = GapClass::kNoWarp;
   }
   TimePs wake = kTimeNever;
   if (!line_fills_.empty()) wake = std::min(wake, line_fills_.front_ready_ps());
@@ -348,6 +477,7 @@ void Sm::tick(Cycle cycle, TimePs now) {
 
 Sm::IssueOutcome Sm::try_issue(Warp& w, Cycle cycle, TimePs now) {
   const Instr& in = ctx_.image_of(w.tenant)->gpu.at(w.pc);
+  busy_cause_ = BusyCause::kUnit;  // overridden by the credit-starved site
 
   if (!w.scoreboard.can_issue(in, cycle)) return IssueOutcome::kDependency;
 
@@ -417,7 +547,7 @@ void Sm::execute_alu_warp(Warp& w, const Instr& in, Cycle cycle) {
   }
   const bool sfu = in.exec_class() == ExecClass::kSfu;
   const Cycle done = cycle + (sfu ? cfg_.sfu_latency : cfg_.alu_latency);
-  if (in.writes_reg()) w.scoreboard.set_reg_ready_at(in.dst, done);
+  if (in.writes_reg()) w.scoreboard.set_reg_ready_at(in.dst, done, DepSource::kPipe);
   if (in.writes_pred()) w.scoreboard.set_pred_ready_at(in.pred_dst, done);
   ctx_.energy->sm_lane_ops += popcount_mask(lanes);
 }
@@ -578,7 +708,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
         t.regs[in.dst] = ctx_.gmem->load_reg(a, in.mem_width, in.mem_f32);
       }
     }
-    w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.shm_latency);
+    w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.shm_latency, DepSource::kL1);
     ctx_.energy->sm_lane_ops += popcount_mask(lanes);
     ++w.pc;
     return IssueOutcome::kIssued;
@@ -686,7 +816,7 @@ Sm::IssueOutcome Sm::issue_mem_inline(Warp& w, const Instr& in, Cycle cycle, Tim
       // All lines hit in the L1.
       tracker.valid = false;
       --active_trackers_;
-      w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.l1d.latency_cycles);
+      w.scoreboard.set_reg_ready_at(in.dst, cycle + cfg_.l1d.latency_cycles, DepSource::kL1);
     } else {
       w.scoreboard.mark_load_pending(in.dst);
       ++w.outstanding_loads;
@@ -752,6 +882,7 @@ Sm::IssueOutcome Sm::issue_mem_offload(Warp& w, const Instr& in, Cycle cycle, Ti
   if (!ofld.credits_granted) {
     if (pending_count_ + n_lines > ctx_.cfg->ndp_buffers.sm_pending_entries) {
       ++pending_full_stalls_;
+      busy_cause_ = BusyCause::kCredit;
       // Mutating retry (the stall counter advances every cycle): the SM must
       // NOT sleep through this state, so demand a retry at the very next edge.
       retry_cycle_ = cycle + 1;

@@ -20,6 +20,7 @@
 #include "gpu/coalescer.h"
 #include "gpu/warp.h"
 #include "mem/cache.h"
+#include "obs/cycle_stack.h"
 #include "sim/clock.h"
 #include "sim/context.h"
 #include "sim/timed_channel.h"
@@ -27,6 +28,12 @@
 namespace sndp {
 
 inline constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+
+// Which machine level served a line fill (cycle-stack profiler): an L2
+// slice hit, the line's home-stack DRAM, or a remote stack.  Rides the
+// fill channel so dep-pending stall cycles can be re-billed to the level
+// that actually served the blocking load.
+enum class LineServe : std::uint8_t { kL2, kDramLocal, kDramRemote };
 
 // Per-tenant CTA retirement progress, owned by the Gpu and updated by the
 // SMs at CTA completion.  `finish_cycle` is the SM cycle at which the
@@ -80,7 +87,8 @@ class Sm final : public Tickable {
 
   // --- Ingress (driven by the Gpu core) ------------------------------------
   // A cache line this SM requested is available (L2 hit or DRAM fill).
-  void deliver_line(Addr line_addr, TimePs ready_ps);
+  void deliver_line(Addr line_addr, TimePs ready_ps,
+                    LineServe serve = LineServe::kDramLocal);
   void deliver_ofld_ack(Packet p, TimePs ready_ps);
   void invalidate_line(Addr line_addr) { l1_.invalidate(line_addr); }
 
@@ -104,6 +112,19 @@ class Sm final : public Tickable {
   // Per-tenant issued-instruction counts (size = ctx.num_tenants(); index 0
   // is the whole SM on the single-tenant path).
   const std::vector<std::uint64_t>& issued_by_tenant() const { return issued_by_tenant_; }
+
+  // --- Cycle-stack profiler (src/obs/cycle_stack.*) ------------------------
+  // Per-tenant bucket counters; empty rows when SystemConfig::profile is
+  // off.  counted_cycles() is every cycle the profiler accounted for —
+  // active_cycles plus the no-warp cycles the legacy counters never count —
+  // and equals the elapsed SM cycle count once flushed via finalize().
+  const SmCycleStack& cycle_stack() const { return cyc_; }
+  std::uint64_t counted_cycles() const { return active_cycles + no_warp_cycles_; }
+  std::uint64_t no_warp_cycles() const { return no_warp_cycles_; }
+  // Split of the no-warp total: cycles before the SM's last activity
+  // (waiting on CTA dispatch) vs. the drained tail after it.
+  std::uint64_t no_warp_dispatch_cycles() const { return no_warp_snapshot_; }
+  std::uint64_t no_warp_drained_cycles() const { return no_warp_cycles_ - no_warp_snapshot_; }
 
   // Fig. 8 counters (public for cheap aggregation).
   std::uint64_t issued_instrs = 0;
@@ -131,7 +152,13 @@ class Sm final : public Tickable {
   enum class IssueOutcome { kIssued, kDependency, kExecBusy };
 
   // What each skipped (slept) cycle would have counted in naive stepping.
-  enum class GapClass { kNone, kDependency, kExecBusy, kWarpIdle };
+  // kNoWarp cycles are outside active_cycles — the legacy counters ignore
+  // them; the cycle-stack profiler accounts them (dispatch idle / drained).
+  enum class GapClass { kNone, kDependency, kExecBusy, kWarpIdle, kNoWarp };
+
+  // Why the first exec-busy warp of the cycle was blocked: a real unit /
+  // queue conflict, or NDP pending-buffer credit starvation.
+  enum class BusyCause : std::uint8_t { kUnit, kCredit };
 
   // "No self-resolve cycle": the blocked warp can only be unblocked by an
   // external event (memory fill, ACK, egress drain).
@@ -147,12 +174,16 @@ class Sm final : public Tickable {
   void handle_branch(Warp& warp, const Instr& in);
   void handle_barrier(Warp& warp);
   void handle_exit(Warp& warp);
-  void complete_tracker(unsigned idx, Cycle cycle);
+  void complete_tracker(unsigned idx, Cycle cycle, LineServe serve);
   void retry_credit_grants(TimePs now);
   const CoalesceCache& coalesced(Warp& w, const Instr& in, LaneMask lanes);
   void emit_or_hold(Warp& warp, Packet&& p, TimePs now);
   void push_out(Packet&& p, TimePs ready_ps);
   void apply_gap(Cycle gap);
+  // Cycle-stack helpers (profiler on only).
+  void classify_stall_cycle(Cycle cycle, bool saw_dep, bool saw_busy);
+  void add_stall_cycles(Cycle n);
+  void flush_pending_dep(Warp& w);
   unsigned alloc_tracker();
   unsigned free_trackers() const;
   unsigned pending_total() const { return pending_count_; }
@@ -196,9 +227,14 @@ class Sm final : public Tickable {
   std::vector<TenantCtaProgress>* tenant_progress_ = nullptr;
   std::vector<std::uint64_t> issued_by_tenant_;
 
-  TimedChannel<Packet> out_;       // "ready packet buffer" toward the GPU core
-  TimedChannel<Addr> line_fills_;  // lines arriving from L2/DRAM
-  TimedChannel<Packet> acks_in_;   // offload ACKs
+  struct LineFill {
+    Addr line_addr = 0;
+    LineServe serve = LineServe::kDramLocal;
+  };
+
+  TimedChannel<Packet> out_;           // "ready packet buffer" toward the GPU core
+  TimedChannel<LineFill> line_fills_;  // lines arriving from L2/DRAM
+  TimedChannel<Packet> acks_in_;       // offload ACKs
   unsigned pending_count_ = 0;     // held NDP packets across all warps
 
   std::uint64_t next_instance_ = 1;  // offload instance ids (unique per SM)
@@ -213,6 +249,27 @@ class Sm final : public Tickable {
   std::uint64_t rdf_l1_hits_ = 0;
   std::uint64_t wta_packets_ = 0;
   std::uint64_t pending_full_stalls_ = 0;
+
+  // --- Cycle-stack profiler state (untouched when profile_ is false). ------
+  bool profile_ = false;
+  SmCycleStack cyc_;  // rows: tenants + shared; no-warp accrues in the
+                      // shared kDispatchIdle bucket (drained split on read)
+  std::uint64_t no_warp_cycles_ = 0;
+  std::uint64_t no_warp_snapshot_ = 0;  // no_warp_cycles_ at last active tick
+  // Retroactive dep attribution: cycles parked in kDepPending per warp, and
+  // the worst serve class seen among that warp's fills since its last issue.
+  std::vector<std::uint64_t> pending_dep_cycles_;
+  std::vector<std::uint8_t> warp_worst_serve_;
+  // Per-cycle attribution scratch, reset each issue scan.
+  unsigned dep_warp_ = kInvalidId;    // first warp that returned kDependency
+  unsigned busy_warp_ = kInvalidId;   // first warp that returned kExecBusy
+  BusyCause busy_warp_cause_ = BusyCause::kUnit;
+  BusyCause busy_cause_ = BusyCause::kUnit;  // set by every kExecBusy return
+  // Refined class of the cycle the sleep decision froze (valid while
+  // gap_class_ != kNone/kNoWarp); replayed by apply_gap.
+  SmBucket gap_bucket_ = SmBucket::kIssue;
+  unsigned gap_row_ = 0;
+  unsigned gap_pending_warp_ = kInvalidId;
 };
 
 }  // namespace sndp

@@ -21,6 +21,7 @@ Hmc::Hmc(HmcId id, const SystemContext& ctx) : id_(id), ctx_(ctx) {
     vaults_.push_back(std::make_unique<VaultController>(
         cfg.hmc, cfg.clocks.dram_khz,
         [this](const DramRequest& req, TimePs done) { on_vault_complete(req, done); }));
+    if (cfg.profile) vaults_.back()->enable_profile(ctx_.num_tenants());
   }
   vault_backlog_.resize(cfg.hmc.num_vaults);
 
@@ -58,6 +59,24 @@ std::uint64_t Hmc::total_reads() const {
 std::uint64_t Hmc::total_writes() const {
   std::uint64_t n = 0;
   for (const auto& v : vaults_) n += v->writes;
+  return n;
+}
+
+void Hmc::finalize(Cycle end_cycle) {
+  for (auto& v : vaults_) v->finalize(end_cycle);
+}
+
+VaultCycleStack Hmc::vault_cycle_stack() const {
+  VaultCycleStack agg;
+  agg.init(ctx_.num_tenants());
+  if (!ctx_.cfg->profile) return agg;
+  for (const auto& v : vaults_) agg.accumulate(v->cycle_stack());
+  return agg;
+}
+
+std::uint64_t Hmc::vault_counted_cycles() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vaults_) n += v->counted_cycles();
   return n;
 }
 
@@ -113,8 +132,11 @@ void Hmc::tick(Cycle cycle, TimePs now) {
       const bool is_write = p.type == PacketType::kMemWrite ||
                             p.type == PacketType::kNsuWrite ||
                             p.type == PacketType::kPageCopyWrite;
+      const bool page_copy = p.type == PacketType::kPageCopyRead ||
+                             p.type == PacketType::kPageCopyWrite;
       const std::uint64_t token = next_token_++;
-      vaults_[v]->enqueue(DramRequest{p.line_addr, is_write, token, coord, now});
+      vaults_[v]->enqueue(
+          DramRequest{p.line_addr, is_write, token, coord, now, p.tenant, page_copy});
       inflight_.emplace(token, std::move(p));
     }
   }

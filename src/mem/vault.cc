@@ -15,6 +15,26 @@ void VaultController::enqueue(const DramRequest& req) {
   queue_.push_back(req);
 }
 
+void VaultController::enable_profile(unsigned tenants) {
+  profile_ = true;
+  cyc_.init(tenants);
+}
+
+void VaultController::bill_cycle(const DramRequest& req, VaultBucket bucket) {
+  ++counted_cycles_;
+  const unsigned row = req.page_copy ? cyc_.shared_row() : req.tenant;
+  cyc_.add(row, static_cast<std::size_t>(bucket), 1);
+}
+
+void VaultController::finalize(Cycle end_cycle) {
+  if (!profile_) return;
+  if (end_cycle > counted_cycles_) {
+    cyc_.add(cyc_.shared_row(), static_cast<std::size_t>(VaultBucket::kIdle),
+             end_cycle - counted_cycles_);
+    counted_cycles_ = end_cycle;
+  }
+}
+
 void VaultController::tick(Cycle cycle, TimePs now) {
   // Deliver finished bursts.
   while (completed_.ready(now)) {
@@ -68,6 +88,9 @@ void VaultController::tick(Cycle cycle, TimePs now) {
     queue_.pop_back();
     DramBank& bank = banks_[req.coord.bank];
     bank.cas(cycle, req.is_write, t);
+    if (profile_) {
+      bill_cycle(req, req.page_copy ? VaultBucket::kPageCopy : VaultBucket::kService);
+    }
     bus_free_ = cycle + t.tCCD;
     const Cycle done_cycle = req.is_write ? cycle + t.tBURST : cycle + t.tCL + t.tBURST;
     const TimePs done_ps = tick_time_ps(done_cycle, dram_khz_);
@@ -81,9 +104,22 @@ void VaultController::tick(Cycle cycle, TimePs now) {
     banks_[queue_[fb].coord.bank].activate(cycle, queue_[fb].coord.row, t);
     ++activates;
     ++row_misses;
+    if (profile_) {
+      bill_cycle(queue_[fb],
+                 queue_[fb].page_copy ? VaultBucket::kPageCopy : VaultBucket::kService);
+    }
   } else if (fallback == StateOp::kPrecharge) {
     banks_[queue_[fb].coord.bank].precharge(cycle, t);
     ++precharges;
+    if (profile_) {
+      bill_cycle(queue_[fb],
+                 queue_[fb].page_copy ? VaultBucket::kPageCopy : VaultBucket::kService);
+    }
+  } else if (profile_) {
+    // No command issuable this edge (CAS/activate/precharge all timing- or
+    // bus-blocked) with requests waiting: the queue is the bottleneck.  The
+    // oldest request defines the wait.
+    bill_cycle(queue_[0], VaultBucket::kQueueBound);
   }
 }
 

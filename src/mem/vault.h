@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "mem/address_map.h"
 #include "mem/dram.h"
+#include "obs/cycle_stack.h"
 #include "sim/clock.h"
 #include "sim/timed_channel.h"
 
@@ -22,6 +23,8 @@ struct DramRequest {
   std::uint64_t token = 0;  // opaque owner cookie, round-tripped on completion
   DramCoord coord{};
   TimePs enqueue_ps = 0;
+  std::uint8_t tenant = 0;  // owning tenant (cycle-stack attribution)
+  bool page_copy = false;   // migration copy traffic, not demand
 };
 
 // Ticks in the DRAM clock domain.  The owner (HMC logic layer) pushes
@@ -61,7 +64,21 @@ class VaultController final : public Tickable {
   std::uint64_t row_misses = 0;
   Distribution queue_latency_ps;
 
+  // Cycle-stack profiler (src/obs/cycle_stack.*).  Busy edges (queue
+  // non-empty) are classified live — the vault never sleeps while its queue
+  // is non-empty, so the busy classification is fast-forward-invariant.
+  // Idle is derived once at finalize() as end_cycle minus counted busy
+  // edges.  Bucket sum == counted_cycles() at any instant.
+  void enable_profile(unsigned tenants);
+  void finalize(Cycle end_cycle);
+  const VaultCycleStack& cycle_stack() const { return cyc_; }
+  std::uint64_t counted_cycles() const { return counted_cycles_; }
+
  private:
+  // Bill one busy edge to the request that defines it.  Page-copy traffic
+  // belongs to the migration machinery, not any tenant: shared row.
+  void bill_cycle(const DramRequest& req, VaultBucket bucket);
+
   HmcConfig cfg_;
   std::uint64_t dram_khz_;
   CompletionFn on_complete_;
@@ -69,6 +86,10 @@ class VaultController final : public Tickable {
   std::vector<DramRequest> queue_;  // FR-FCFS scans; arrival order preserved
   Cycle bus_free_ = 0;              // shared vault data bus (tCCD pacing)
   TimedChannel<DramRequest> completed_;
+
+  bool profile_ = false;
+  VaultCycleStack cyc_;
+  std::uint64_t counted_cycles_ = 0;
 };
 
 }  // namespace sndp

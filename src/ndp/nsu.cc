@@ -20,6 +20,8 @@ Nsu::Nsu(HmcId hmc_id, const SystemContext& ctx, SendFn send_network, SendFn sen
       cmds_(ctx.cfg->ndp_buffers.nsu_cmd_entries) {
   warps_.resize(cfg_.max_warps);
   fast_forward_ = ctx.cfg->fast_forward;
+  profile_ = ctx.cfg->profile;
+  if (profile_) cyc_.init(ctx.num_tenants());
 }
 
 void Nsu::receive(Packet&& p, TimePs now) { in_.push(std::move(p), now); }
@@ -32,7 +34,12 @@ unsigned Nsu::active_warps() const { return valid_warps_; }
 
 void Nsu::finalize(Cycle end_cycle) {
   if (end_cycle > next_expected_cycle_) {
-    tick_count_ += end_cycle - next_expected_cycle_;
+    const Cycle tail = end_cycle - next_expected_cycle_;
+    tick_count_ += tail;
+    // The slept tail had no warps, no commands, and no ready ingress: idle.
+    if (profile_) {
+      cyc_.add(cyc_.shared_row(), static_cast<std::size_t>(NsuBucket::kIdle), tail);
+    }
     next_expected_cycle_ = end_cycle;
   }
 }
@@ -70,6 +77,13 @@ void Nsu::tick(Cycle cycle, TimePs now) {
   }
   if (fast_forward_ && next_work_ps(now) > now) return;  // still asleep
   // Skipped/slept edges each counted one naive tick with zero occupancy.
+  // An edge is only slept when no warps are resident, the command buffer is
+  // empty, and no ingress packet was ready — i.e. the NSU was idle — so the
+  // compensation bills the whole gap to the idle bucket.
+  if (profile_ && cycle > next_expected_cycle_) {
+    cyc_.add(cyc_.shared_row(), static_cast<std::size_t>(NsuBucket::kIdle),
+             cycle - next_expected_cycle_);
+  }
   tick_count_ += cycle - next_expected_cycle_ + 1;
   next_expected_cycle_ = cycle + 1;
   occupancy_accum_ += valid_warps_;
@@ -118,11 +132,26 @@ void Nsu::tick(Cycle cycle, TimePs now) {
   // port for warp_width / simd_lanes cycles (§4.5).  OFLD markers are
   // bookkeeping (spawn-time init / ack-wait), not lane work — they do not
   // hold the port.
-  if (issue_busy_until_ > cycle) return;
+  if (issue_busy_until_ > cycle) {
+    // The issue port is occupied by a prior multi-cycle instruction: lane
+    // work is in flight, so the cycle is execution for the holding tenant.
+    if (profile_) {
+      cyc_.add(issue_busy_tenant_, static_cast<std::size_t>(NsuBucket::kExec), 1);
+    }
+    return;
+  }
   const unsigned n = static_cast<unsigned>(warps_.size());
+  bool stepped = false;
+  bool any_ready = false;
+  unsigned stepped_tenant = 0;
+  unsigned starved_tenant = 0;
   for (unsigned i = 0; i < n; ++i) {
     NsuWarp& w = warps_[(rr_next_ + i) % n];
     if (!w.valid || w.ready_cycle > cycle) continue;
+    if (!any_ready) {
+      any_ready = true;
+      starved_tenant = w.tenant;
+    }
     const Instr& next = ctx_.image_of(w.tenant)->nsu.at(w.pc);
     // Port occupancy: markers are bookkeeping (0 cycles); loads/stores move
     // a full line through the NDP buffer port (1 cycle); lane ALU work pays
@@ -133,16 +162,47 @@ void Nsu::tick(Cycle cycle, TimePs now) {
     } else if (next.op != Opcode::kOfldBeg && next.op != Opcode::kOfldEnd) {
       hold = (cfg_.warp_width + cfg_.simd_lanes - 1) / cfg_.simd_lanes;
     }
+    // Capture before step_warp: finishing a warp (kOfldEnd) clears the slot.
+    const unsigned tenant = w.tenant;
     if (step_warp(w, cycle, now)) {
+      stepped = true;
+      stepped_tenant = tenant;
       rr_next_ = (rr_next_ + i + 1) % n;
       issue_busy_until_ = cycle + hold;
+      issue_busy_tenant_ = tenant;
       break;
     }
+  }
+  if (!profile_) return;
+  // Classify this counted cycle into exactly one bucket (StatsAudit checks
+  // bucket sum == tick count).  Priority: progress beats starvation beats
+  // quota pressure beats latency wait.
+  if (stepped) {
+    cyc_.add(stepped_tenant, static_cast<std::size_t>(NsuBucket::kExec), 1);
+  } else if (any_ready) {
+    // A warp was ready to issue but every attempt blocked on missing RDF
+    // data, a missing WTA, or outstanding write acks: ingress starvation.
+    cyc_.add(starved_tenant, static_cast<std::size_t>(NsuBucket::kIngressStarved), 1);
+  } else if (spawn_quota_blocked_) {
+    cyc_.add(quota_tenant_, static_cast<std::size_t>(NsuBucket::kQuotaBlocked), 1);
+  } else if (valid_warps_ > 0) {
+    // Resident warps are all waiting out instruction latency: execution.
+    unsigned tenant = cyc_.shared_row();
+    for (const NsuWarp& w : warps_) {
+      if (w.valid) {
+        tenant = w.tenant;
+        break;
+      }
+    }
+    cyc_.add(tenant, static_cast<std::size_t>(NsuBucket::kExec), 1);
+  } else {
+    cyc_.add(cyc_.shared_row(), static_cast<std::size_t>(NsuBucket::kIdle), 1);
   }
 }
 
 void Nsu::try_spawn(Cycle cycle, TimePs now) {
   const unsigned quota = ctx_.cfg->tenancy.nsu_warp_quota;
+  spawn_quota_blocked_ = false;
   while (!cmds_.empty()) {
     NsuWarp* slot = nullptr;
     for (NsuWarp& w : warps_) {
@@ -163,7 +223,11 @@ void Nsu::try_spawn(Cycle cycle, TimePs now) {
       for (const NsuWarp& w : warps_) {
         if (w.valid && w.tenant == head_tenant) ++resident;
       }
-      if (resident >= quota) return;
+      if (resident >= quota) {
+        spawn_quota_blocked_ = true;
+        quota_tenant_ = head_tenant;
+        return;
+      }
     }
 
     Packet cmd = cmds_.pop();

@@ -19,6 +19,7 @@
 #include "isa/program.h"
 #include "ndp/ndp_buffers.h"
 #include "noc/packet.h"
+#include "obs/cycle_stack.h"
 #include "sim/clock.h"
 #include "sim/context.h"
 #include "sim/timed_channel.h"
@@ -71,6 +72,12 @@ class Nsu final : public Tickable {
   std::uint64_t finished_block_instrs() const { return finished_block_instrs_; }
   std::uint64_t occupancy_accum() const { return occupancy_accum_; }
 
+  // Cycle-stack profiler (src/obs/cycle_stack.*): every counted NSU cycle
+  // lands in exactly one bucket, so the stack's total equals counted_cycles()
+  // at any instant — compensation for slept edges updates both together.
+  const NsuCycleStack& cycle_stack() const { return cyc_; }
+  std::uint64_t counted_cycles() const { return tick_count_; }
+
   // Per-epoch timeline hook: this NSU polls its cumulative occupancy at the
   // first consumed NSU edge at/after each epoch boundary.  `src` is this
   // NSU's index in the timeline's per-source series.
@@ -117,6 +124,9 @@ class Nsu final : public Tickable {
   Cycle next_expected_cycle_ = 0;  // skipped-tick compensation watermark
   unsigned rr_next_ = 0;        // round-robin issue pointer
   Cycle issue_busy_until_ = 0;  // temporal-SIMT occupancy of the issue port
+  unsigned issue_busy_tenant_ = 0;  // tenant of the port-holding warp
+  bool spawn_quota_blocked_ = false;  // try_spawn hit the warp quota this tick
+  unsigned quota_tenant_ = 0;         // tenant of the quota-blocked head command
   ReadDataBuffer read_data_;
   WriteAddrBuffer write_addr_;
   CmdBuffer cmds_;
@@ -135,6 +145,10 @@ class Nsu final : public Tickable {
   std::uint64_t write_packets_ = 0;
   std::uint64_t stall_read_wait_ = 0;
   std::set<unsigned> icache_pcs_;
+
+  // Cycle-stack profiler state (zero-cost when cfg.profile is off).
+  bool profile_ = false;
+  NsuCycleStack cyc_;
 };
 
 }  // namespace sndp

@@ -45,7 +45,8 @@ std::uint64_t EpochTimeline::nsu_edges_before(TimePs t) const {
 void EpochTimeline::on_epoch(std::uint64_t epoch, double epoch_ipc,
                              std::uint64_t block_instrs, double ratio,
                              double step, int direction, std::uint64_t issued,
-                             std::uint64_t l1_hits, std::uint64_t l1_misses) {
+                             std::uint64_t l1_hits, std::uint64_t l1_misses,
+                             const std::uint64_t* sm_stack) {
   if (samples_.size() >= kMaxSamples) {
     ++dropped_;
     return;
@@ -70,6 +71,13 @@ void EpochTimeline::on_epoch(std::uint64_t epoch, double epoch_ipc,
                          ? 0.0
                          : static_cast<double>(s.end_ps) /
                                static_cast<double>(max_time_ps_);
+  if (sm_stack != nullptr) {
+    for (std::size_t b = 0; b < kNumSmBuckets; ++b) {
+      s.sm_stack[b] = static_cast<std::int64_t>(sm_stack[b]) -
+                      static_cast<std::int64_t>(prev_sm_stack_[b]);
+      prev_sm_stack_[b] = sm_stack[b];
+    }
+  }
   samples_.push_back(s);
   prev_issued_ = issued;
   prev_l1_hits_ = l1_hits;
@@ -210,6 +218,24 @@ void EpochTimeline::emit_trace(TraceWriter& trace, int tid) const {
     trace.counter("pages_migrated", tid, s.end_ps,
                   static_cast<double>(s.pages_migrated));
   }
+  // Cycle-stack counter tracks: one series per SM bucket, as cumulative
+  // cycle totals (Perfetto renders absolute counter values best).  Skipped
+  // entirely when profiling was off (all-zero deltas).
+  bool any_stack = false;
+  for (const EpochSample& s : samples_) {
+    for (const std::int64_t v : s.sm_stack) any_stack = any_stack || v != 0;
+  }
+  if (any_stack) {
+    std::array<std::int64_t, kNumSmBuckets> cum{};
+    for (const EpochSample& s : samples_) {
+      for (std::size_t b = 0; b < kNumSmBuckets; ++b) {
+        cum[b] += s.sm_stack[b];
+        trace.counter(std::string("cyc_") +
+                          sm_bucket_name(static_cast<SmBucket>(b)),
+                      tid, s.end_ps, static_cast<double>(cum[b]));
+      }
+    }
+  }
 }
 
 void EpochTimeline::export_stats(StatSet& out) const {
@@ -231,11 +257,15 @@ void write_epoch_csv(std::FILE* out, const std::vector<EpochSample>& samples) {
   std::fprintf(out,
                "epoch,end_cycle,end_ps,ratio,step,direction,epoch_ipc,block_instrs,"
                "sm_ipc,l1_hit_rate,l2_hit_rate,gpu_up_util,gpu_down_util,cube_util,"
-               "nsu_occupancy,valve_pressure,pages_migrated\n");
+               "nsu_occupancy,valve_pressure,pages_migrated");
+  for (std::size_t b = 0; b < kNumSmBuckets; ++b) {
+    std::fprintf(out, ",cyc_%s", sm_bucket_name(static_cast<SmBucket>(b)));
+  }
+  std::fprintf(out, "\n");
   for (const EpochSample& s : samples) {
     std::fprintf(out,
                  "%llu,%llu,%llu,%.6f,%.6f,%d,%.6f,%llu,%.6f,%.6f,%.6f,%.6f,%.6f,"
-                 "%.6f,%.6f,%.6f,%llu\n",
+                 "%.6f,%.6f,%.6f,%llu",
                  static_cast<unsigned long long>(s.epoch),
                  static_cast<unsigned long long>(s.end_cycle),
                  static_cast<unsigned long long>(s.end_ps), s.ratio, s.step, s.direction,
@@ -243,6 +273,10 @@ void write_epoch_csv(std::FILE* out, const std::vector<EpochSample>& samples) {
                  s.l1_hit_rate, s.l2_hit_rate, s.gpu_up_util, s.gpu_down_util, s.cube_util,
                  s.nsu_occupancy, s.valve_pressure,
                  static_cast<unsigned long long>(s.pages_migrated));
+    for (const std::int64_t v : s.sm_stack) {
+      std::fprintf(out, ",%lld", static_cast<long long>(v));
+    }
+    std::fprintf(out, "\n");
   }
 }
 

@@ -28,6 +28,7 @@
 // mode-dependent tick counts.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -36,6 +37,7 @@
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/cycle_stack.h"
 
 namespace sndp {
 
@@ -63,6 +65,12 @@ struct EpochSample {
   double valve_pressure = 0.0;  // end_ps / max_time_ps (1.0 = safety valve)
   std::uint64_t pages_migrated = 0;  // placement migrations this epoch
 
+  // Machine-wide SM cycle-stack deltas this epoch (src/obs/cycle_stack.*,
+  // sampled at the boundary after Gpu::sync_cycle_stacks); all zero when
+  // profiling is off.  Signed: the sum-preserving pending-dep
+  // reclassification can drain a bucket between boundaries.
+  std::array<std::int64_t, kNumSmBuckets> sm_stack{};
+
   bool operator==(const EpochSample&) const = default;
 };
 
@@ -71,11 +79,14 @@ class EpochTimeline {
   EpochTimeline(const SystemConfig& cfg, unsigned num_nsus);
 
   // SM-domain entry, called from the governor's epoch observer.  `issued`,
-  // `l1_hits`, `l1_misses` are cumulative totals over all SMs.
+  // `l1_hits`, `l1_misses` are cumulative totals over all SMs.  `sm_stack`,
+  // when non-null, points at kNumSmBuckets cumulative machine-wide
+  // cycle-stack bucket totals (boundary-synced); the sample records the
+  // per-epoch delta.
   void on_epoch(std::uint64_t epoch, double epoch_ipc,
                 std::uint64_t block_instrs, double ratio, double step,
                 int direction, std::uint64_t issued, std::uint64_t l1_hits,
-                std::uint64_t l1_misses);
+                std::uint64_t l1_misses, const std::uint64_t* sm_stack = nullptr);
 
   // Lazily-polled cross-domain sources.  `*_due(now)` is the cheap inline
   // guard; the caller gathers its counters only when it returns true.
@@ -148,6 +159,7 @@ class EpochTimeline {
   std::uint64_t prev_issued_ = 0;
   std::uint64_t prev_l1_hits_ = 0;
   std::uint64_t prev_l1_misses_ = 0;
+  std::array<std::uint64_t, kNumSmBuckets> prev_sm_stack_{};
 
   // Lazily-filled cross-domain series: cumulative values at each boundary.
   std::vector<std::uint64_t> l2_hits_at_, l2_misses_at_;

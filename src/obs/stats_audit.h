@@ -120,6 +120,26 @@ struct AuditSnapshot {
   std::vector<std::uint64_t> tenant_issued;     // per-tenant SM instructions
   std::vector<std::uint64_t> tenant_l2_reads;   // per-tenant L2 read outcomes
   std::vector<std::uint64_t> tenant_gov_instrs; // per-governor block instrs
+  // Cycle-stack profiler (src/obs/cycle_stack.*), filled when
+  // SystemConfig::profile is on.  Exhaustiveness: each component's bucket
+  // sum must equal its counted cycles at every instant (every counted cycle
+  // lands in exactly one bucket; reclassifications are sum-preserving).
+  // The machine-wide SM bucket groups must reproduce the legacy Fig. 8
+  // stall counters exactly, and the per-tenant issue rows must partition
+  // the per-tenant issued-instruction counters.
+  bool cyc_on = false;
+  std::vector<std::uint64_t> cyc_sm_sum, cyc_sm_counted;        // per SM
+  std::vector<std::uint64_t> cyc_nsu_sum, cyc_nsu_counted;      // per NSU
+  std::vector<std::uint64_t> cyc_vault_sum, cyc_vault_counted;  // per vault
+  std::uint64_t cyc_sm_issue = 0;
+  std::uint64_t cyc_sm_exec_group = 0;       // exec_busy + credit_wait
+  std::uint64_t cyc_sm_dep_group = 0;        // all dep_* buckets
+  std::uint64_t cyc_sm_warp_idle_group = 0;  // ofld_parked + barrier + warp_drain
+  std::uint64_t cyc_sm_dep_pending = 0;      // unresolved retroactive dep cycles
+  std::uint64_t sm_stall_dependency = 0;
+  std::uint64_t sm_stall_exec_busy = 0;
+  std::uint64_t sm_stall_warp_idle = 0;
+  std::vector<std::uint64_t> cyc_tenant_issue;  // per-tenant issue-bucket rows
   // Geometry.
   unsigned line_bytes = 128;
   unsigned warp_width = 32;

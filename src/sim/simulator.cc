@@ -2,6 +2,7 @@
 
 #include "sim/trace.h"
 
+#include <array>
 #include <stdexcept>
 #include <vector>
 
@@ -360,6 +361,44 @@ RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory
       s.lat_finished = ls.finished;
       s.lat_cancelled = ls.cancelled;
     }
+    if (cfg_.profile) {
+      s.cyc_on = true;
+      for (const auto& sm : gpu.sms()) {
+        s.cyc_sm_sum.push_back(sm->cycle_stack().total());
+        s.cyc_sm_counted.push_back(sm->counted_cycles());
+      }
+      const SmCycleStack machine = gpu.cycle_stack();
+      for (std::size_t b = 0; b < kNumSmBuckets; ++b) {
+        const std::uint64_t n = machine.bucket_total(b);
+        switch (sm_bucket_group(static_cast<SmBucket>(b))) {
+          case SmBucketGroup::kIssue: s.cyc_sm_issue += n; break;
+          case SmBucketGroup::kExecBusy: s.cyc_sm_exec_group += n; break;
+          case SmBucketGroup::kDep: s.cyc_sm_dep_group += n; break;
+          case SmBucketGroup::kWarpIdle: s.cyc_sm_warp_idle_group += n; break;
+          case SmBucketGroup::kNoWarp: break;
+        }
+      }
+      s.cyc_sm_dep_pending =
+          machine.bucket_total(static_cast<std::size_t>(SmBucket::kDepPending));
+      s.sm_stall_dependency = gpu.total_stall_dependency();
+      s.sm_stall_exec_busy = gpu.total_stall_exec_busy();
+      s.sm_stall_warp_idle = gpu.total_stall_warp_idle();
+      for (const auto& hmc : hmcs) {
+        s.cyc_nsu_sum.push_back(hmc->nsu().cycle_stack().total());
+        s.cyc_nsu_counted.push_back(hmc->nsu().counted_cycles());
+        for (unsigned v = 0; v < hmc->num_vaults(); ++v) {
+          s.cyc_vault_sum.push_back(hmc->vault(v).cycle_stack().total());
+          s.cyc_vault_counted.push_back(hmc->vault(v).counted_cycles());
+        }
+      }
+      if (num_tenants > 1) {
+        s.cyc_tenant_issue.resize(num_tenants);
+        for (unsigned t = 0; t < num_tenants; ++t) {
+          s.cyc_tenant_issue[t] =
+              machine.rows[t][static_cast<std::size_t>(SmBucket::kIssue)];
+        }
+      }
+    }
     return s;
   };
 
@@ -378,8 +417,23 @@ RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory
       l1_hits += sm->l1().hits;
       l1_misses += sm->l1().misses;
     }
+    // Boundary-sync the SM cycle stacks so the timeline sample (and the
+    // epoch audit) sees every cycle up to the boundary classified.  The
+    // EpochTick replays fast-forwarded boundaries before any SM does work at
+    // the wake edge, so syncing to the boundary cycle here is exact in both
+    // stepping modes; the SMs are hub-owned, so it is also safe mid-window
+    // under `--partitions`.
+    std::array<std::uint64_t, kNumSmBuckets> stack_totals{};
+    if (cfg_.profile) {
+      gpu.sync_cycle_stacks((info.epoch + 1) * cfg_.governor.epoch_cycles);
+      const SmCycleStack machine = gpu.cycle_stack();
+      for (std::size_t b = 0; b < kNumSmBuckets; ++b) {
+        stack_totals[b] = machine.bucket_total(b);
+      }
+    }
     timeline.on_epoch(info.epoch, info.ipc, info.block_instrs, info.ratio,
-                      info.step, info.direction, issued, l1_hits, l1_misses);
+                      info.step, info.direction, issued, l1_hits, l1_misses,
+                      cfg_.profile ? stack_totals.data() : nullptr);
     if (cfg_.audit) {
       if (parallel) {
         pending_epoch_audits.push_back(info.epoch);
@@ -537,6 +591,9 @@ RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory
   gpu.finalize(sm_domain.next_cycle());
   for (unsigned h = 0; h < cfg_.num_hmcs; ++h) {
     hmcs[h]->nsu().finalize(nsu_domains[group_of_hmc(h)]->next_cycle());
+    // Vault cycle stacks: derive the idle bucket once, from the dram domain's
+    // consumed-edge count (busy classification happened live at each edge).
+    hmcs[h]->finalize(dram_domains[group_of_hmc(h)]->next_cycle());
   }
 
   // Merge the parallel shards back into the primary accumulators (exact
@@ -583,6 +640,19 @@ RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory
                    : 0.0;
   result.gpu_link_bytes = net.gpu_up_bytes() + net.gpu_down_bytes();
   result.cube_link_bytes = net.cube_bytes();
+  // Machine cycle-stack summary: everything is finalized above, so the SM
+  // stacks cover every SM cycle and the vault stacks carry their idle tails.
+  result.cycle_stack.enabled = cfg_.profile;
+  result.cycle_stack.tenants = num_tenants;
+  if (cfg_.profile) {
+    result.cycle_stack.sm = gpu.cycle_stack();
+    result.cycle_stack.nsu.init(num_tenants);
+    result.cycle_stack.vault.init(num_tenants);
+    for (const auto& hmc : hmcs) {
+      result.cycle_stack.nsu.accumulate(hmc->nsu().cycle_stack());
+      result.cycle_stack.vault.accumulate(hmc->vault_cycle_stack());
+    }
+  }
   {
     auto it = net.bytes_by_type().find(PacketType::kCacheInval);
     result.inval_bytes = it == net.bytes_by_type().end() ? 0 : it->second;
@@ -675,6 +745,7 @@ RunResult Simulator::run_images(const std::vector<TenantJob>& jobs, GlobalMemory
   result.stats.set("sim.parallel_partitions", static_cast<double>(num_parts));
   result.stats.set("sim.parallel_windows", static_cast<double>(parallel_windows));
   timeline.export_stats(result.stats);
+  export_cycle_stats(result.cycle_stack, result.stats);
   if (latency != nullptr) {
     result.latency_enabled = true;
     result.latency = latency->summary();

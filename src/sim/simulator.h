@@ -106,6 +106,11 @@ struct RunResult {
   bool latency_enabled = false;
   LatencySummary latency;
 
+  // Machine-wide cycle stacks (src/obs/cycle_stack.*): per-tenant SM / NSU /
+  // vault bucket counters, exhaustive over each component's counted cycles.
+  // `cycle_stack.enabled` is false when `SystemConfig::profile` is off.
+  CycleStackSummary cycle_stack;
+
   // Per-tenant results; empty on single-tenant runs.
   std::vector<TenantResult> tenants;
 
